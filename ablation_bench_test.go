@@ -1,0 +1,126 @@
+package streamdb
+
+// Ablation benchmarks for the design decisions called out in
+// DESIGN.md §5: execution mode (virtual-time scheduler vs goroutines
+// and channels), join-state invalidation strategy, and GK-vs-sampling
+// for quantiles.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"streamdb/internal/exec"
+	"streamdb/internal/expr"
+	"streamdb/internal/ops"
+	"streamdb/internal/stream"
+	"streamdb/internal/synopsis"
+	"streamdb/internal/tuple"
+	"streamdb/internal/window"
+)
+
+func filterGraph(b *testing.B, sink exec.Sink, n int) *exec.Graph {
+	b.Helper()
+	g := exec.NewGraph(sink)
+	sch := stream.TrafficSchema("Traffic")
+	src := g.AddSource(stream.Limit(stream.NewTrafficStream(1, 1e6, 1000), n))
+	pred, err := expr.NewBin(expr.OpGt, expr.MustColumn(sch, "length"), expr.Constant(tuple.Int(512)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel, err := ops.NewSelect("sel", sch, pred, -1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := g.AddOp(sel)
+	if err := g.ConnectSource(src, id, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := g.ConnectOut(id); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkAblationEngineSequential measures the deterministic
+// virtual-time engine's per-tuple overhead.
+func BenchmarkAblationEngineSequential(b *testing.B) {
+	var n int64
+	g := filterGraph(b, func(stream.Element) { n++ }, b.N)
+	b.ResetTimer()
+	g.Run(-1)
+	if b.N > 1000 && n == 0 {
+		b.Fatal("no output")
+	}
+}
+
+// BenchmarkAblationEngineConcurrent measures the goroutine/channel
+// engine on the same pipeline.
+func BenchmarkAblationEngineConcurrent(b *testing.B) {
+	var n int64
+	g := filterGraph(b, func(stream.Element) { atomic.AddInt64(&n, 1) }, b.N)
+	b.ResetTimer()
+	g.RunConcurrent(-1, 256)
+	if b.N > 1000 && atomic.LoadInt64(&n) == 0 {
+		b.Fatal("no output")
+	}
+}
+
+// BenchmarkAblationJoinInvalidation compares the lazy ring-buffer
+// invalidation against a worst-case small window, isolating expiry
+// cost (DESIGN.md: "hash windows with lazy invalidation").
+func BenchmarkAblationJoinInvalidation(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		win  int64
+	}{
+		{"wideWindow", 1 << 40},
+		{"narrowWindow", 1000},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			a := tuple.NewSchema("A",
+				tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+				tuple.Field{Name: "k", Kind: tuple.KindInt})
+			bb := tuple.NewSchema("B",
+				tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+				tuple.Field{Name: "k", Kind: tuple.KindInt})
+			j, err := ops.NewWindowJoin("j", a, bb,
+				ops.JoinConfig{Window: window.Tumbling(cfg.win), Method: ops.JoinHash, Key: []int{1}},
+				ops.JoinConfig{Window: window.Tumbling(cfg.win), Method: ops.JoinHash, Key: []int{1}},
+				nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			emit := func(stream.Element) {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ts := int64(i) * 10
+				t := tuple.New(ts, tuple.Time(ts), tuple.Int(int64(i%1000)))
+				j.Push(i&1, stream.Tup(t), emit)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationQuantiles compares GK against reservoir sampling at
+// the same memory budget (DESIGN.md: "GK quantiles vs sampling").
+func BenchmarkAblationQuantiles(b *testing.B) {
+	b.Run("gk", func(b *testing.B) {
+		gk := synopsis.NewGK(0.01)
+		for i := 0; i < b.N; i++ {
+			gk.Add(float64(i % 100000))
+		}
+		if _, ok := gk.Query(0.5); !ok && b.N > 0 {
+			b.Fatal("no quantile")
+		}
+	})
+	b.Run("reservoir", func(b *testing.B) {
+		r := synopsis.NewReservoir(1000, 1)
+		for i := 0; i < b.N; i++ {
+			r.Add(tuple.Float(float64(i % 100000)))
+		}
+		if _, ok := r.EstimateQuantile(0.5); !ok && b.N > 0 {
+			b.Fatal("no quantile")
+		}
+	})
+}

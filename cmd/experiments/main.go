@@ -1,0 +1,70 @@
+// Command experiments regenerates every figure, table and worked
+// example of the tutorial (the E1-E16 index in DESIGN.md) and prints
+// them in paper shape.
+//
+// Usage:
+//
+//	experiments [-scale 1.0] [-only E4,E6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"streamdb/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full size)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default all)")
+	flag.Parse()
+
+	s := experiments.Scale(*scale)
+	tmp := func() string {
+		d, err := os.MkdirTemp("", "streamdb-exp")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return d
+	}
+
+	runs := []struct {
+		id string
+		fn func() *experiments.Table
+	}{
+		{"E1", func() *experiments.Table { return experiments.E1WindowJoinRegimes(s) }},
+		{"E2", func() *experiments.Table { return experiments.E2BoundedMemoryAgg(s) }},
+		{"E3", func() *experiments.Table { return experiments.E3RateBasedPlans(s) }},
+		{"E4", func() *experiments.Table { return experiments.E4SchedulingBacklog(s) }},
+		{"E5", func() *experiments.Table { return experiments.E5LoadShedding(s) }},
+		{"E5b", experiments.E5Controller},
+		{"E6", func() *experiments.Table { return experiments.E6P2PDetection(s) }},
+		{"E7", func() *experiments.Table { return experiments.E7RTTMonitoring(s) }},
+		{"E8", func() *experiments.Table { return experiments.E8PartialAggregation(s) }},
+		{"E9", func() *experiments.Table { return experiments.E9SynopsisAccuracy(s) }},
+		{"E10", func() *experiments.Table { return experiments.E10SystemProfiles(s) }},
+		{"E11", func() *experiments.Table { return experiments.E11XJoinSpill(s, tmp()) }},
+		{"E12", func() *experiments.Table { return experiments.E12WindowVariants(s) }},
+		{"E13", func() *experiments.Table { return experiments.E13BlockIO(s, tmp(), tmp()) }},
+		{"E13b", func() *experiments.Table { return experiments.E13FraudDetection(s, tmp()) }},
+		{"E14", func() *experiments.Table { return experiments.E14MultiQuerySharing(s) }},
+		{"E15", func() *experiments.Table { return experiments.E15DistributedFilters(s) }},
+		{"E16", func() *experiments.Table { return experiments.E16EddyAdaptivity(s) }},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	for _, r := range runs {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		fmt.Println(r.fn())
+	}
+}

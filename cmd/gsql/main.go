@@ -1,0 +1,87 @@
+// Command gsql runs stream queries against built-in synthetic streams,
+// the way Gigascope's GSQL processor runs over live taps (slides
+// 12-13). Registered streams:
+//
+//	Traffic(time, srcIP, destIP, protocol, length)   — backbone packets
+//	TCP(time, srcIP, destIP, protocol, ttl, len,
+//	    srcPort, destPort, syn, ack, payload)        — full TCP packets
+//	Measurements(time, sensor, value)                — sensor readings
+//	Calls(connectTime, origin, dialed, duration,
+//	      isIncomplete, isIntl, isTollFree)          — call detail records
+//
+// Usage:
+//
+//	gsql [-n 100000] [-seed 1] [-explain] "select ... from Traffic ..."
+//
+// With no query argument, gsql reads one query per line from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"streamdb"
+	"streamdb/internal/hancock"
+	"streamdb/internal/netmon"
+	"streamdb/internal/stream"
+)
+
+func main() {
+	n := flag.Int("n", 100000, "tuples to draw from the queried stream")
+	seed := flag.Int64("seed", 1, "generator seed")
+	explain := flag.Bool("explain", false, "print the plan and analysis before results")
+	flag.Parse()
+
+	eng := streamdb.New()
+	eng.RegisterSchema("Traffic", stream.TrafficSchema("Traffic"))
+	eng.RegisterSchema("TCP", netmon.TCPSchema("TCP"))
+	eng.RegisterSchema("Measurements", stream.MeasurementSchema("Measurements"))
+	eng.RegisterSchema("Calls", hancock.Schema("Calls"))
+
+	bind := func() {
+		eng.SetSource("Traffic", stream.Limit(stream.NewTrafficStream(*seed, 100000, 5000), *n))
+		eng.SetSource("TCP", stream.Limit(netmon.NewPacketTrace(netmon.TraceConfig{
+			Seed: *seed, Rate: 100000, AddrPool: 2000,
+			P2PFraction: 0.3, P2PKnownPortFraction: 1.0 / 3.0,
+		}), *n))
+		eng.SetSource("Measurements", stream.Limit(stream.NewMeasurementStream(*seed, 32, 10000), *n))
+		eng.SetSource("Calls", hancock.Source(hancock.GenerateDay(hancock.GenConfig{
+			Seed: *seed, Lines: *n / 10, CallsPerLinePerDay: 3,
+		}, 0)))
+	}
+
+	run := func(sql string) {
+		sql = strings.TrimSpace(sql)
+		if sql == "" {
+			return
+		}
+		bind()
+		if *explain {
+			plan, err := eng.Compile(sql)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gsql:", err)
+				return
+			}
+			fmt.Print(plan.Explain())
+		}
+		res, err := eng.Query(sql)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gsql:", err)
+			return
+		}
+		fmt.Print(res.Format())
+	}
+
+	if flag.NArg() > 0 {
+		run(strings.Join(flag.Args(), " "))
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		run(sc.Text())
+	}
+}

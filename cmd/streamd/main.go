@@ -1,0 +1,180 @@
+// Command streamd runs one node of the distributed 3-level
+// architecture (slides 14, 54-55). A high-level node listens for
+// partial-aggregate streams from low-level nodes and prints merged
+// per-minute results; a low-level node generates (or would tap) raw
+// traffic, runs the decomposed filter + bounded partial aggregation,
+// and ships the reduced stream upward.
+//
+// Demo (one process per node):
+//
+//	streamd -mode high -listen :7070 -nodes 2
+//	streamd -mode low  -connect localhost:7070 -n 200000 -seed 1
+//	streamd -mode low  -connect localhost:7070 -n 200000 -seed 2
+//
+// Or everything in-process:
+//
+//	streamd -mode demo -nodes 3 -n 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+
+	"streamdb/internal/dsms"
+	"streamdb/internal/query"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "streamd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// decomposeSQL is the standing query both levels agree on, decomposed
+// automatically per slide 54: the filter plus a bounded partial
+// aggregation run at each observation point; merging runs here.
+const decomposeSQL = `select srcIP, count(*) as pkts, sum(length) as bytes
+	from Traffic [range 60] where length > 512 group by srcIP`
+
+func decomposition() *dsms.Decomposition {
+	cat := query.NewCatalog()
+	cat.Register("Traffic", stream.TrafficSchema("Traffic"))
+	d, err := query.Decompose(decomposeSQL, cat, 4096)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return d
+}
+
+func runLow(d *dsms.Decomposition, conn net.Conn, n int, seed int64) (raw, partials int64) {
+	w := dsms.NewWriter(conn)
+	ll, err := d.NewLowLevel("lfta")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	emit := func(e stream.Element) {
+		if err := w.Send(e.Tuple); err != nil {
+			fatalf("send: %v", err)
+		}
+	}
+	src := stream.Limit(stream.NewTrafficStream(seed, 100000, 5000), n)
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		ll.Push(e, emit)
+	}
+	ll.Flush(emit)
+	if err := w.Close(); err != nil {
+		fatalf("close: %v", err)
+	}
+	return ll.RawIn, ll.PartialsOut
+}
+
+func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int) {
+	high, err := d.NewHighLevel("hfta")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var mu sync.Mutex
+	var finals int64
+	emit := func(e stream.Element) {
+		finals++
+		t := e.Tuple
+		bucket, _ := t.Vals[0].AsTime()
+		ip, _ := t.Vals[1].AsUint()
+		pkts, _ := t.Vals[2].AsInt()
+		bytes, _ := t.Vals[3].AsFloat()
+		fmt.Printf("minute %4d  src %-15s  pkts %6d  bytes %12.0f\n",
+			bucket/(60*stream.Second), tuple.FormatIPv4(uint32(ip)), pkts, bytes)
+	}
+	var wg sync.WaitGroup
+	var received int64
+	for i := 0; i < nodes; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			fatalf("accept: %v", err)
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			r := dsms.NewReader(conn, d.PartialSchema())
+			for {
+				e, ok := r.Next()
+				if !ok {
+					if r.Err != nil {
+						fmt.Fprintln(os.Stderr, "streamd: reader:", r.Err)
+					}
+					return
+				}
+				mu.Lock()
+				received++
+				high.Push(0, e, emit)
+				mu.Unlock()
+			}
+		}(conn)
+	}
+	wg.Wait()
+	high.Push(0, stream.Punct(&stream.Punctuation{Ts: 1 << 62}), emit)
+	high.Flush(emit)
+	fmt.Printf("high-level: %d partial records merged into %d final rows\n", received, finals)
+}
+
+func main() {
+	mode := flag.String("mode", "demo", "high | low | demo")
+	listen := flag.String("listen", ":7070", "high: listen address")
+	connect := flag.String("connect", "localhost:7070", "low: high-level node address")
+	nodes := flag.Int("nodes", 2, "high/demo: number of low-level nodes")
+	n := flag.Int("n", 100000, "low/demo: packets per low-level node")
+	seed := flag.Int64("seed", 1, "low: generator seed")
+	flag.Parse()
+
+	d := decomposition()
+	switch *mode {
+	case "high":
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer ln.Close()
+		fmt.Printf("high-level node on %s, awaiting %d low-level nodes\n", ln.Addr(), *nodes)
+		runHigh(d, ln, *nodes)
+	case "low":
+		conn, err := net.Dial("tcp", *connect)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		raw, partials := runLow(d, conn, *n, *seed)
+		fmt.Printf("low-level node: %d raw -> %d partials (%.1fx reduction)\n",
+			raw, partials, float64(raw)/float64(partials))
+	case "demo":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer ln.Close()
+		var wg sync.WaitGroup
+		for i := 0; i < *nodes; i++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					fatalf("%v", err)
+				}
+				raw, partials := runLow(d, conn, *n, seed)
+				fmt.Printf("low-level node %d: %d raw -> %d partials (%.1fx reduction)\n",
+					seed, raw, partials, float64(raw)/float64(partials))
+			}(int64(i + 1))
+		}
+		runHigh(d, ln, *nodes)
+		wg.Wait()
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+}

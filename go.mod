@@ -1,0 +1,3 @@
+module streamdb
+
+go 1.22

@@ -1,0 +1,179 @@
+// Package adaptive implements eddies-style adaptive query processing
+// [AH00] (slide 22): a routing operator that continuously re-orders a
+// set of commutative filters by their observed selectivity and cost,
+// so the plan adapts when the data distribution drifts mid-stream —
+// "volatile, unpredictable environments".
+package adaptive
+
+import (
+	"fmt"
+	"sort"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// Filter is one commutative predicate with bookkeeping.
+type Filter struct {
+	Name string
+	Pred expr.Expr
+	// Cost is the relative per-evaluation cost (1 = cheap predicate).
+	Cost float64
+
+	// Observed statistics with exponential decay.
+	seen   float64
+	passed float64
+}
+
+// observedSel returns the decayed pass fraction (1 when unobserved).
+func (f *Filter) observedSel() float64 {
+	if f.seen <= 0 {
+		return 1
+	}
+	return f.passed / f.seen
+}
+
+// Eddy routes each tuple through the filters in the order of their
+// current rank = cost / (1 - selectivity): the classic "drop early,
+// drop cheap" criterion. Statistics decay so the ordering tracks
+// distribution drift; re-ranking happens every Rerank tuples.
+type Eddy struct {
+	filters []*Filter
+	order   []int
+	// Decay in (0,1] scales old statistics down at each re-rank; lower
+	// values adapt faster.
+	Decay float64
+	// Rerank is the re-ordering period in tuples.
+	Rerank int
+	since  int
+	evals  int64
+	in     int64
+	out    int64
+}
+
+// NewEddy builds an eddy over the commutative filter set.
+func NewEddy(filters []*Filter, decay float64, rerank int) (*Eddy, error) {
+	if len(filters) == 0 {
+		return nil, fmt.Errorf("adaptive: no filters")
+	}
+	if decay <= 0 || decay > 1 {
+		return nil, fmt.Errorf("adaptive: decay must be in (0,1]")
+	}
+	if rerank <= 0 {
+		return nil, fmt.Errorf("adaptive: rerank period must be positive")
+	}
+	for _, f := range filters {
+		if f.Pred.Kind() != tuple.KindBool {
+			return nil, fmt.Errorf("adaptive: filter %s is not boolean", f.Name)
+		}
+		if f.Cost <= 0 {
+			f.Cost = 1
+		}
+	}
+	order := make([]int, len(filters))
+	for i := range order {
+		order[i] = i
+	}
+	return &Eddy{filters: filters, order: order, Decay: decay, Rerank: rerank}, nil
+}
+
+// rank is the expected cost to disposition a tuple: run cheap and
+// selective filters first.
+func rank(f *Filter) float64 {
+	if f.seen <= 0 {
+		// Never observed — a filter stuck behind one that drops
+		// everything. Route it first so it gets explored.
+		return -1
+	}
+	drop := 1 - f.observedSel()
+	if drop <= 0 {
+		return f.Cost * 1e9 // never drops: run last
+	}
+	return f.Cost / drop
+}
+
+func (e *Eddy) rerank() {
+	sort.SliceStable(e.order, func(a, b int) bool {
+		return rank(e.filters[e.order[a]]) < rank(e.filters[e.order[b]])
+	})
+	for _, f := range e.filters {
+		f.seen *= e.Decay
+		f.passed *= e.Decay
+	}
+}
+
+// Process routes one tuple; returns whether it survived all filters.
+func (e *Eddy) Process(t *tuple.Tuple) bool {
+	e.in++
+	e.since++
+	if e.since >= e.Rerank {
+		e.rerank()
+		e.since = 0
+	}
+	for _, i := range e.order {
+		f := e.filters[i]
+		e.evals++
+		f.seen++
+		if !expr.EvalBool(f.Pred, t) {
+			return false
+		}
+		f.passed++
+	}
+	e.out++
+	return true
+}
+
+// ProcessElement adapts Process to stream elements (punctuations pass).
+func (e *Eddy) ProcessElement(el stream.Element) (stream.Element, bool) {
+	if el.IsPunct() {
+		return el, true
+	}
+	return el, e.Process(el.Tuple)
+}
+
+// Order reports the current filter ordering by name.
+func (e *Eddy) Order() []string {
+	out := make([]string, len(e.order))
+	for k, i := range e.order {
+		out[k] = e.filters[i].Name
+	}
+	return out
+}
+
+// Stats reports (tuples in, tuples surviving, predicate evaluations).
+// A fixed worst-order plan performs len(filters) evaluations per tuple
+// minus early exits; the eddy's advantage shows in evals.
+func (e *Eddy) Stats() (in, out, evals int64) { return e.in, e.out, e.evals }
+
+// FixedPlan is the non-adaptive baseline: filters always run in the
+// given order.
+type FixedPlan struct {
+	filters []*Filter
+	evals   int64
+	in, out int64
+}
+
+// NewFixedPlan builds the baseline with the declared order.
+func NewFixedPlan(filters []*Filter) (*FixedPlan, error) {
+	if len(filters) == 0 {
+		return nil, fmt.Errorf("adaptive: no filters")
+	}
+	return &FixedPlan{filters: filters}, nil
+}
+
+// Process runs the fixed order; returns survival.
+func (p *FixedPlan) Process(t *tuple.Tuple) bool {
+	p.in++
+	for _, f := range p.filters {
+		p.evals++
+		if !expr.EvalBool(f.Pred, t) {
+			return false
+		}
+	}
+	p.out++
+	return true
+}
+
+// Stats reports (in, out, evals).
+func (p *FixedPlan) Stats() (in, out, evals int64) { return p.in, p.out, p.evals }

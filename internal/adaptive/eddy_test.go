@@ -1,0 +1,163 @@
+package adaptive
+
+import (
+	"testing"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+var sch = tuple.NewSchema("S",
+	tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+	tuple.Field{Name: "a", Kind: tuple.KindInt},
+	tuple.Field{Name: "b", Kind: tuple.KindInt},
+)
+
+func row(ts, a, b int64) *tuple.Tuple {
+	return tuple.New(ts, tuple.Time(ts), tuple.Int(a), tuple.Int(b))
+}
+
+func filt(t *testing.T, name, col string, threshold int64, cost float64) *Filter {
+	t.Helper()
+	pred, err := expr.NewBin(expr.OpLt, expr.MustColumn(sch, col), expr.Constant(tuple.Int(threshold)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Filter{Name: name, Pred: pred, Cost: cost}
+}
+
+func TestEddyFiltersCorrectly(t *testing.T) {
+	// a < 50 AND b < 50: result must be order-independent.
+	e, err := NewEddy([]*Filter{filt(t, "fa", "a", 50, 1), filt(t, "fb", "b", 50, 1)}, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := 0
+	for i := int64(0); i < 100; i++ {
+		if e.Process(row(i, i, 99-i)) {
+			pass++
+		}
+	}
+	// Both pass iff i < 50 && 99-i < 50 -> i in (49, 50): i = 50..49?
+	// 99-i < 50 -> i > 49; i < 50: empty set.
+	if pass != 0 {
+		t.Errorf("pass = %d, want 0", pass)
+	}
+	in, out, evals := e.Stats()
+	if in != 100 || out != 0 || evals == 0 {
+		t.Errorf("stats = %d, %d, %d", in, out, evals)
+	}
+}
+
+func TestEddyAdaptsToSelectivity(t *testing.T) {
+	// Filter fa drops everything, fb drops nothing. After warmup the
+	// eddy must run fa first.
+	fa := filt(t, "fa", "a", 0, 1)    // a < 0: never true
+	fb := filt(t, "fb", "b", 1000, 1) // always true
+	e, err := NewEddy([]*Filter{fb, fa}, 0.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		e.Process(row(i, 5, 5))
+	}
+	if got := e.Order(); got[0] != "fa" {
+		t.Errorf("order after adaptation = %v, want fa first", got)
+	}
+	// Evaluations must be near 1 per tuple once adapted, far below 2.
+	_, _, evals := e.Stats()
+	if evals > 300 {
+		t.Errorf("evals = %d, want close to 220", evals)
+	}
+}
+
+func TestEddyReAdaptsAfterDrift(t *testing.T) {
+	// Selectivities swap mid-stream (experiment E16's scenario).
+	fa := filt(t, "fa", "a", 50, 1)
+	fb := filt(t, "fb", "b", 50, 1)
+	e, err := NewEddy([]*Filter{fa, fb}, 0.5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: a always >= 50 (fa drops all), b < 50 (fb passes all).
+	for i := int64(0); i < 500; i++ {
+		e.Process(row(i, 99, 1))
+	}
+	if got := e.Order(); got[0] != "fa" {
+		t.Fatalf("phase 1 order = %v", got)
+	}
+	// Phase 2: swap — fa passes all, fb drops all.
+	for i := int64(0); i < 500; i++ {
+		e.Process(row(i, 1, 99))
+	}
+	if got := e.Order(); got[0] != "fb" {
+		t.Errorf("phase 2 order = %v, eddy did not re-adapt", got)
+	}
+}
+
+func TestEddyChoosesCheapAmongEqualSelectivity(t *testing.T) {
+	cheap := filt(t, "cheap", "a", 0, 1)
+	costly := filt(t, "costly", "b", 0, 10)
+	e, _ := NewEddy([]*Filter{costly, cheap}, 1, 10)
+	for i := int64(0); i < 100; i++ {
+		e.Process(row(i, 5, 5))
+	}
+	if got := e.Order(); got[0] != "cheap" {
+		t.Errorf("order = %v, want cheap first", got)
+	}
+}
+
+func TestEddyBeatsBadFixedPlan(t *testing.T) {
+	mk := func(t *testing.T) []*Filter {
+		return []*Filter{filt(t, "pass", "a", 1000, 1), filt(t, "drop", "b", 0, 1)}
+	}
+	eddy, _ := NewEddy(mk(t), 0.5, 20)
+	fixed, _ := NewFixedPlan(mk(t)) // bad order: non-selective first
+	for i := int64(0); i < 1000; i++ {
+		eddy.Process(row(i, 1, 1))
+		fixed.Process(row(i, 1, 1))
+	}
+	_, _, ee := eddy.Stats()
+	_, _, fe := fixed.Stats()
+	if ee >= fe {
+		t.Errorf("eddy evals %d >= fixed evals %d", ee, fe)
+	}
+	// Same answers.
+	eIn, eOut, _ := eddy.Stats()
+	fIn, fOut, _ := fixed.Stats()
+	if eIn != fIn || eOut != fOut {
+		t.Errorf("answer mismatch: eddy %d/%d, fixed %d/%d", eOut, eIn, fOut, fIn)
+	}
+}
+
+func TestEddyValidation(t *testing.T) {
+	if _, err := NewEddy(nil, 0.5, 10); err == nil {
+		t.Error("empty filters accepted")
+	}
+	f := filt(t, "f", "a", 1, 1)
+	if _, err := NewEddy([]*Filter{f}, 0, 10); err == nil {
+		t.Error("zero decay accepted")
+	}
+	if _, err := NewEddy([]*Filter{f}, 0.5, 0); err == nil {
+		t.Error("zero rerank accepted")
+	}
+	bad := &Filter{Name: "bad", Pred: expr.MustColumn(sch, "a")}
+	if _, err := NewEddy([]*Filter{bad}, 0.5, 10); err == nil {
+		t.Error("non-boolean filter accepted")
+	}
+	if _, err := NewFixedPlan(nil); err == nil {
+		t.Error("empty fixed plan accepted")
+	}
+}
+
+func TestProcessElementPunctuation(t *testing.T) {
+	e, _ := NewEddy([]*Filter{filt(t, "f", "a", 0, 1)}, 0.5, 10)
+	p := stream.Punct(stream.ProgressPunct(1, 0, tuple.Time(1)))
+	if _, ok := e.ProcessElement(p); !ok {
+		t.Error("punctuation dropped")
+	}
+	if _, ok := e.ProcessElement(stream.Tup(row(1, 5, 5))); ok {
+		t.Error("tuple passed a never-true filter")
+	}
+}

@@ -1,0 +1,420 @@
+package agg
+
+import (
+	"fmt"
+	"sort"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/ops"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+	"streamdb/internal/window"
+)
+
+// Spec describes one aggregate column: fn(arg) AS name.
+type Spec struct {
+	Fn   *Func
+	Arg  expr.Expr // nil for count(*)
+	Name string
+}
+
+// GroupBy is the windowed grouped aggregation operator implementing the
+// general form of slide 34:
+//
+//	select G, F1 from S where P group by G having F2 op theta
+//
+// Results for a window instance are emitted when the operator's notion
+// of time passes the window's end — time advances with tuple timestamps
+// and with progress punctuations (slide 28's "similar utility in query
+// processing"). For unbounded (no-window) queries results appear only at
+// Flush, the blocking behaviour that motivates windows in the first
+// place.
+type GroupBy struct {
+	name      string
+	groupBy   []expr.Expr
+	groupName []string
+	aggs      []Spec
+	having    expr.Expr // evaluated over the output schema; may be nil
+	spec      window.Spec
+	assigner  *window.Assigner
+	out       *tuple.Schema
+	// windows maps window start -> group table.
+	windows   map[int64]*groupTable
+	unbounded *groupTable
+	watermark int64
+	emitted   int64
+	maxGroups int // high-water mark of concurrent group states
+}
+
+type groupTable struct {
+	end int64
+	// groups chains on the key hash; chains resolve hash collisions by
+	// comparing key values.
+	groups map[uint64][]*group
+	n      int
+}
+
+type group struct {
+	keys   []tuple.Value
+	states []State
+}
+
+// NewGroupBy builds a grouped aggregate. groupBy expressions become the
+// leading output fields with the given names; each agg spec appends one
+// field. A zero window.Spec (KindNone) aggregates the whole stream.
+func NewGroupBy(name string, in *tuple.Schema, groupBy []expr.Expr, groupNames []string, aggs []Spec, spec window.Spec, having func(out *tuple.Schema) (expr.Expr, error)) (*GroupBy, error) {
+	if len(groupBy) != len(groupNames) {
+		return nil, fmt.Errorf("agg: %d group exprs, %d names", len(groupBy), len(groupNames))
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	fields := make([]tuple.Field, 0, len(groupBy)+len(aggs)+1)
+	fields = append(fields, tuple.Field{Name: "wend", Kind: tuple.KindTime, Ordering: true})
+	for i, g := range groupBy {
+		fields = append(fields, tuple.Field{Name: groupNames[i], Kind: g.Kind()})
+	}
+	for _, a := range aggs {
+		if a.Fn.NeedsArg && a.Arg == nil {
+			return nil, fmt.Errorf("agg: %s requires an argument", a.Fn.Name)
+		}
+		argKind := tuple.KindInt
+		if a.Arg != nil {
+			argKind = a.Arg.Kind()
+		}
+		fields = append(fields, tuple.Field{Name: a.Name, Kind: a.Fn.Result(argKind)})
+	}
+	out := tuple.NewSchema(name, fields...)
+	g := &GroupBy{
+		name: name, groupBy: groupBy, groupName: groupNames, aggs: aggs,
+		spec: spec, out: out, windows: make(map[int64]*groupTable),
+	}
+	if spec.Kind == window.KindTime {
+		g.assigner = window.NewAssigner(spec)
+	} else {
+		g.unbounded = &groupTable{groups: make(map[uint64][]*group)}
+	}
+	if having != nil {
+		h, err := having(out)
+		if err != nil {
+			return nil, err
+		}
+		if h != nil && h.Kind() != tuple.KindBool {
+			return nil, fmt.Errorf("agg: HAVING must be boolean")
+		}
+		g.having = h
+	}
+	return g, nil
+}
+
+// Name implements ops.Operator.
+func (g *GroupBy) Name() string { return g.name }
+
+// OutSchema implements ops.Operator.
+func (g *GroupBy) OutSchema() *tuple.Schema { return g.out }
+
+// NumInputs implements ops.Operator.
+func (g *GroupBy) NumInputs() int { return 1 }
+
+// Push implements ops.Operator.
+func (g *GroupBy) Push(_ int, e stream.Element, emit ops.Emit) {
+	if e.IsPunct() {
+		g.advance(e.Punct.Ts, emit)
+		g.closeGroups(e.Punct, emit)
+		return
+	}
+	t := e.Tuple
+	if t.Ts > g.watermark {
+		g.advance(t.Ts, emit)
+	}
+	if g.assigner == nil {
+		g.fold(g.unbounded, t)
+		return
+	}
+	for _, id := range g.assigner.Assign(t.Ts) {
+		tbl, ok := g.windows[id.Start]
+		if !ok {
+			tbl = &groupTable{end: id.End, groups: make(map[uint64][]*group)}
+			g.windows[id.Start] = tbl
+		}
+		g.fold(tbl, t)
+	}
+	if n := g.liveGroups(); n > g.maxGroups {
+		g.maxGroups = n
+	}
+}
+
+func (g *GroupBy) fold(tbl *groupTable, t *tuple.Tuple) {
+	keys := make([]tuple.Value, len(g.groupBy))
+	h := uint64(1469598103934665603)
+	for i, ge := range g.groupBy {
+		keys[i] = ge.Eval(t)
+		vh := keys[i].Hash()
+		h ^= vh
+		h *= 1099511628211
+	}
+	var grp *group
+	for _, cand := range tbl.groups[h] {
+		if keysEqual(cand.keys, keys) {
+			grp = cand
+			break
+		}
+	}
+	if grp == nil {
+		states := make([]State, len(g.aggs))
+		for i, a := range g.aggs {
+			states[i] = a.Fn.New()
+		}
+		grp = &group{keys: keys, states: states}
+		tbl.groups[h] = append(tbl.groups[h], grp)
+		tbl.n++
+	}
+	for i, a := range g.aggs {
+		if a.Arg == nil {
+			grp.states[i].Add(tuple.Int(1))
+		} else {
+			grp.states[i].Add(a.Arg.Eval(t))
+		}
+	}
+}
+
+// advance moves the watermark and emits every window whose end has
+// passed.
+func (g *GroupBy) advance(now int64, emit ops.Emit) {
+	if now <= g.watermark {
+		return
+	}
+	g.watermark = now
+	if g.assigner == nil {
+		return
+	}
+	if g.spec.Landmark {
+		// Agglomerative windows emit a snapshot at every slide boundary
+		// but keep accumulating (slide 27).
+		tbl, ok := g.windows[0]
+		if !ok {
+			return
+		}
+		for tbl.end <= now {
+			g.emitTable(tbl, emit)
+			tbl.end += g.spec.Slide
+		}
+		return
+	}
+	var due []int64
+	for start, tbl := range g.windows {
+		if tbl.end <= now {
+			due = append(due, start)
+		}
+	}
+	// Deterministic output order across runs.
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, start := range due {
+		g.emitTable(g.windows[start], emit)
+		delete(g.windows, start)
+	}
+}
+
+func (g *GroupBy) emitTable(tbl *groupTable, emit ops.Emit) {
+	// Deterministic group order: sort by key values.
+	grps := make([]*group, 0, tbl.n)
+	for _, chain := range tbl.groups {
+		grps = append(grps, chain...)
+	}
+	sort.Slice(grps, func(i, j int) bool {
+		a, b := grps[i], grps[j]
+		for k := range a.keys {
+			if c := a.keys[k].Compare(b.keys[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	for _, grp := range grps {
+		vals := make([]tuple.Value, 0, 1+len(grp.keys)+len(grp.states))
+		vals = append(vals, tuple.Time(tbl.end))
+		vals = append(vals, grp.keys...)
+		for _, st := range grp.states {
+			vals = append(vals, st.Result())
+		}
+		out := tuple.New(tbl.end, vals...)
+		if g.having != nil && !expr.EvalBool(g.having, out) {
+			continue
+		}
+		g.emitted++
+		emit(stream.Tup(out))
+	}
+}
+
+// closeGroups applies data-dependent punctuations [TMSF03] (slide 28's
+// auction-close idiom): when a punctuation's constant patterns are all
+// on plain grouping columns, every group matching them is complete —
+// emit it immediately and release its state, without waiting for a
+// window boundary. Only exact-column group expressions participate;
+// computed groupings are conservatively left open.
+func (g *GroupBy) closeGroups(p *stream.Punctuation, emit ops.Emit) {
+	if len(p.Fields) == 0 || len(g.groupBy) == 0 {
+		return
+	}
+	// Map each punctuation pattern to a group-by position; bail out if
+	// any pattern is on a column the grouping does not preserve.
+	type bound struct {
+		groupIdx int
+		pat      stream.Pattern
+	}
+	var bounds []bound
+	for col, pat := range p.Fields {
+		matched := false
+		for gi, ge := range g.groupBy {
+			if c, ok := ge.(*expr.Col); ok && c.Index == col {
+				bounds = append(bounds, bound{groupIdx: gi, pat: pat})
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return
+		}
+	}
+	closeIn := func(tbl *groupTable, end int64) {
+		var done []*group
+		for h, chain := range tbl.groups {
+			keep := chain[:0]
+			for _, grp := range chain {
+				match := true
+				for _, b := range bounds {
+					if !b.pat.Matches(grp.keys[b.groupIdx]) {
+						match = false
+						break
+					}
+				}
+				if match {
+					done = append(done, grp)
+					tbl.n--
+				} else {
+					keep = append(keep, grp)
+				}
+			}
+			if len(keep) == 0 {
+				delete(tbl.groups, h)
+			} else {
+				tbl.groups[h] = keep
+			}
+		}
+		sort.Slice(done, func(i, j int) bool {
+			for k := range done[i].keys {
+				if c := done[i].keys[k].Compare(done[j].keys[k]); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		for _, grp := range done {
+			vals := make([]tuple.Value, 0, 1+len(grp.keys)+len(grp.states))
+			vals = append(vals, tuple.Time(end))
+			vals = append(vals, grp.keys...)
+			for _, st := range grp.states {
+				vals = append(vals, st.Result())
+			}
+			out := tuple.New(end, vals...)
+			if g.having != nil && !expr.EvalBool(g.having, out) {
+				continue
+			}
+			g.emitted++
+			emit(stream.Tup(out))
+		}
+	}
+	if g.unbounded != nil {
+		closeIn(g.unbounded, p.Ts)
+	}
+	for _, tbl := range g.windows {
+		closeIn(tbl, p.Ts)
+	}
+}
+
+// Flush implements ops.Operator: emits all open windows (or the
+// unbounded table).
+func (g *GroupBy) Flush(emit ops.Emit) {
+	if g.assigner == nil {
+		if g.unbounded != nil && g.unbounded.n > 0 {
+			g.unbounded.end = g.watermark
+			g.emitTable(g.unbounded, emit)
+			g.unbounded = &groupTable{groups: make(map[uint64][]*group)}
+		}
+		return
+	}
+	var due []int64
+	for start := range g.windows {
+		due = append(due, start)
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, start := range due {
+		g.emitTable(g.windows[start], emit)
+		delete(g.windows, start)
+	}
+}
+
+// MemSize implements ops.Operator.
+func (g *GroupBy) MemSize() int {
+	n := 128
+	count := func(tbl *groupTable) {
+		for _, chain := range tbl.groups {
+			grp := chain[0]
+			n += 32 * len(chain)
+			for _, k := range grp.keys {
+				n += k.MemSize()
+			}
+			for _, st := range grp.states {
+				n += st.MemSize()
+			}
+		}
+	}
+	for _, tbl := range g.windows {
+		count(tbl)
+	}
+	if g.unbounded != nil {
+		count(g.unbounded)
+	}
+	return n
+}
+
+// liveGroups counts group states across all open windows: the
+// bounded-memory quantity [ABB+02] analyzes (slides 35-36).
+func (g *GroupBy) liveGroups() int {
+	n := 0
+	for _, tbl := range g.windows {
+		n += tbl.n
+	}
+	if g.unbounded != nil {
+		n += g.unbounded.n
+	}
+	return n
+}
+
+// MaxGroups reports the high-water mark of concurrent group states.
+func (g *GroupBy) MaxGroups() int { return g.maxGroups }
+
+// Emitted reports the number of result rows produced.
+func (g *GroupBy) Emitted() int64 { return g.emitted }
+
+// Selectivity implements ops.Costs: aggregation is data-reducing; the
+// precise ratio is workload-dependent, so report observed behaviour.
+func (g *GroupBy) Selectivity() float64 { return 0.1 }
+
+// UnitCost implements ops.Costs.
+func (g *GroupBy) UnitCost() float64 {
+	return float64(len(g.groupBy) + len(g.aggs))
+}
+
+func keysEqual(a, b []tuple.Value) bool {
+	for i := range a {
+		av, bv := a[i], b[i]
+		if av.IsNull() && bv.IsNull() {
+			continue
+		}
+		if !av.Equal(bv) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package agg
+
+import (
+	"testing"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+	"streamdb/internal/window"
+)
+
+// The auction schema of slide 28: bids arrive per auction; an
+// application punctuation marks an auction closed.
+var auctionSch = tuple.NewSchema("Bids",
+	tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+	tuple.Field{Name: "auction", Kind: tuple.KindInt},
+	tuple.Field{Name: "bid", Kind: tuple.KindFloat},
+)
+
+func bid(ts, auction int64, v float64) stream.Element {
+	return stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(auction), tuple.Float(v)))
+}
+
+func auctionGroupBy(t *testing.T) *GroupBy {
+	t.Helper()
+	cnt := mustFn(t, "count", false)
+	maxF := mustFn(t, "max", false)
+	g, err := NewGroupBy("auctions", auctionSch,
+		[]expr.Expr{expr.MustColumn(auctionSch, "auction")}, []string{"auction"},
+		[]Spec{
+			{Fn: cnt, Name: "bids"},
+			{Fn: maxF, Arg: expr.MustColumn(auctionSch, "bid"), Name: "winning"},
+		}, window.Spec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPunctuationClosesGroup(t *testing.T) {
+	g := auctionGroupBy(t)
+	var out []*tuple.Tuple
+	emit := func(e stream.Element) { out = append(out, e.Tuple) }
+	g.Push(0, bid(1, 7, 10), emit)
+	g.Push(0, bid(2, 8, 5), emit)
+	g.Push(0, bid(3, 7, 30), emit)
+	if len(out) != 0 {
+		t.Fatal("emitted before auction close")
+	}
+	// Auction 7 closes: "no more tuples with auction = 7".
+	g.Push(0, stream.Punct(stream.EndGroupPunct(4, 1, tuple.Int(7))), emit)
+	if len(out) != 1 {
+		t.Fatalf("close emitted %d rows", len(out))
+	}
+	if a, _ := out[0].Vals[1].AsInt(); a != 7 {
+		t.Errorf("closed auction = %d", a)
+	}
+	if c, _ := out[0].Vals[2].AsInt(); c != 2 {
+		t.Errorf("bids = %d", c)
+	}
+	if w, _ := out[0].Vals[3].AsFloat(); w != 30 {
+		t.Errorf("winning = %v", w)
+	}
+	// Auction 8 still open; flush emits it.
+	g.Flush(emit)
+	if len(out) != 2 {
+		t.Fatalf("flush emitted %d total", len(out))
+	}
+	if a, _ := out[1].Vals[1].AsInt(); a != 8 {
+		t.Errorf("remaining auction = %d", a)
+	}
+}
+
+func TestPunctuationCloseReleasesState(t *testing.T) {
+	g := auctionGroupBy(t)
+	emit := func(stream.Element) {}
+	for i := int64(0); i < 100; i++ {
+		g.Push(0, bid(i, i, 1), emit)
+	}
+	before := g.MemSize()
+	// Close every auction below 50 with a range pattern.
+	p := &stream.Punctuation{Ts: 200, Fields: map[int]stream.Pattern{
+		1: {Kind: stream.PatLE, Val: tuple.Int(49)},
+	}}
+	var closed int
+	g.Push(0, stream.Punct(p), func(stream.Element) { closed++ })
+	if closed != 50 {
+		t.Errorf("closed %d groups, want 50", closed)
+	}
+	if after := g.MemSize(); after >= before {
+		t.Errorf("state not released: %d -> %d", before, after)
+	}
+}
+
+func TestPunctuationOnNonGroupColumnIsConservative(t *testing.T) {
+	g := auctionGroupBy(t)
+	var out []*tuple.Tuple
+	emit := func(e stream.Element) { out = append(out, e.Tuple) }
+	g.Push(0, bid(1, 7, 10), emit)
+	// Punctuation on the bid column (index 2): grouping does not
+	// preserve it, so no group may close.
+	g.Push(0, stream.Punct(stream.EndGroupPunct(2, 2, tuple.Float(10))), emit)
+	if len(out) != 0 {
+		t.Errorf("group closed on a non-grouping punctuation: %v", out)
+	}
+}
+
+func TestPunctuationCloseRespectsHaving(t *testing.T) {
+	cnt := mustFn(t, "count", false)
+	having := func(out *tuple.Schema) (expr.Expr, error) {
+		return expr.NewBin(expr.OpGt, expr.MustColumn(out, "bids"), expr.Constant(tuple.Int(1)))
+	}
+	g, err := NewGroupBy("a", auctionSch,
+		[]expr.Expr{expr.MustColumn(auctionSch, "auction")}, []string{"auction"},
+		[]Spec{{Fn: cnt, Name: "bids"}}, window.Spec{}, having)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*tuple.Tuple
+	emit := func(e stream.Element) { out = append(out, e.Tuple) }
+	g.Push(0, bid(1, 7, 1), emit)
+	g.Push(0, stream.Punct(stream.EndGroupPunct(2, 1, tuple.Int(7))), emit)
+	if len(out) != 0 {
+		t.Errorf("HAVING ignored on punctuation close: %v", out)
+	}
+	// The group is gone either way: a later flush emits nothing.
+	g.Flush(emit)
+	if len(out) != 0 {
+		t.Errorf("closed group resurfaced: %v", out)
+	}
+}
+
+func TestPunctuationCloseInTimeWindows(t *testing.T) {
+	cnt := mustFn(t, "count", false)
+	g, err := NewGroupBy("a", auctionSch,
+		[]expr.Expr{expr.MustColumn(auctionSch, "auction")}, []string{"auction"},
+		[]Spec{{Fn: cnt, Name: "bids"}}, window.Tumbling(100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*tuple.Tuple
+	emit := func(e stream.Element) { out = append(out, e.Tuple) }
+	g.Push(0, bid(1, 7, 1), emit)
+	g.Push(0, bid(2, 8, 1), emit)
+	// Early close of auction 7 inside the open window.
+	g.Push(0, stream.Punct(stream.EndGroupPunct(3, 1, tuple.Int(7))), emit)
+	if len(out) != 1 {
+		t.Fatalf("early close emitted %d", len(out))
+	}
+	g.Flush(emit)
+	// Only auction 8 remains in the window.
+	if len(out) != 2 {
+		t.Fatalf("total = %d", len(out))
+	}
+}

@@ -1,0 +1,339 @@
+package dsms
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"streamdb/internal/agg"
+	"streamdb/internal/expr"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+var sch = tuple.NewSchema("S",
+	tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+	tuple.Field{Name: "g", Kind: tuple.KindInt},
+	tuple.Field{Name: "v", Kind: tuple.KindFloat},
+)
+
+func row(ts, g int64, v float64) stream.Element {
+	return stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(g), tuple.Float(v)))
+}
+
+func TestTransportRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var got []*tuple.Tuple
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		r := NewReader(conn, sch)
+		got = stream.DrainTuples(r)
+		if r.Err != nil {
+			t.Errorf("reader error: %v", r.Err)
+		}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(conn)
+	for i := int64(0); i < 100; i++ {
+		if err := w.Send(tuple.New(i, tuple.Time(i), tuple.Int(i%5), tuple.Float(float64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(got) != 100 {
+		t.Fatalf("received %d tuples", len(got))
+	}
+	if w.Sent != 100 || w.Bytes == 0 {
+		t.Errorf("writer stats: %d, %d", w.Sent, w.Bytes)
+	}
+	if v, _ := got[99].Vals[2].AsFloat(); v != 99 {
+		t.Errorf("payload corrupted: %v", got[99])
+	}
+}
+
+func TestTransportSchemaMismatch(t *testing.T) {
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		conn, _ := ln.Accept()
+		r := NewReader(conn, sch)
+		stream.DrainTuples(r)
+		errCh <- r.Err
+	}()
+	conn, _ := net.Dial("tcp", ln.Addr().String())
+	w := NewWriter(conn)
+	w.Send(tuple.New(1, tuple.Int(1))) // wrong arity
+	w.Close()
+	if err := <-errCh; err == nil {
+		t.Error("schema mismatch not detected")
+	}
+}
+
+func mkDecomposition(t *testing.T) *Decomposition {
+	t.Helper()
+	cnt, _ := agg.Lookup("count", false)
+	sum, _ := agg.Lookup("sum", false)
+	filter, _ := expr.NewBin(expr.OpGe, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(0)))
+	d, err := NewDecomposition(sch, filter,
+		[]expr.Expr{expr.MustColumn(sch, "g")}, []string{"g"},
+		[]agg.Spec{
+			{Fn: cnt, Name: "cnt"},
+			{Fn: sum, Arg: expr.MustColumn(sch, "v"), Name: "total"},
+		}, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDecompositionEndToEnd(t *testing.T) {
+	// 3 low-level nodes partially aggregate disjoint slices; the high
+	// level merges. The result must equal a direct global aggregation.
+	d := mkDecomposition(t)
+	high, err := d.NewHighLevel("hfta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finals []*tuple.Tuple
+	emitFinal := func(e stream.Element) { finals = append(finals, e.Tuple) }
+
+	rng := rand.New(rand.NewSource(21))
+	truth := map[int64]map[int64]float64{} // bucket -> group -> sum
+	counts := map[int64]map[int64]int64{}
+	var lows []*LowLevel
+	for n := 0; n < 3; n++ {
+		ll, err := d.NewLowLevel("lfta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lows = append(lows, ll)
+	}
+	for i := 0; i < 3000; i++ {
+		ts := int64(i)
+		g := rng.Int63n(30)
+		v := rng.Float64() * 10
+		node := lows[i%3]
+		node.Push(row(ts, g, v), func(e stream.Element) { high.Push(0, e, emitFinal) })
+		b := (ts / 1000) * 1000
+		if truth[b] == nil {
+			truth[b] = map[int64]float64{}
+			counts[b] = map[int64]int64{}
+		}
+		truth[b][g] += v
+		counts[b][g]++
+	}
+	for _, ll := range lows {
+		ll.Flush(func(e stream.Element) { high.Push(0, e, emitFinal) })
+		if ll.ReductionFactor() <= 1 {
+			t.Errorf("no data reduction: %v", ll.ReductionFactor())
+		}
+	}
+	high.Flush(emitFinal)
+
+	want := 0
+	for _, groups := range truth {
+		want += len(groups)
+	}
+	if len(finals) != want {
+		t.Fatalf("final rows = %d, want %d", len(finals), want)
+	}
+	for _, f := range finals {
+		b, _ := f.Vals[0].AsTime()
+		g, _ := f.Vals[1].AsInt()
+		c, _ := f.Vals[2].AsInt()
+		s, _ := f.Vals[3].AsFloat()
+		if c != counts[b][g] || math.Abs(s-truth[b][g]) > 1e-6 {
+			t.Fatalf("group %d@%d: got (%d, %v), want (%d, %v)", g, b, c, s, counts[b][g], truth[b][g])
+		}
+	}
+}
+
+func TestDecompositionOverTCP(t *testing.T) {
+	// Full slide-55 shape: 2 low-level nodes ship partials over TCP to
+	// a high-level listener.
+	d := mkDecomposition(t)
+	high, _ := d.NewHighLevel("hfta")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const nodes = 2
+	var mu sync.Mutex
+	var finals []*tuple.Tuple
+	var wg sync.WaitGroup
+	wg.Add(nodes)
+	go func() {
+		for i := 0; i < nodes; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer wg.Done()
+				r := NewReader(conn, d.PartialSchema())
+				for {
+					e, ok := r.Next()
+					if !ok {
+						return
+					}
+					mu.Lock()
+					high.Push(0, e, func(out stream.Element) { finals = append(finals, out.Tuple) })
+					mu.Unlock()
+				}
+			}(conn)
+		}
+	}()
+
+	totalTuples := 0
+	var sendWg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		sendWg.Add(1)
+		go func(n int) {
+			defer sendWg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			w := NewWriter(conn)
+			ll, _ := d.NewLowLevel("lfta")
+			emit := func(e stream.Element) { w.Send(e.Tuple) }
+			for i := 0; i < 500; i++ {
+				ll.Push(row(int64(i), int64(i%7), 1), emit)
+			}
+			ll.Flush(emit)
+			w.Close()
+		}(n)
+	}
+	sendWg.Wait()
+	totalTuples = nodes * 500
+	wg.Wait()
+	high.Flush(func(out stream.Element) { finals = append(finals, out.Tuple) })
+
+	// Sum of counts across finals must equal total raw tuples.
+	var sum int64
+	for _, f := range finals {
+		c, _ := f.Vals[2].AsInt()
+		sum += c
+	}
+	if sum != int64(totalTuples) {
+		t.Errorf("distributed count = %d, want %d", sum, totalTuples)
+	}
+}
+
+func TestDecompositionValidation(t *testing.T) {
+	med, _ := agg.Lookup("median", false)
+	if _, err := NewDecomposition(sch, nil, nil, nil,
+		[]agg.Spec{{Fn: med, Arg: expr.MustColumn(sch, "v"), Name: "m"}}, 8, 0); err == nil {
+		t.Error("holistic aggregate accepted for decomposition")
+	}
+	if _, err := NewDecomposition(sch, expr.MustColumn(sch, "v"), nil, nil, nil, 8, 0); err == nil {
+		t.Error("non-boolean filter accepted")
+	}
+}
+
+func TestAdaptiveFiltersPrecisionBound(t *testing.T) {
+	const sites = 5
+	c, err := NewCoordinator(sites, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	vals := make([]float64, sites)
+	for step := 0; step < 10000; step++ {
+		i := rng.Intn(sites)
+		vals[i] += rng.NormFloat64()
+		c.Update(i, vals[i])
+		if step%500 == 0 {
+			c.Reallocate()
+		}
+		// The protocol invariant: estimate within precision of truth.
+		if c.Error() > c.Precision+1e-9 {
+			t.Fatalf("error %v exceeds precision %v at step %d", c.Error(), c.Precision, step)
+		}
+	}
+	if c.Messages() >= c.TotalUpdates() {
+		t.Errorf("no communication saving: %d msgs for %d updates", c.Messages(), c.TotalUpdates())
+	}
+}
+
+func TestAdaptiveFiltersPrecisionSweep(t *testing.T) {
+	// Looser precision must send fewer messages.
+	run := func(precision float64) int64 {
+		c, _ := NewCoordinator(4, precision)
+		rng := rand.New(rand.NewSource(7))
+		vals := make([]float64, 4)
+		for step := 0; step < 5000; step++ {
+			i := rng.Intn(4)
+			vals[i] += rng.NormFloat64()
+			c.Update(i, vals[i])
+			if step%250 == 0 {
+				c.Reallocate()
+			}
+		}
+		return c.Messages()
+	}
+	tight := run(1)
+	loose := run(100)
+	if loose >= tight {
+		t.Errorf("loose precision sent %d >= tight %d", loose, tight)
+	}
+	exact := run(0)
+	if exact != 5000 {
+		t.Errorf("precision 0 sent %d, want every update", exact)
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(0, 1); err == nil {
+		t.Error("zero sites accepted")
+	}
+	if _, err := NewCoordinator(2, -1); err == nil {
+		t.Error("negative precision accepted")
+	}
+}
+
+func TestReallocateShiftsBudget(t *testing.T) {
+	c, _ := NewCoordinator(2, 10)
+	// Site 0 churns; site 1 is quiet.
+	v := 0.0
+	for i := 0; i < 200; i++ {
+		v += 3
+		c.Update(0, v)
+	}
+	c.Update(1, 1)
+	for i := 0; i < 5; i++ {
+		c.Reallocate()
+	}
+	b := c.Bounds()
+	if b[0] <= b[1] {
+		t.Errorf("budget did not shift to the busy site: %v", b)
+	}
+	// Total budget conserved.
+	if math.Abs(b[0]+b[1]-10) > 1e-9 {
+		t.Errorf("budget not conserved: %v", b)
+	}
+}

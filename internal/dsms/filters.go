@@ -1,0 +1,156 @@
+package dsms
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements adaptive filters for continuous distributed
+// aggregation [OJW03] (slide 55: "may not be feasible to bring all
+// relevant data to a single site"). Each remote site tracks a numeric
+// value; the coordinator continuously reports the sum within a
+// user-specified precision bound. A site transmits only when its value
+// leaves its locally-assigned bound interval; the coordinator divides
+// the total error budget across sites and periodically reallocates it
+// toward the sites that burn it fastest.
+
+// Site is one distributed observation point.
+type Site struct {
+	value float64
+	// bound is the half-width of the site's filter interval.
+	bound  float64
+	center float64
+	// Updates counts local value changes; Sent counts transmissions.
+	Updates int64
+	Sent    int64
+}
+
+// Coordinator runs the adaptive-filter protocol.
+type Coordinator struct {
+	sites []*Site
+	// Precision is the total error bound: the reported sum is within
+	// ±Precision of the true sum.
+	Precision float64
+	estimate  []float64 // last reported value per site
+	// shrink is the fraction of each bound reclaimed at reallocation.
+	shrink float64
+}
+
+// NewCoordinator builds a coordinator over n sites with the given total
+// precision bound. precision 0 means exact (every update transmits).
+func NewCoordinator(n int, precision float64) (*Coordinator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dsms: need at least one site")
+	}
+	if precision < 0 {
+		return nil, fmt.Errorf("dsms: negative precision")
+	}
+	c := &Coordinator{
+		Precision: precision,
+		sites:     make([]*Site, n),
+		estimate:  make([]float64, n),
+		shrink:    0.1,
+	}
+	per := precision / float64(n)
+	for i := range c.sites {
+		c.sites[i] = &Site{bound: per}
+	}
+	return c, nil
+}
+
+// Update applies a new local value at site i; returns whether the site
+// transmitted to the coordinator.
+func (c *Coordinator) Update(i int, value float64) bool {
+	s := c.sites[i]
+	s.Updates++
+	s.value = value
+	if math.Abs(value-s.center) <= s.bound {
+		return false // filtered: stays within the site's interval
+	}
+	// Out of bounds: transmit and re-center.
+	s.center = value
+	s.Sent++
+	c.estimate[i] = value
+	return true
+}
+
+// Estimate reports the coordinator's current sum estimate.
+func (c *Coordinator) Estimate() float64 {
+	sum := 0.0
+	for _, v := range c.estimate {
+		sum += v
+	}
+	return sum
+}
+
+// TrueSum reports the exact sum (ground truth for evaluation).
+func (c *Coordinator) TrueSum() float64 {
+	sum := 0.0
+	for _, s := range c.sites {
+		sum += s.value
+	}
+	return sum
+}
+
+// Error reports |estimate - truth|; by construction it never exceeds
+// Precision.
+func (c *Coordinator) Error() float64 {
+	return math.Abs(c.Estimate() - c.TrueSum())
+}
+
+// Messages reports total transmissions across sites.
+func (c *Coordinator) Messages() int64 {
+	n := int64(0)
+	for _, s := range c.sites {
+		n += s.Sent
+	}
+	return n
+}
+
+// TotalUpdates reports total local updates (what a naive protocol
+// would have transmitted).
+func (c *Coordinator) TotalUpdates() int64 {
+	n := int64(0)
+	for _, s := range c.sites {
+		n += s.Updates
+	}
+	return n
+}
+
+// Reallocate shifts error budget toward the sites that transmit most,
+// the adaptive step of [OJW03]: each site's bound shrinks by the
+// shrink fraction, and the reclaimed budget is granted to the sites
+// with the highest recent send counts.
+func (c *Coordinator) Reallocate() {
+	if c.Precision == 0 || len(c.sites) == 1 {
+		return
+	}
+	reclaimed := 0.0
+	var totalSent int64
+	for _, s := range c.sites {
+		give := s.bound * c.shrink
+		s.bound -= give
+		reclaimed += give
+		totalSent += s.Sent
+	}
+	if totalSent == 0 {
+		// Nobody is streaming: spread evenly.
+		per := reclaimed / float64(len(c.sites))
+		for _, s := range c.sites {
+			s.bound += per
+		}
+		return
+	}
+	for _, s := range c.sites {
+		s.bound += reclaimed * float64(s.Sent) / float64(totalSent)
+	}
+}
+
+// Bounds returns each site's current filter half-width.
+func (c *Coordinator) Bounds() []float64 {
+	out := make([]float64, len(c.sites))
+	for i, s := range c.sites {
+		out[i] = s.bound
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Package dsms implements the tutorial's end-to-end 3-level
+// architecture (slides 14-15, 54-55): resource-limited low-level DSMS
+// nodes at the observation points, a resource-rich high-level node, and
+// a DBMS behind it. It provides query decomposition across levels
+// (slide 54), a TCP transport for distributed evaluation (slide 55),
+// and the adaptive-filter protocol for continuous distributed
+// aggregation [OJW03].
+package dsms
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// Frame format: uvarint length + tuple encoding. A zero-length frame
+// marks end-of-stream.
+
+// Writer sends tuples over a connection.
+type Writer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer
+	buf   []byte
+	Sent  int64
+	Bytes int64
+}
+
+// NewWriter wraps a connection for tuple transport.
+func NewWriter(conn net.Conn) *Writer {
+	return &Writer{w: bufio.NewWriter(conn), c: conn}
+}
+
+// Send transmits one tuple.
+func (w *Writer) Send(t *tuple.Tuple) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = tuple.AppendEncode(w.buf[:0], t)
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(w.buf)))
+	if _, err := w.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		return err
+	}
+	w.Sent++
+	w.Bytes += int64(n + len(w.buf))
+	return nil
+}
+
+// Close sends the end-of-stream frame and closes the connection.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var hdr [1]byte // uvarint(0)
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.c.Close()
+}
+
+// Flush pushes buffered frames to the wire.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.w.Flush()
+}
+
+// Reader receives tuples from a connection and implements
+// stream.Source.
+type Reader struct {
+	r        *bufio.Reader
+	c        io.Closer
+	schema   *tuple.Schema
+	buf      []byte
+	done     bool
+	Received int64
+	Err      error
+}
+
+// NewReader wraps a connection; the schema describes the expected
+// tuples (checked on decode).
+func NewReader(conn net.Conn, schema *tuple.Schema) *Reader {
+	return &Reader{r: bufio.NewReader(conn), c: conn, schema: schema}
+}
+
+// Schema implements stream.Source.
+func (r *Reader) Schema() *tuple.Schema { return r.schema }
+
+// Next implements stream.Source.
+func (r *Reader) Next() (stream.Element, bool) {
+	if r.done {
+		return stream.Element{}, false
+	}
+	ln, err := binary.ReadUvarint(r.r)
+	if err != nil || ln == 0 {
+		r.done = true
+		r.c.Close()
+		if err != nil && err != io.EOF {
+			r.Err = err
+		}
+		return stream.Element{}, false
+	}
+	if uint64(cap(r.buf)) < ln {
+		r.buf = make([]byte, ln)
+	}
+	buf := r.buf[:ln]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.done = true
+		r.c.Close()
+		r.Err = err
+		return stream.Element{}, false
+	}
+	t, _, err := tuple.DecodeChecked(buf, r.schema)
+	if err != nil {
+		r.done = true
+		r.c.Close()
+		r.Err = fmt.Errorf("dsms: %w", err)
+		return stream.Element{}, false
+	}
+	r.Received++
+	return stream.Tup(t), true
+}

@@ -1,0 +1,376 @@
+// Package exec is the dataflow execution engine: it wires sources and
+// operators into a graph and runs it, either deterministically in
+// virtual time (arrival order across sources defined by timestamps) or
+// concurrently with one goroutine per operator connected by channels.
+//
+// The deterministic mode is what the experiments use — the tutorial's
+// figures depend on exact arrival interleavings (slides 41, 43). The
+// concurrent mode is the throughput-oriented deployment shape and the
+// substrate for the system-profile comparisons of slide 52.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"streamdb/internal/ops"
+	"streamdb/internal/stream"
+)
+
+// NodeID identifies an operator node in a graph.
+type NodeID int
+
+// Sink receives graph outputs.
+type Sink func(stream.Element)
+
+type edge struct {
+	to   NodeID // -1 = graph output
+	port int
+}
+
+type node struct {
+	op    ops.Operator
+	out   []edge
+	stats NodeStats
+}
+
+// NodeStats is per-operator introspection (Aurora-style, slide 47).
+type NodeStats struct {
+	In, Out   int64
+	MaxQueue  int
+	MaxMemory int
+}
+
+type sourceNode struct {
+	src    stream.Source
+	out    []edge
+	peeked *stream.Element
+	done   bool
+	count  int64
+}
+
+// Graph is a dataflow of sources and operators.
+type Graph struct {
+	sources []*sourceNode
+	nodes   []*node
+	sink    Sink
+	// workCap bounds the pending-work deque in deterministic mode; 0 =
+	// unbounded. When the cap is hit, the oldest pending element is
+	// dropped (tail-drop under overload) and counted.
+	workCap int
+	dropped int64
+}
+
+// NewGraph builds an empty graph writing outputs to sink (may be nil).
+func NewGraph(sink Sink) *Graph {
+	if sink == nil {
+		sink = func(stream.Element) {}
+	}
+	return &Graph{sink: sink}
+}
+
+// SetWorkCap bounds pending work (tuples queued between operators).
+func (g *Graph) SetWorkCap(n int) { g.workCap = n }
+
+// Dropped reports elements discarded by the work cap.
+func (g *Graph) Dropped() int64 { return g.dropped }
+
+// AddSource registers a stream source; connect it with ConnectSource.
+func (g *Graph) AddSource(src stream.Source) int {
+	g.sources = append(g.sources, &sourceNode{src: src})
+	return len(g.sources) - 1
+}
+
+// AddOp registers an operator and returns its node ID.
+func (g *Graph) AddOp(op ops.Operator) NodeID {
+	g.nodes = append(g.nodes, &node{op: op})
+	return NodeID(len(g.nodes) - 1)
+}
+
+// ConnectSource wires source si to input port of node to.
+func (g *Graph) ConnectSource(si int, to NodeID, port int) error {
+	if si < 0 || si >= len(g.sources) {
+		return fmt.Errorf("exec: no source %d", si)
+	}
+	if err := g.checkPort(to, port); err != nil {
+		return err
+	}
+	g.sources[si].out = append(g.sources[si].out, edge{to: to, port: port})
+	return nil
+}
+
+// Connect wires node from's output to node to's input port.
+func (g *Graph) Connect(from, to NodeID, port int) error {
+	if int(from) < 0 || int(from) >= len(g.nodes) {
+		return fmt.Errorf("exec: no node %d", from)
+	}
+	if err := g.checkPort(to, port); err != nil {
+		return err
+	}
+	g.nodes[from].out = append(g.nodes[from].out, edge{to: to, port: port})
+	return nil
+}
+
+// ConnectOut wires node from's output to the graph sink.
+func (g *Graph) ConnectOut(from NodeID) error {
+	if int(from) < 0 || int(from) >= len(g.nodes) {
+		return fmt.Errorf("exec: no node %d", from)
+	}
+	g.nodes[from].out = append(g.nodes[from].out, edge{to: -1})
+	return nil
+}
+
+func (g *Graph) checkPort(to NodeID, port int) error {
+	if int(to) < 0 || int(to) >= len(g.nodes) {
+		return fmt.Errorf("exec: no node %d", to)
+	}
+	if port < 0 || port >= g.nodes[to].op.NumInputs() {
+		return fmt.Errorf("exec: node %s has no port %d", g.nodes[to].op.Name(), port)
+	}
+	return nil
+}
+
+// Stats returns a node's counters.
+func (g *Graph) Stats(id NodeID) NodeStats { return g.nodes[id].stats }
+
+// peek returns the source's next element without consuming it. Sources
+// implementing stream.Resumable are not marked exhausted when they run
+// dry: push-fed queues yield more elements after later Feed calls.
+func (s *sourceNode) peek() (stream.Element, bool) {
+	if s.done {
+		return stream.Element{}, false
+	}
+	if s.peeked == nil {
+		e, ok := s.src.Next()
+		if !ok {
+			if r, resumable := s.src.(stream.Resumable); !resumable || !r.Resumable() {
+				s.done = true
+			}
+			return stream.Element{}, false
+		}
+		s.peeked = &e
+	}
+	return *s.peeked, true
+}
+
+func (s *sourceNode) take() stream.Element {
+	e := *s.peeked
+	s.peeked = nil
+	s.count++
+	return e
+}
+
+type work struct {
+	to   NodeID
+	port int
+	e    stream.Element
+}
+
+// Run executes deterministically in virtual time: the next element
+// processed is always the pending arrival with the smallest timestamp
+// across sources (ties by source index), and each arrival is pushed
+// through the graph to completion before the next is admitted. Stops
+// after maxElements source elements (< 0 = until sources exhaust), then
+// flushes every operator in insertion order. Returns elements consumed.
+func (g *Graph) Run(maxElements int64) int64 {
+	consumed := g.Pump(maxElements)
+	g.Finish()
+	return consumed
+}
+
+// Pump processes up to maxElements currently-available source elements
+// (< 0 = until sources run dry) without flushing operators. Push-fed
+// (resumable) sources can be replenished and pumped again — the
+// mechanism behind persistent/continuous queries (slide 19).
+func (g *Graph) Pump(maxElements int64) int64 {
+	var consumed int64
+	var queue []work
+	for maxElements < 0 || consumed < maxElements {
+		// Pick the earliest pending arrival.
+		best := -1
+		var bestTs int64
+		for i, s := range g.sources {
+			e, ok := s.peek()
+			if !ok {
+				continue
+			}
+			if best < 0 || e.Ts() < bestTs {
+				best, bestTs = i, e.Ts()
+			}
+		}
+		if best < 0 {
+			break
+		}
+		src := g.sources[best]
+		e := src.take()
+		consumed++
+		for _, ed := range src.out {
+			queue = append(queue, work{to: ed.to, port: ed.port, e: e})
+		}
+		g.drain(&queue)
+	}
+	return consumed
+}
+
+// Finish flushes every operator (end-of-stream).
+func (g *Graph) Finish() {
+	var queue []work
+	g.flush(&queue)
+}
+
+// drain processes pending work FIFO until empty.
+func (g *Graph) drain(queue *[]work) {
+	for len(*queue) > 0 {
+		if g.workCap > 0 && len(*queue) > g.workCap {
+			// Overload: tail-drop the oldest pending tuple.
+			*queue = (*queue)[1:]
+			g.dropped++
+			continue
+		}
+		w := (*queue)[0]
+		*queue = (*queue)[1:]
+		g.dispatch(w, queue)
+	}
+}
+
+func (g *Graph) dispatch(w work, queue *[]work) {
+	if w.to < 0 {
+		g.sink(w.e)
+		return
+	}
+	n := g.nodes[w.to]
+	n.stats.In++
+	if l := len(*queue); l > n.stats.MaxQueue {
+		n.stats.MaxQueue = l
+	}
+	n.op.Push(w.port, w.e, func(out stream.Element) {
+		n.stats.Out++
+		for _, ed := range n.out {
+			*queue = append(*queue, work{to: ed.to, port: ed.port, e: out})
+		}
+	})
+	if m := n.op.MemSize(); m > n.stats.MaxMemory {
+		n.stats.MaxMemory = m
+	}
+}
+
+// flush finalizes operators in insertion order (sources feed nodes in
+// the order they were added, so insertion order is a valid topological
+// order for graphs built front-to-back).
+func (g *Graph) flush(queue *[]work) {
+	for id := range g.nodes {
+		n := g.nodes[id]
+		n.op.Flush(func(out stream.Element) {
+			n.stats.Out++
+			for _, ed := range n.out {
+				*queue = append(*queue, work{to: ed.to, port: ed.port, e: out})
+			}
+		})
+		g.drain(queue)
+	}
+}
+
+// RunConcurrent executes the graph with one goroutine per operator and
+// buffered channels of the given capacity between them. Arrival order
+// across different sources is not deterministic; use Run for
+// experiments that depend on interleaving. Returns when all sources are
+// exhausted and the pipeline has flushed. maxElements < 0 = unbounded.
+func (g *Graph) RunConcurrent(maxElements int64, chanCap int) {
+	if chanCap <= 0 {
+		chanCap = 64
+	}
+	type msg struct {
+		port int
+		e    stream.Element
+	}
+	chans := make([]chan msg, len(g.nodes))
+	for i := range chans {
+		chans[i] = make(chan msg, chanCap)
+	}
+	var sinkMu sync.Mutex
+
+	// Count writers per node so channels close exactly once.
+	writers := make([]int, len(g.nodes))
+	for _, s := range g.sources {
+		for _, ed := range s.out {
+			writers[ed.to]++
+		}
+	}
+	for _, n := range g.nodes {
+		for _, ed := range n.out {
+			if ed.to >= 0 {
+				writers[ed.to]++
+			}
+		}
+	}
+	var closeMu sync.Mutex
+	closeOne := func(id NodeID) {
+		closeMu.Lock()
+		writers[id]--
+		if writers[id] == 0 {
+			close(chans[id])
+		}
+		closeMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	emitFor := func(n *node) ops.Emit {
+		return func(out stream.Element) {
+			for _, ed := range n.out {
+				if ed.to < 0 {
+					sinkMu.Lock()
+					g.sink(out)
+					sinkMu.Unlock()
+				} else {
+					chans[ed.to] <- msg{port: ed.port, e: out}
+				}
+			}
+		}
+	}
+	for id := range g.nodes {
+		n := g.nodes[id]
+		wg.Add(1)
+		go func(id NodeID, n *node) {
+			defer wg.Done()
+			emit := emitFor(n)
+			for m := range chans[id] {
+				n.stats.In++
+				n.op.Push(m.port, m.e, func(out stream.Element) {
+					n.stats.Out++
+					emit(out)
+				})
+			}
+			n.op.Flush(func(out stream.Element) {
+				n.stats.Out++
+				emit(out)
+			})
+			for _, ed := range n.out {
+				if ed.to >= 0 {
+					closeOne(ed.to)
+				}
+			}
+		}(NodeID(id), n)
+	}
+	for _, s := range g.sources {
+		wg.Add(1)
+		go func(s *sourceNode) {
+			defer wg.Done()
+			var sent int64
+			for maxElements < 0 || sent < maxElements {
+				e, ok := s.src.Next()
+				if !ok {
+					break
+				}
+				sent++
+				s.count++
+				for _, ed := range s.out {
+					chans[ed.to] <- msg{port: ed.port, e: e}
+				}
+			}
+			for _, ed := range s.out {
+				closeOne(ed.to)
+			}
+		}(s)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamdb/internal/dsms"
+	"streamdb/internal/hancock"
+)
+
+// E13BlockIO reproduces the Hancock I/O lesson (slides 6, 21, 56):
+// signature maintenance with block-sorted sequential merges vs
+// per-record random access. The seek count is the cost that made the
+// pre-Hancock code "I/O intensive".
+func E13BlockIO(scale Scale, dir1, dir2 string) *Table {
+	t := &Table{
+		ID:     "E13",
+		Title:  "per-element vs block-processing I/O (slides 6, 21, 56)",
+		Header: []string{"strategy", "days", "lines", "seeks", "seqMB", "randMB"},
+	}
+	lines := scale.N(20000)
+	days := 3
+	cfg := hancock.GenConfig{
+		Seed: 13, Lines: lines, CallsPerLinePerDay: 2,
+		FraudLines: []int{1}, FraudStartDay: 99,
+	}
+	merge, err := hancock.NewSigStore(dir1)
+	if err != nil {
+		panic(err)
+	}
+	random, err := hancock.NewSigStore(dir2)
+	if err != nil {
+		panic(err)
+	}
+	for day := 0; day < days; day++ {
+		calls := hancock.GenerateDay(cfg, day)
+		stats := hancock.CollectDayStats(calls)
+		if err := merge.MergeUpdate(0.3, stats); err != nil {
+			panic(err)
+		}
+		if err := random.RandomUpdate(0.3, stats); err != nil {
+			panic(err)
+		}
+	}
+	ms, rs := merge.Stats, random.Stats
+	t.AddRow("block merge (Hancock)", days, lines, ms.Seeks,
+		fmt.Sprintf("%.1f", float64(ms.SeqReadBytes+ms.SeqWriteBytes)/1e6),
+		fmt.Sprintf("%.1f", float64(ms.RandReadBytes+ms.RandWriteBytes)/1e6))
+	t.AddRow("per-record random", days, lines, rs.Seeks,
+		fmt.Sprintf("%.1f", float64(rs.SeqReadBytes+rs.SeqWriteBytes)/1e6),
+		fmt.Sprintf("%.1f", float64(rs.RandReadBytes+rs.RandWriteBytes)/1e6))
+	t.Notes = append(t.Notes,
+		"expected shape: the merge strategy performs zero seeks; the per-record strategy seeks O(updates * log store)")
+	return t
+}
+
+// E13FraudDetection is the companion application result: the Hancock
+// signature program catching injected fraud lines (slide 6).
+func E13FraudDetection(scale Scale, dir string) *Table {
+	t := &Table{
+		ID:     "E13b",
+		Title:  "signature-based fraud detection (slide 6)",
+		Header: []string{"day", "alerts", "truePositives", "falsePositives", "recall"},
+	}
+	lines := scale.N(5000)
+	fraudLines := []int{7, 42, lines / 2, lines - 1}
+	cfg := hancock.GenConfig{
+		Seed: 14, Lines: lines, CallsPerLinePerDay: 3,
+		FraudLines: fraudLines, FraudStartDay: 3,
+	}
+	store, err := hancock.NewSigStore(dir)
+	if err != nil {
+		panic(err)
+	}
+	isFraud := map[uint64]bool{}
+	for _, l := range fraudLines {
+		isFraud[uint64(l)] = true
+	}
+	const threshold = 50.0
+	for day := 0; day < 5; day++ {
+		calls := hancock.GenerateDay(cfg, day)
+		stats := hancock.CollectDayStats(calls)
+		alerts, tp := 0, 0
+		alerted := map[uint64]bool{}
+		if day >= 1 { // need at least one day of signature history
+			for line, d := range stats {
+				sig, ok, err := store.Get(line)
+				if err != nil {
+					panic(err)
+				}
+				if !ok {
+					continue
+				}
+				if sig.FraudScore(d) > threshold {
+					alerts++
+					alerted[line] = true
+					if isFraud[line] {
+						tp++
+					}
+				}
+			}
+		}
+		// Alerted days are excluded from blending: folding fraud into
+		// the signature would normalize it away.
+		clean := make(map[uint64]hancock.DayStats, len(stats))
+		for line, d := range stats {
+			if !alerted[line] {
+				clean[line] = d
+			}
+		}
+		if err := store.MergeUpdate(0.3, clean); err != nil {
+			panic(err)
+		}
+		recall := 0.0
+		if day >= cfg.FraudStartDay {
+			recall = float64(tp) / float64(len(fraudLines))
+		}
+		t.AddRow(day, alerts, tp, alerts-tp, recall)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: zero alerts before the fraud starts (day 3), all fraud lines caught after, with few false positives")
+	return t
+}
+
+// E15DistributedFilters reproduces slide 55 / [OJW03]: adaptive filters
+// for continuous distributed monitoring — messages sent vs precision
+// bound, against the ship-every-update baseline.
+func E15DistributedFilters(scale Scale) *Table {
+	t := &Table{
+		ID:     "E15",
+		Title:  "distributed evaluation with adaptive filters (slide 55)",
+		Header: []string{"precision", "updates", "messages", "saving", "maxErr", "withinBound"},
+	}
+	const sites = 8
+	steps := scale.N(100000)
+	for _, precision := range []float64{0, 1, 10, 100} {
+		c, err := dsms.NewCoordinator(sites, precision)
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(15))
+		vals := make([]float64, sites)
+		maxErr := 0.0
+		within := true
+		for s := 0; s < steps; s++ {
+			i := rng.Intn(sites)
+			vals[i] += rng.NormFloat64()
+			c.Update(i, vals[i])
+			if e := c.Error(); e > maxErr {
+				maxErr = e
+			}
+			if c.Error() > precision+1e-9 {
+				within = false
+			}
+			if s%1000 == 999 {
+				c.Reallocate()
+			}
+		}
+		saving := "1.0x"
+		if c.Messages() > 0 {
+			saving = fmt.Sprintf("%.1fx", float64(c.TotalUpdates())/float64(c.Messages()))
+		}
+		t.AddRow(precision, c.TotalUpdates(), c.Messages(), saving,
+			fmt.Sprintf("%.2f", maxErr), within)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: communication falls as the precision bound loosens; the error never exceeds the bound")
+	return t
+}

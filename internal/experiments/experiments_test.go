@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Small scale keeps the full suite fast while preserving the shapes.
+const testScale = Scale(0.05)
+
+func cell(t *testing.T, tb *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tb.Rows) || col >= len(tb.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d):\n%s", tb.ID, row, col, tb)
+	}
+	return tb.Rows[row][col]
+}
+
+func num(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	s := cell(t, tb, row, col)
+	s = strings.TrimSuffix(s, "x")
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric:\n%s", tb.ID, row, col, s, tb)
+	}
+	return f
+}
+
+func TestE1Shape(t *testing.T) {
+	tb := E1WindowJoinRegimes(testScale)
+	// Rows: 0 cpu/hash, 1 cpu/inl, 2 mem/hash, 3 mem/inl.
+	if num(t, tb, 0, 2) <= num(t, tb, 1, 2) {
+		t.Errorf("CPU-limited: hash output %v <= inl %v", num(t, tb, 0, 2), num(t, tb, 1, 2))
+	}
+	if num(t, tb, 3, 2) <= num(t, tb, 2, 2) {
+		t.Errorf("memory-limited: inl output %v <= hash %v", num(t, tb, 3, 2), num(t, tb, 2, 2))
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tb := E2BoundedMemoryAgg(testScale)
+	unbounded, bounded := num(t, tb, 0, 2), num(t, tb, 1, 2)
+	if bounded > 511 {
+		t.Errorf("bounded query exceeded domain: %v groups", bounded)
+	}
+	if unbounded < 5*bounded {
+		t.Errorf("unbounded %v not clearly larger than bounded %v", unbounded, bounded)
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tb := E3RateBasedPlans(testScale)
+	// First row is the best plan (fast first): predicted 5, second 0.5.
+	if p := num(t, tb, 0, 1); p != 5 {
+		t.Errorf("best predicted = %v, want 5", p)
+	}
+	if p := num(t, tb, 1, 1); p != 0.5 {
+		t.Errorf("worst predicted = %v, want 0.5", p)
+	}
+	// Simulation within 20% of prediction.
+	for row := 0; row < 2; row++ {
+		pred, sim := num(t, tb, row, 1), num(t, tb, row, 2)
+		if sim < pred*0.8 || sim > pred*1.2 {
+			t.Errorf("row %d: simulated %v vs predicted %v", row, sim, pred)
+		}
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tb := E4SchedulingBacklog(testScale)
+	// Slide-43 series exact.
+	if got := cell(t, tb, 0, 3); got != "1.0,1.2,2.0,2.2,3.0" {
+		t.Errorf("FIFO series = %s", got)
+	}
+	if got := cell(t, tb, 1, 3); got != "1.0,1.2,1.4,1.6,1.8" {
+		t.Errorf("Greedy series = %s", got)
+	}
+	// Bursty: Greedy and Chain peaks <= FIFO peak.
+	fifoPeak := num(t, tb, 2, 2)
+	for row := 4; row <= 5; row++ {
+		if num(t, tb, row, 2) > fifoPeak {
+			t.Errorf("row %d peak %v > FIFO %v", row, num(t, tb, row, 2), fifoPeak)
+		}
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tb := E5LoadShedding(testScale)
+	// Rows alternate random/semantic per drop rate; semantic recall = 1.
+	for i := 0; i < len(tb.Rows); i += 2 {
+		semRecall := num(t, tb, i+1, 3)
+		if semRecall != 1 {
+			t.Errorf("semantic recall at %s = %v", cell(t, tb, i+1, 0), semRecall)
+		}
+	}
+	// At the highest drop rate random's recall is below semantic's.
+	last := len(tb.Rows) - 2
+	if num(t, tb, last, 3) > num(t, tb, last+1, 3) {
+		t.Errorf("random recall %v > semantic %v at high drop",
+			num(t, tb, last, 3), num(t, tb, last+1, 3))
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tb := E6P2PDetection(testScale)
+	ratio := num(t, tb, 2, 3)
+	if ratio < 2.2 || ratio > 4 {
+		t.Errorf("payload/port ratio = %v, want ~3", ratio)
+	}
+	// Payload finds essentially all true P2P bytes.
+	if pct := num(t, tb, 2, 2); pct < 95 {
+		t.Errorf("payload found only %v%% of true P2P", pct)
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tb := E7RTTMonitoring(testScale)
+	// Recall increases with window size, approaching 1.
+	prev := -1.0
+	for row := range tb.Rows {
+		r := num(t, tb, row, 3)
+		if r < prev-0.02 {
+			t.Errorf("recall decreased: row %d %v after %v", row, r, prev)
+		}
+		prev = r
+	}
+	if prev < 0.95 {
+		t.Errorf("final recall = %v", prev)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tb := E8PartialAggregation(testScale)
+	// Reduction factor grows with slot count; evictions fall.
+	for row := 1; row < len(tb.Rows); row++ {
+		if num(t, tb, row, 3) < num(t, tb, row-1, 3) {
+			t.Errorf("reduction not monotone at row %d", row)
+		}
+		if num(t, tb, row, 4) > num(t, tb, row-1, 4) {
+			t.Errorf("evictions not monotone at row %d", row)
+		}
+	}
+	// Final group count identical across configurations (correctness).
+	finals := cell(t, tb, 0, 5)
+	for row := 1; row < len(tb.Rows); row++ {
+		if cell(t, tb, row, 5) != finals {
+			t.Errorf("final groups differ across slot sizes")
+		}
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tb := E9SynopsisAccuracy(testScale)
+	first, last := 0, len(tb.Rows)-1
+	// Errors shrink as memory grows (allow small noise at tiny scale).
+	for col := 1; col <= 4; col++ {
+		if num(t, tb, last, col) > num(t, tb, first, col)+1 {
+			t.Errorf("col %d error grew with memory: %v -> %v",
+				col, num(t, tb, first, col), num(t, tb, last, col))
+		}
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tb := E10SystemProfiles(testScale)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("profiles = %d", len(tb.Rows))
+	}
+	names := []string{"Aurora", "Gigascope", "Hancock", "STREAM", "Telegraph"}
+	for i, n := range names {
+		if cell(t, tb, i, 0) != n {
+			t.Errorf("row %d = %s, want %s", i, cell(t, tb, i, 0), n)
+		}
+	}
+	// Aurora sheds (dropped% above the pure-filter rate); others don't drop beyond the filter.
+	aurora := num(t, tb, 0, 3)
+	gigascope := num(t, tb, 1, 3)
+	if aurora <= gigascope {
+		t.Errorf("Aurora dropped %v <= Gigascope %v", aurora, gigascope)
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	tb := E11XJoinSpill(testScale, t.TempDir())
+	for row := range tb.Rows {
+		if cell(t, tb, row, 2) != "true" {
+			t.Errorf("budget %s: output not exact", cell(t, tb, row, 0))
+		}
+	}
+	// Smallest budget spills; largest doesn't.
+	if num(t, tb, 0, 3) == 0 {
+		t.Error("small budget did not spill")
+	}
+	if num(t, tb, len(tb.Rows)-1, 3) != 0 {
+		t.Error("large budget spilled")
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	tb := E12WindowVariants(testScale)
+	shifting := num(t, tb, 0, 1)
+	sliding := num(t, tb, 1, 1)
+	// range/slide = 5: sliding emits ~5x shifting's results.
+	if sliding < 3*shifting {
+		t.Errorf("sliding %v not ~5x shifting %v", sliding, shifting)
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	tb := E13BlockIO(testScale, t.TempDir(), t.TempDir())
+	if num(t, tb, 0, 3) != 0 {
+		t.Errorf("merge strategy seeks = %v", num(t, tb, 0, 3))
+	}
+	if num(t, tb, 1, 3) == 0 {
+		t.Error("random strategy performed no seeks")
+	}
+}
+
+func TestE13FraudShape(t *testing.T) {
+	tb := E13FraudDetection(testScale, t.TempDir())
+	// Day 4 (after fraud start + signature history): full recall.
+	lastDay := len(tb.Rows) - 1
+	if r := num(t, tb, lastDay, 4); r != 1 {
+		t.Errorf("day-4 recall = %v:\n%s", r, tb)
+	}
+	// No alerts on day 0-1 (no fraud yet).
+	for day := 0; day <= 1; day++ {
+		if num(t, tb, day, 2) != 0 {
+			t.Errorf("day %d true positives before fraud", day)
+		}
+	}
+}
+
+func TestE14Shape(t *testing.T) {
+	tb := E14MultiQuerySharing(testScale)
+	// Selection sharing saving grows with query count: rows 0,2,4.
+	s4 := num(t, tb, 0, 2)
+	s64 := num(t, tb, 4, 2)
+	if s64 != s4 {
+		t.Errorf("shared select work should be constant: %v vs %v", s4, s64)
+	}
+	u4, u64 := num(t, tb, 0, 3), num(t, tb, 4, 3)
+	if u64 <= u4 {
+		t.Error("unshared work did not grow with query count")
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	tb := E15DistributedFilters(testScale)
+	// Row 0 is precision 0: messages == updates.
+	if cell(t, tb, 0, 1) != cell(t, tb, 0, 2) {
+		t.Errorf("exact mode filtered messages: %s vs %s", cell(t, tb, 0, 1), cell(t, tb, 0, 2))
+	}
+	// Messages fall as precision loosens; bound always respected.
+	for row := 1; row < len(tb.Rows); row++ {
+		if num(t, tb, row, 2) > num(t, tb, row-1, 2) {
+			t.Errorf("messages increased at row %d", row)
+		}
+		if cell(t, tb, row, 5) != "true" {
+			t.Errorf("precision bound violated at row %d", row)
+		}
+	}
+}
+
+func TestE16Shape(t *testing.T) {
+	tb := E16EddyAdaptivity(testScale)
+	// Phase 2: eddy evals/tuple below fixed plan's.
+	eddyP2 := num(t, tb, 2, 2)
+	fixedP2 := num(t, tb, 3, 2)
+	if eddyP2 >= fixedP2 {
+		t.Errorf("phase 2: eddy %v >= fixed %v", eddyP2, fixedP2)
+	}
+	// Same survivors (answer correctness) per phase.
+	for _, base := range []int{0, 2} {
+		if cell(t, tb, base, 3) != cell(t, tb, base+1, 3) {
+			t.Errorf("survivor mismatch in phase starting at row %d", base)
+		}
+	}
+}
+
+func TestE5ControllerShape(t *testing.T) {
+	tb := E5Controller()
+	// Final steps: offered 500 under capacity 1000 -> rate decays toward 0.
+	last := num(t, tb, len(tb.Rows)-1, 2)
+	if last > 0.4 {
+		t.Errorf("controller did not relax: %v", last)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "X", Title: "t", Header: []string{"a", "bb"}}
+	tb.AddRow(1, 2.5)
+	tb.Notes = append(tb.Notes, "n")
+	s := tb.String()
+	for _, want := range []string{"== X", "a", "bb", "2.5", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScaleFloor(t *testing.T) {
+	if Scale(0.0001).N(1000) != 100 {
+		t.Error("scale floor broken")
+	}
+	if Scale(1).N(1000) != 1000 {
+		t.Error("identity scale broken")
+	}
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamdb/internal/netmon"
+	"streamdb/internal/ops"
+	"streamdb/internal/query"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+	"streamdb/internal/window"
+)
+
+func joinSchemas() (*tuple.Schema, *tuple.Schema) {
+	a := tuple.NewSchema("A",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "k", Kind: tuple.KindInt},
+	)
+	b := tuple.NewSchema("B",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "k", Kind: tuple.KindInt},
+	)
+	return a, b
+}
+
+// genJoinInput builds two interleaved key streams with a 10:1 rate
+// asymmetry (slide 33: "asymmetric join processing has advantages if
+// arrival rates differ").
+func genJoinInput(seed int64, n int, keys int64) []struct {
+	port int
+	t    *tuple.Tuple
+} {
+	rng := rand.New(rand.NewSource(seed))
+	var out []struct {
+		port int
+		t    *tuple.Tuple
+	}
+	ts := int64(0)
+	for i := 0; i < n; i++ {
+		ts += int64(rng.Intn(1000)) + 1
+		port := 0
+		if rng.Intn(11) == 0 { // right stream is 10x slower
+			port = 1
+		}
+		k := rng.Int63n(keys)
+		out = append(out, struct {
+			port int
+			t    *tuple.Tuple
+		}{port, tuple.New(ts, tuple.Time(ts), tuple.Int(k))})
+	}
+	return out
+}
+
+// E1WindowJoinRegimes reproduces slide 33: hash joins win when CPU is
+// the constraint, indexed nested loops win when memory is the
+// constraint (the index overhead buys window capacity instead).
+func E1WindowJoinRegimes(scale Scale) *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "window join method vs resource regime (slide 33)",
+		Header: []string{"regime", "method", "output", "probes", "memoryB"},
+	}
+	a, b := joinSchemas()
+	input := genJoinInput(101, scale.N(60000), 200)
+	win := window.Tumbling(1 << 40) // effectively rate-bound by maxTuples
+	const tupleBytes = 64
+	const hashOverhead = 48
+
+	run := func(method ops.JoinMethod, maxTuples int, probeBudget int64) (int64, int64, int) {
+		j, err := ops.NewWindowJoin("j", a, b,
+			ops.JoinConfig{Window: win, Method: method, Key: []int{1}, MaxTuples: maxTuples},
+			ops.JoinConfig{Window: win, Method: method, Key: []int{1}, MaxTuples: maxTuples},
+			nil)
+		if err != nil {
+			panic(err)
+		}
+		emit := func(stream.Element) {}
+		for _, in := range input {
+			if probeBudget > 0 && j.Probes() >= probeBudget {
+				break
+			}
+			j.Push(in.port, stream.Tup(in.t), emit)
+		}
+		return j.Emitted(), j.Probes(), j.MemSize()
+	}
+
+	// CPU-limited: fixed probe budget, ample memory. Hash spends probes
+	// only on matching candidates; INL burns them scanning.
+	budget := int64(scale.N(200000))
+	for _, m := range []ops.JoinMethod{ops.JoinHash, ops.JoinNestedLoop} {
+		out, probes, mem := run(m, 0, budget)
+		t.AddRow("CPU-limited", m.String(), out, probes, mem)
+	}
+	// Memory-limited: fixed byte budget; the hash index overhead costs
+	// window capacity.
+	memBudget := 4000 * tupleBytes
+	hashCap := memBudget / (tupleBytes + hashOverhead)
+	inlCap := memBudget / tupleBytes
+	for _, cfg := range []struct {
+		m   ops.JoinMethod
+		cap int
+	}{{ops.JoinHash, hashCap}, {ops.JoinNestedLoop, inlCap}} {
+		out, probes, mem := run(cfg.m, cfg.cap, 0)
+		t.AddRow("memory-limited", cfg.m.String(), out, probes, mem)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: hash wins the CPU-limited regime, INL wins the memory-limited regime")
+	return t
+}
+
+// E7RTTMonitoring reproduces the web-client latency monitor (slides
+// 11, 13): the syn/syn-ack window join, validated against the
+// generator's ground-truth RTTs, swept over window sizes.
+func E7RTTMonitoring(scale Scale) *Table {
+	t := &Table{
+		ID:     "E7",
+		Title:  "TCP RTT via syn/syn-ack windowed join (slides 11, 13)",
+		Header: []string{"window(ms)", "handshakes", "matched", "recall", "meanRTT(ms)", "trueMean(ms)"},
+	}
+	n := scale.N(20000)
+	for _, winMs := range []int64{100, 300, 30000} {
+		ht := netmon.NewHandshakeTrace(netmon.HandshakeConfig{
+			Seed: 7, Rate: 2000, RTTMu: -2.5, RTTSigma: 0.8, LossProb: 0.05, Servers: 40}, n)
+		cat := query.NewCatalog()
+		cat.Register("S", ht.Syn.Schema())
+		cat.Register("A", ht.Ack.Schema())
+		sql := fmt.Sprintf(`select S.tstmp, A.tstmp - S.tstmp as rtt
+			from S [range %d ms], A [range %d ms]
+			where S.srcIP = A.destIP and S.destIP = A.srcIP
+			  and S.srcPort = A.destPort and S.destPort = A.srcPort`, winMs, winMs)
+		rows, _, err := query.Run(sql, cat,
+			map[string]stream.Source{"S": ht.Syn, "A": ht.Ack}, -1)
+		if err != nil {
+			panic(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			rtt, _ := r.Vals[1].AsInt()
+			sum += float64(rtt)
+		}
+		var truthSum float64
+		for _, r := range ht.TrueRTTs {
+			truthSum += float64(r)
+		}
+		mean := 0.0
+		if len(rows) > 0 {
+			mean = sum / float64(len(rows)) / 1e6
+		}
+		trueMean := 0.0
+		if len(ht.TrueRTTs) > 0 {
+			trueMean = truthSum / float64(len(ht.TrueRTTs)) / 1e6
+		}
+		recall := float64(len(rows)) / float64(len(ht.TrueRTTs))
+		t.AddRow(winMs, n, len(rows), recall, mean, trueMean)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: recall rises toward 1 as the window covers the RTT distribution's tail")
+	return t
+}
+
+// E11XJoinSpill reproduces the XJoin behaviour of slide 31: the join
+// survives memory overflow by spilling to disk, producing the exact
+// result at every memory budget.
+func E11XJoinSpill(scale Scale, dir string) *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "XJoin memory-overflow processing (slide 31)",
+		Header: []string{"budget(tuples)", "output", "exact", "spills", "spilledTuples", "diskKB"},
+	}
+	a, b := joinSchemas()
+	n := scale.N(20000)
+	rng := rand.New(rand.NewSource(11))
+	var lKeys, rKeys []int64
+	for i := 0; i < n/2; i++ {
+		lKeys = append(lKeys, rng.Int63n(500))
+		rKeys = append(rKeys, rng.Int63n(500))
+	}
+	counts := map[int64]int64{}
+	for _, k := range lKeys {
+		counts[k]++
+	}
+	var exact int64
+	for _, k := range rKeys {
+		exact += counts[k]
+	}
+
+	for _, budget := range []int{256, 1024, 8192, 1 << 20} {
+		x, err := ops.NewXJoin("x", a, b, []int{1}, []int{1}, 16, budget, nil, dir)
+		if err != nil {
+			panic(err)
+		}
+		var out int64
+		emit := func(stream.Element) { out++ }
+		for i := 0; i < len(lKeys) || i < len(rKeys); i++ {
+			if i < len(lKeys) {
+				x.Push(0, stream.Tup(tuple.New(int64(2*i), tuple.Time(int64(2*i)), tuple.Int(lKeys[i]))), emit)
+			}
+			if i < len(rKeys) {
+				x.Push(1, stream.Tup(tuple.New(int64(2*i+1), tuple.Time(int64(2*i+1)), tuple.Int(rKeys[i]))), emit)
+			}
+		}
+		x.Flush(emit)
+		_, spills, spilled, diskBytes := x.Stats()
+		t.AddRow(budget, out, out == exact, spills, spilled, diskBytes/1024)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: identical (exact) output at every budget; disk traffic falls as memory grows")
+	return t
+}

@@ -1,0 +1,135 @@
+package expr
+
+import (
+	"testing"
+
+	"streamdb/internal/tuple"
+)
+
+func TestNodeMetadata(t *testing.T) {
+	a := MustColumn(testSchema, "a")
+	flag := MustColumn(testSchema, "flag")
+
+	not := &Not{E: flag}
+	if not.Kind() != tuple.KindBool || not.String() != "NOT flag" {
+		t.Errorf("Not metadata: %v %q", not.Kind(), not.String())
+	}
+	if cols := not.Columns(nil); len(cols) != 1 || cols[0] != 4 {
+		t.Errorf("Not.Columns = %v", cols)
+	}
+
+	neg := &Neg{E: a}
+	if neg.Kind() != tuple.KindInt || neg.String() != "-a" {
+		t.Errorf("Neg int metadata: %v %q", neg.Kind(), neg.String())
+	}
+	negf := &Neg{E: MustColumn(testSchema, "b")}
+	if negf.Kind() != tuple.KindFloat {
+		t.Errorf("Neg float kind = %v", negf.Kind())
+	}
+	if cols := neg.Columns(nil); len(cols) != 1 || cols[0] != 1 {
+		t.Errorf("Neg.Columns = %v", cols)
+	}
+
+	isn := &IsNull{E: a}
+	if isn.Kind() != tuple.KindBool || isn.String() != "a IS NULL" {
+		t.Errorf("IsNull metadata: %v %q", isn.Kind(), isn.String())
+	}
+	isnn := &IsNull{E: a, Negate: true}
+	if isnn.String() != "a IS NOT NULL" {
+		t.Errorf("IsNull negate string = %q", isnn.String())
+	}
+	if cols := isn.Columns(nil); len(cols) != 1 {
+		t.Errorf("IsNull.Columns = %v", cols)
+	}
+
+	lit := Constant(tuple.Int(5))
+	if cols := lit.Columns(nil); len(cols) != 0 {
+		t.Errorf("Lit.Columns = %v", cols)
+	}
+
+	call, err := NewCall("contains", MustColumn(testSchema, "s"), Constant(tuple.String("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := call.Columns(nil); len(cols) != 1 || cols[0] != 3 {
+		t.Errorf("Call.Columns = %v", cols)
+	}
+}
+
+func TestMustColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustColumn did not panic on a bad name")
+		}
+	}()
+	MustColumn(testSchema, "nosuchcolumn")
+}
+
+func TestEvalEdgeCases(t *testing.T) {
+	tup := row(0, 4, 2.5, "", true)
+	a := MustColumn(testSchema, "a")
+	b := MustColumn(testSchema, "b")
+
+	// Float modulo and float division by zero.
+	mod, _ := NewBin(expBinOpMod(), a, b)
+	if v := mod.Eval(tup); !v.Equal(tuple.Float(0)) {
+		t.Errorf("4 %% 2.5 (int mod) = %v", v)
+	}
+	divz, _ := NewBin(OpDiv, a, Constant(tuple.Float(0)))
+	if v := divz.Eval(tup); !v.IsNull() {
+		t.Errorf("float div by zero = %v, want NULL", v)
+	}
+	modz, _ := NewBin(OpMod, a, Constant(tuple.Float(0)))
+	if v := modz.Eval(tup); !v.IsNull() {
+		t.Errorf("float mod by zero = %v, want NULL", v)
+	}
+	// Neg of a non-numeric value is NULL.
+	negs := &Neg{E: Constant(tuple.String("x"))}
+	if v := negs.Eval(tup); !v.IsNull() {
+		t.Errorf("neg of string = %v", v)
+	}
+	// Not of a non-boolean is NULL.
+	nots := &Not{E: Constant(tuple.Null)}
+	if v := nots.Eval(tup); !v.IsNull() {
+		t.Errorf("NOT NULL = %v", v)
+	}
+	// Float comparison branches.
+	lt, _ := NewBin(OpLt, b, Constant(tuple.Float(3)))
+	if !EvalBool(lt, tup) {
+		t.Error("2.5 < 3 false")
+	}
+	ge, _ := NewBin(OpGe, b, b)
+	if !EvalBool(ge, tup) {
+		t.Error("b >= b false")
+	}
+}
+
+// expBinOpMod avoids a typo-prone constant reference in the test above.
+func expBinOpMod() BinOp { return OpMod }
+
+func TestMax64(t *testing.T) {
+	if max64(3, 5) != 5 || max64(5, 3) != 5 {
+		t.Error("max64 broken")
+	}
+}
+
+func TestTbFunctionZeroWidth(t *testing.T) {
+	c, err := NewCall("tb", Constant(tuple.Int(100)), Constant(tuple.Int(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := c.Eval(nil); !v.IsNull() {
+		t.Errorf("tb with zero width = %v, want NULL", v)
+	}
+}
+
+func TestFloorAndCoalesceAllNull(t *testing.T) {
+	fl, _ := NewCall("floor", Constant(tuple.String("x")))
+	if v := fl.Eval(nil); !v.IsNull() {
+		t.Errorf("floor of string = %v", v)
+	}
+	co, _ := NewCall("coalesce", Constant(tuple.Null), Constant(tuple.Null))
+	if v := co.Eval(nil); !v.IsNull() {
+		t.Errorf("coalesce of NULLs = %v", v)
+	}
+}

@@ -1,0 +1,397 @@
+// Package expr implements the scalar expression language used throughout
+// streamdb: in WHERE predicates, SELECT lists, GROUP BY expressions such
+// as Gigascope's time/60 window buckets (slide 37), and HAVING clauses.
+//
+// Expressions are immutable trees evaluated against a single tuple (or a
+// pair of concatenated tuples for join predicates). Evaluation is
+// allocation-free for numeric expressions.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"streamdb/internal/tuple"
+)
+
+// Expr is a scalar expression evaluated against one tuple.
+type Expr interface {
+	// Eval computes the expression over t. NULL propagates: any NULL
+	// operand yields NULL (except IS NULL and boolean three-valued logic).
+	Eval(t *tuple.Tuple) tuple.Value
+	// Kind reports the static result type given the input schema binding
+	// established at Bind time.
+	Kind() tuple.Kind
+	// Columns appends the column indexes the expression reads to dst.
+	Columns(dst []int) []int
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// Col reads one attribute by position.
+type Col struct {
+	Index int
+	Name  string
+	Typ   tuple.Kind
+}
+
+// Column constructs a bound column reference.
+func Column(s *tuple.Schema, name string) (*Col, error) {
+	i := s.Index(name)
+	if i < 0 {
+		return nil, fmt.Errorf("expr: unknown column %q in %s", name, s.Name)
+	}
+	return &Col{Index: i, Name: name, Typ: s.Fields[i].Kind}, nil
+}
+
+// MustColumn is Column for statically-known names; it panics on error.
+func MustColumn(s *tuple.Schema, name string) *Col {
+	c, err := Column(s, name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Eval implements Expr.
+func (c *Col) Eval(t *tuple.Tuple) tuple.Value { return t.Vals[c.Index] }
+
+// Kind implements Expr.
+func (c *Col) Kind() tuple.Kind { return c.Typ }
+
+// Columns implements Expr.
+func (c *Col) Columns(dst []int) []int { return append(dst, c.Index) }
+
+func (c *Col) String() string { return c.Name }
+
+// Lit is a constant.
+type Lit struct{ Val tuple.Value }
+
+// Constant wraps a value as an expression.
+func Constant(v tuple.Value) *Lit { return &Lit{Val: v} }
+
+// Eval implements Expr.
+func (l *Lit) Eval(*tuple.Tuple) tuple.Value { return l.Val }
+
+// Kind implements Expr.
+func (l *Lit) Kind() tuple.Kind { return l.Val.Kind }
+
+// Columns implements Expr.
+func (l *Lit) Columns(dst []int) []int { return dst }
+
+func (l *Lit) String() string {
+	if l.Val.Kind == tuple.KindString {
+		return "'" + l.Val.Str() + "'"
+	}
+	return l.Val.String()
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operator kinds: arithmetic, comparison, boolean.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"}
+
+// String returns the SQL spelling of the operator.
+func (o BinOp) String() string { return binOpNames[o] }
+
+// Comparison reports whether the operator yields BOOL from two scalars.
+func (o BinOp) Comparison() bool { return o >= OpEq && o <= OpGe }
+
+// Bin is a binary expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// NewBin constructs a type-checked binary expression.
+func NewBin(op BinOp, l, r Expr) (*Bin, error) {
+	lk, rk := l.Kind(), r.Kind()
+	switch {
+	case op <= OpMod:
+		if !lk.Numeric() || !rk.Numeric() {
+			return nil, fmt.Errorf("expr: %s requires numeric operands, got %s %s", op, lk, rk)
+		}
+	case op.Comparison():
+		if lk.Numeric() != rk.Numeric() && lk != tuple.KindNull && rk != tuple.KindNull {
+			return nil, fmt.Errorf("expr: cannot compare %s with %s", lk, rk)
+		}
+	default: // AND/OR
+		if lk != tuple.KindBool || rk != tuple.KindBool {
+			return nil, fmt.Errorf("expr: %s requires boolean operands, got %s %s", op, lk, rk)
+		}
+	}
+	return &Bin{Op: op, L: l, R: r}, nil
+}
+
+// Eval implements Expr.
+func (b *Bin) Eval(t *tuple.Tuple) tuple.Value {
+	// Three-valued logic shortcuts for AND/OR.
+	if b.Op == OpAnd || b.Op == OpOr {
+		l := b.L.Eval(t)
+		if lb, ok := l.AsBool(); ok {
+			if b.Op == OpAnd && !lb {
+				return tuple.Bool(false)
+			}
+			if b.Op == OpOr && lb {
+				return tuple.Bool(true)
+			}
+		}
+		r := b.R.Eval(t)
+		if rb, ok := r.AsBool(); ok {
+			if b.Op == OpAnd && !rb {
+				return tuple.Bool(false)
+			}
+			if b.Op == OpOr && rb {
+				return tuple.Bool(true)
+			}
+			if l.IsNull() {
+				return tuple.Null
+			}
+			return tuple.Bool(rb)
+		}
+		return tuple.Null
+	}
+
+	l, r := b.L.Eval(t), b.R.Eval(t)
+	if l.IsNull() || r.IsNull() {
+		return tuple.Null
+	}
+	if b.Op.Comparison() {
+		switch b.Op {
+		case OpEq:
+			return tuple.Bool(l.Equal(r))
+		case OpNe:
+			return tuple.Bool(!l.Equal(r))
+		case OpLt:
+			return tuple.Bool(l.Compare(r) < 0)
+		case OpLe:
+			return tuple.Bool(l.Compare(r) <= 0)
+		case OpGt:
+			return tuple.Bool(l.Compare(r) > 0)
+		default:
+			return tuple.Bool(l.Compare(r) >= 0)
+		}
+	}
+	// Arithmetic. Promote to float if either side is float.
+	if l.Kind == tuple.KindFloat || r.Kind == tuple.KindFloat {
+		a, _ := l.AsFloat()
+		c, _ := r.AsFloat()
+		switch b.Op {
+		case OpAdd:
+			return tuple.Float(a + c)
+		case OpSub:
+			return tuple.Float(a - c)
+		case OpMul:
+			return tuple.Float(a * c)
+		case OpDiv:
+			if c == 0 {
+				return tuple.Null
+			}
+			return tuple.Float(a / c)
+		default:
+			if c == 0 {
+				return tuple.Null
+			}
+			return tuple.Float(float64(int64(a) % int64(c)))
+		}
+	}
+	a, _ := l.AsInt()
+	c, _ := r.AsInt()
+	switch b.Op {
+	case OpAdd:
+		return tuple.Int(a + c)
+	case OpSub:
+		return tuple.Int(a - c)
+	case OpMul:
+		return tuple.Int(a * c)
+	case OpDiv:
+		if c == 0 {
+			return tuple.Null
+		}
+		return tuple.Int(a / c)
+	default:
+		if c == 0 {
+			return tuple.Null
+		}
+		return tuple.Int(a % c)
+	}
+}
+
+// Kind implements Expr.
+func (b *Bin) Kind() tuple.Kind {
+	if b.Op.Comparison() || b.Op == OpAnd || b.Op == OpOr {
+		return tuple.KindBool
+	}
+	if b.L.Kind() == tuple.KindFloat || b.R.Kind() == tuple.KindFloat {
+		return tuple.KindFloat
+	}
+	return tuple.KindInt
+}
+
+// Columns implements Expr.
+func (b *Bin) Columns(dst []int) []int { return b.R.Columns(b.L.Columns(dst)) }
+
+func (b *Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+// Eval implements Expr.
+func (n *Not) Eval(t *tuple.Tuple) tuple.Value {
+	v := n.E.Eval(t)
+	b, ok := v.AsBool()
+	if !ok {
+		return tuple.Null
+	}
+	return tuple.Bool(!b)
+}
+
+// Kind implements Expr.
+func (n *Not) Kind() tuple.Kind { return tuple.KindBool }
+
+// Columns implements Expr.
+func (n *Not) Columns(dst []int) []int { return n.E.Columns(dst) }
+
+func (n *Not) String() string { return "NOT " + n.E.String() }
+
+// Neg negates a numeric expression.
+type Neg struct{ E Expr }
+
+// Eval implements Expr.
+func (n *Neg) Eval(t *tuple.Tuple) tuple.Value {
+	v := n.E.Eval(t)
+	switch v.Kind {
+	case tuple.KindFloat:
+		return tuple.Float(-v.Fl())
+	case tuple.KindInt, tuple.KindUint, tuple.KindTime:
+		i, _ := v.AsInt()
+		return tuple.Int(-i)
+	}
+	return tuple.Null
+}
+
+// Kind implements Expr.
+func (n *Neg) Kind() tuple.Kind {
+	if n.E.Kind() == tuple.KindFloat {
+		return tuple.KindFloat
+	}
+	return tuple.KindInt
+}
+
+// Columns implements Expr.
+func (n *Neg) Columns(dst []int) []int { return n.E.Columns(dst) }
+
+func (n *Neg) String() string { return "-" + n.E.String() }
+
+// IsNull tests for NULL (never returns NULL itself).
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Eval implements Expr.
+func (i *IsNull) Eval(t *tuple.Tuple) tuple.Value {
+	return tuple.Bool(i.E.Eval(t).IsNull() != i.Negate)
+}
+
+// Kind implements Expr.
+func (i *IsNull) Kind() tuple.Kind { return tuple.KindBool }
+
+// Columns implements Expr.
+func (i *IsNull) Columns(dst []int) []int { return i.E.Columns(dst) }
+
+func (i *IsNull) String() string {
+	if i.Negate {
+		return i.E.String() + " IS NOT NULL"
+	}
+	return i.E.String() + " IS NULL"
+}
+
+// Call is a scalar function application. Functions are pure; the registry
+// in funcs.go provides the builtin set (string matching for Gigascope
+// payload inspection, time bucketing, external-table lookups).
+type Call struct {
+	Fn   *Func
+	Args []Expr
+}
+
+// NewCall constructs a type-checked function call.
+func NewCall(name string, args ...Expr) (*Call, error) {
+	fn, ok := LookupFunc(name)
+	if !ok {
+		return nil, fmt.Errorf("expr: unknown function %q", name)
+	}
+	if fn.Arity >= 0 && len(args) != fn.Arity {
+		return nil, fmt.Errorf("expr: %s takes %d arguments, got %d", name, fn.Arity, len(args))
+	}
+	return &Call{Fn: fn, Args: args}, nil
+}
+
+// Eval implements Expr.
+func (c *Call) Eval(t *tuple.Tuple) tuple.Value {
+	args := make([]tuple.Value, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.Eval(t)
+	}
+	return c.Fn.Apply(args)
+}
+
+// Kind implements Expr.
+func (c *Call) Kind() tuple.Kind { return c.Fn.Result }
+
+// Columns implements Expr.
+func (c *Call) Columns(dst []int) []int {
+	for _, a := range c.Args {
+		dst = a.Columns(dst)
+	}
+	return dst
+}
+
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Fn.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// EvalBool evaluates a predicate with SQL semantics: NULL counts as false.
+func EvalBool(e Expr, t *tuple.Tuple) bool {
+	b, ok := e.Eval(t).AsBool()
+	return ok && b
+}
+
+// Selectivity estimates the fraction of tuples from sample that satisfy
+// pred; the rate-based optimizer (slide 40) uses it when rates must be
+// estimated rather than declared.
+func Selectivity(pred Expr, sample []*tuple.Tuple) float64 {
+	if len(sample) == 0 {
+		return 1
+	}
+	pass := 0
+	for _, t := range sample {
+		if EvalBool(pred, t) {
+			pass++
+		}
+	}
+	return float64(pass) / float64(len(sample))
+}

@@ -1,0 +1,322 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamdb/internal/tuple"
+)
+
+var testSchema = tuple.NewSchema("T",
+	tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+	tuple.Field{Name: "a", Kind: tuple.KindInt},
+	tuple.Field{Name: "b", Kind: tuple.KindFloat},
+	tuple.Field{Name: "s", Kind: tuple.KindString},
+	tuple.Field{Name: "flag", Kind: tuple.KindBool},
+)
+
+func row(ts int64, a int64, b float64, s string, flag bool) *tuple.Tuple {
+	return tuple.New(ts, tuple.Time(ts), tuple.Int(a), tuple.Float(b), tuple.String(s), tuple.Bool(flag))
+}
+
+func mustBin(t *testing.T, op BinOp, l, r Expr) *Bin {
+	t.Helper()
+	b, err := NewBin(op, l, r)
+	if err != nil {
+		t.Fatalf("NewBin(%v): %v", op, err)
+	}
+	return b
+}
+
+func TestColumnBinding(t *testing.T) {
+	c, err := Column(testSchema, "a")
+	if err != nil || c.Index != 1 || c.Kind() != tuple.KindInt {
+		t.Fatalf("Column(a) = %+v, %v", c, err)
+	}
+	if _, err := Column(testSchema, "zz"); err == nil {
+		t.Error("Column(zz) succeeded")
+	}
+	tup := row(0, 7, 0, "", false)
+	if v, _ := c.Eval(tup).AsInt(); v != 7 {
+		t.Errorf("Eval = %v", c.Eval(tup))
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := MustColumn(testSchema, "a")
+	b := MustColumn(testSchema, "b")
+	tup := row(0, 10, 2.5, "", false)
+	cases := []struct {
+		op   BinOp
+		l, r Expr
+		want tuple.Value
+	}{
+		{OpAdd, a, Constant(tuple.Int(5)), tuple.Int(15)},
+		{OpSub, a, Constant(tuple.Int(5)), tuple.Int(5)},
+		{OpMul, a, b, tuple.Float(25)},
+		{OpDiv, a, Constant(tuple.Int(3)), tuple.Int(3)},
+		{OpMod, a, Constant(tuple.Int(3)), tuple.Int(1)},
+		{OpDiv, a, b, tuple.Float(4)},
+		{OpDiv, a, Constant(tuple.Int(0)), tuple.Null},
+		{OpMod, a, Constant(tuple.Int(0)), tuple.Null},
+	}
+	for _, c := range cases {
+		e := mustBin(t, c.op, c.l, c.r)
+		got := e.Eval(tup)
+		if c.want.IsNull() {
+			if !got.IsNull() {
+				t.Errorf("%s = %v, want NULL", e, got)
+			}
+		} else if !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", e, got, c.want)
+		}
+	}
+}
+
+func TestTimeBucketIdiom(t *testing.T) {
+	// The GSQL "group by time/60 as tb" idiom (slide 13).
+	tb := mustBin(t, OpDiv, MustColumn(testSchema, "time"), Constant(tuple.Int(60)))
+	if v, _ := tb.Eval(row(125, 0, 0, "", false)).AsInt(); v != 2 {
+		t.Errorf("time/60 @125 = %d, want 2", v)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	a := MustColumn(testSchema, "a")
+	tup := row(0, 10, 0, "", false)
+	cases := []struct {
+		op   BinOp
+		rhs  int64
+		want bool
+	}{
+		{OpEq, 10, true}, {OpEq, 9, false},
+		{OpNe, 9, true}, {OpNe, 10, false},
+		{OpLt, 11, true}, {OpLt, 10, false},
+		{OpLe, 10, true}, {OpLe, 9, false},
+		{OpGt, 9, true}, {OpGt, 10, false},
+		{OpGe, 10, true}, {OpGe, 11, false},
+	}
+	for _, c := range cases {
+		e := mustBin(t, c.op, a, Constant(tuple.Int(c.rhs)))
+		if got := EvalBool(e, tup); got != c.want {
+			t.Errorf("%s = %v, want %v", e, got, c.want)
+		}
+	}
+}
+
+func TestTypeCheckRejects(t *testing.T) {
+	s := MustColumn(testSchema, "s")
+	a := MustColumn(testSchema, "a")
+	flag := MustColumn(testSchema, "flag")
+	if _, err := NewBin(OpAdd, s, a); err == nil {
+		t.Error("string + int accepted")
+	}
+	if _, err := NewBin(OpLt, s, a); err == nil {
+		t.Error("string < int accepted")
+	}
+	if _, err := NewBin(OpAnd, a, flag); err == nil {
+		t.Error("int AND bool accepted")
+	}
+	if _, err := NewBin(OpEq, s, s); err != nil {
+		t.Error("string = string rejected")
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	null := Constant(tuple.Null)
+	tr := Constant(tuple.Bool(true))
+	fa := Constant(tuple.Bool(false))
+	tup := row(0, 0, 0, "", false)
+
+	and1 := &Bin{Op: OpAnd, L: null, R: fa}
+	if v := and1.Eval(tup); !v.Equal(tuple.Bool(false)) {
+		t.Errorf("NULL AND false = %v, want false", v)
+	}
+	and2 := &Bin{Op: OpAnd, L: null, R: tr}
+	if v := and2.Eval(tup); !v.IsNull() {
+		t.Errorf("NULL AND true = %v, want NULL", v)
+	}
+	or1 := &Bin{Op: OpOr, L: null, R: tr}
+	if v := or1.Eval(tup); !v.Equal(tuple.Bool(true)) {
+		t.Errorf("NULL OR true = %v, want true", v)
+	}
+	or2 := &Bin{Op: OpOr, L: null, R: fa}
+	if v := or2.Eval(tup); !v.IsNull() {
+		t.Errorf("NULL OR false = %v, want NULL", v)
+	}
+	cmp := &Bin{Op: OpEq, L: null, R: Constant(tuple.Int(1))}
+	if v := cmp.Eval(tup); !v.IsNull() {
+		t.Errorf("NULL = 1 -> %v, want NULL", v)
+	}
+	if EvalBool(cmp, tup) {
+		t.Error("EvalBool(NULL) = true")
+	}
+}
+
+func TestNotNegIsNull(t *testing.T) {
+	tup := row(0, 5, 0, "", true)
+	not := &Not{E: MustColumn(testSchema, "flag")}
+	if EvalBool(not, tup) {
+		t.Error("NOT true = true")
+	}
+	neg := &Neg{E: MustColumn(testSchema, "a")}
+	if v, _ := neg.Eval(tup).AsInt(); v != -5 {
+		t.Errorf("-a = %v", v)
+	}
+	negf := &Neg{E: Constant(tuple.Float(1.5))}
+	if v := negf.Eval(tup); !v.Equal(tuple.Float(-1.5)) {
+		t.Errorf("-1.5 = %v", v)
+	}
+	isn := &IsNull{E: Constant(tuple.Null)}
+	if !EvalBool(isn, tup) {
+		t.Error("NULL IS NULL = false")
+	}
+	isnn := &IsNull{E: MustColumn(testSchema, "a"), Negate: true}
+	if !EvalBool(isnn, tup) {
+		t.Error("a IS NOT NULL = false")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	a := MustColumn(testSchema, "a")
+	b := MustColumn(testSchema, "b")
+	e := mustBin(t, OpAdd, a, mustBin(t, OpMul, b, a))
+	cols := e.Columns(nil)
+	if len(cols) != 3 || cols[0] != 1 || cols[1] != 2 || cols[2] != 1 {
+		t.Errorf("Columns = %v", cols)
+	}
+}
+
+func TestFuncRegistry(t *testing.T) {
+	if _, ok := LookupFunc("CONTAINS"); !ok {
+		t.Error("lookup is not case-insensitive")
+	}
+	if _, err := NewCall("nosuchfn"); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, err := NewCall("contains", Constant(tuple.String("x"))); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestBuiltinFunctions(t *testing.T) {
+	tup := row(0, -5, 2.25, "BitTorrent protocol handshake", false)
+	s := MustColumn(testSchema, "s")
+	eval := func(name string, args ...Expr) tuple.Value {
+		c, err := NewCall(name, args...)
+		if err != nil {
+			t.Fatalf("NewCall(%s): %v", name, err)
+		}
+		return c.Eval(tup)
+	}
+	if v := eval("abs", MustColumn(testSchema, "a")); !v.Equal(tuple.Float(5)) {
+		t.Errorf("abs(-5) = %v", v)
+	}
+	if v := eval("sqrt", MustColumn(testSchema, "b")); !v.Equal(tuple.Float(1.5)) {
+		t.Errorf("sqrt(2.25) = %v", v)
+	}
+	if v := eval("sqrt", MustColumn(testSchema, "a")); !v.IsNull() {
+		t.Errorf("sqrt(-5) = %v, want NULL", v)
+	}
+	if v := eval("floor", Constant(tuple.Float(2.9))); !v.Equal(tuple.Int(2)) {
+		t.Errorf("floor(2.9) = %v", v)
+	}
+	if v := eval("len", s); !v.Equal(tuple.Int(29)) {
+		t.Errorf("len = %v", v)
+	}
+	if v := eval("lower", Constant(tuple.String("AB"))); !v.Equal(tuple.String("ab")) {
+		t.Errorf("lower = %v", v)
+	}
+	if v := eval("upper", Constant(tuple.String("ab"))); !v.Equal(tuple.String("AB")) {
+		t.Errorf("upper = %v", v)
+	}
+	if v := eval("contains", s, Constant(tuple.String("BitTorrent"))); !v.Equal(tuple.Bool(true)) {
+		t.Errorf("contains = %v", v)
+	}
+	if v := eval("contains_any", s, Constant(tuple.String("gnutella|BitTorrent|eDonkey"))); !v.Equal(tuple.Bool(true)) {
+		t.Errorf("contains_any = %v", v)
+	}
+	if v := eval("contains_any", s, Constant(tuple.String("gnutella|eDonkey"))); !v.Equal(tuple.Bool(false)) {
+		t.Errorf("contains_any negative = %v", v)
+	}
+	if v := eval("tb", MustColumn(testSchema, "time"), Constant(tuple.Int(60))); !v.Equal(tuple.Int(0)) {
+		t.Errorf("tb = %v", v)
+	}
+	if v := eval("ip4", Constant(tuple.IP(0x01000001))); !v.Equal(tuple.String("1.0.0.1")) {
+		t.Errorf("ip4 = %v", v)
+	}
+	if v := eval("coalesce", Constant(tuple.Null), Constant(tuple.Int(3))); !v.Equal(tuple.Int(3)) {
+		t.Errorf("coalesce = %v", v)
+	}
+}
+
+type mapTable map[string]string
+
+func (m mapTable) Lookup(k tuple.Value) (tuple.Value, bool) {
+	s, ok := k.AsString()
+	if !ok {
+		return tuple.Null, false
+	}
+	v, hit := m[s]
+	return tuple.String(v), hit
+}
+
+func TestLookupTable(t *testing.T) {
+	RegisterTable("peerid.tbl", mapTable{"10.0.0.1": "peerA"})
+	c, err := NewCall("lookup", Constant(tuple.String("10.0.0.1")), Constant(tuple.String("peerid.tbl")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := c.Eval(nil); !v.Equal(tuple.String("peerA")) {
+		t.Errorf("lookup = %v", v)
+	}
+	miss, _ := NewCall("lookup", Constant(tuple.String("9.9.9.9")), Constant(tuple.String("peerid.tbl")))
+	if v := miss.Eval(nil); !v.IsNull() {
+		t.Errorf("lookup miss = %v", v)
+	}
+	noTbl, _ := NewCall("lookup", Constant(tuple.String("x")), Constant(tuple.String("nope.tbl")))
+	if v := noTbl.Eval(nil); !v.IsNull() {
+		t.Errorf("lookup missing table = %v", v)
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	pred := mustBin(t, OpGt, MustColumn(testSchema, "a"), Constant(tuple.Int(5)))
+	var sample []*tuple.Tuple
+	for i := int64(0); i < 10; i++ {
+		sample = append(sample, row(i, i, 0, "", false))
+	}
+	if s := Selectivity(pred, sample); s != 0.4 {
+		t.Errorf("Selectivity = %v, want 0.4", s)
+	}
+	if s := Selectivity(pred, nil); s != 1 {
+		t.Errorf("Selectivity(empty) = %v, want 1", s)
+	}
+}
+
+func TestArithmeticProperty(t *testing.T) {
+	// (a + b) - b == a for int arithmetic.
+	f := func(a, b int32) bool {
+		ea := Constant(tuple.Int(int64(a)))
+		eb := Constant(tuple.Int(int64(b)))
+		add, _ := NewBin(OpAdd, ea, eb)
+		sub, _ := NewBin(OpSub, add, eb)
+		v, _ := sub.Eval(nil).AsInt()
+		return v == int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a := MustColumn(testSchema, "a")
+	e := mustBin(t, OpGt, a, Constant(tuple.Int(5)))
+	if e.String() != "(a > 5)" {
+		t.Errorf("String = %q", e.String())
+	}
+	c, _ := NewCall("contains", MustColumn(testSchema, "s"), Constant(tuple.String("x")))
+	if c.String() != "contains(s, 'x')" {
+		t.Errorf("call String = %q", c.String())
+	}
+}

@@ -1,0 +1,170 @@
+package expr
+
+import (
+	"math"
+	"strings"
+	"sync"
+
+	"streamdb/internal/tuple"
+)
+
+// Func is a pure scalar function. The tutorial's query examples rely on
+// several: GSQL's external functions like f(destIP,'peerid.tbl')
+// (slide 37), payload keyword matching for P2P detection (slide 10), and
+// time bucketing (slide 13).
+type Func struct {
+	Name   string
+	Arity  int // -1 for variadic
+	Result tuple.Kind
+	Apply  func(args []tuple.Value) tuple.Value
+}
+
+var (
+	funcMu  sync.RWMutex
+	funcReg = map[string]*Func{}
+)
+
+// RegisterFunc installs a function in the global registry, mirroring
+// GSQL's "external functions" hook (slide 13). Re-registration replaces.
+func RegisterFunc(f *Func) {
+	funcMu.Lock()
+	defer funcMu.Unlock()
+	funcReg[strings.ToLower(f.Name)] = f
+}
+
+// LookupFunc finds a registered function by case-insensitive name.
+func LookupFunc(name string) (*Func, bool) {
+	funcMu.RLock()
+	defer funcMu.RUnlock()
+	f, ok := funcReg[strings.ToLower(name)]
+	return f, ok
+}
+
+// LookupTable is the interface external lookup tables implement for the
+// lookup() function (GSQL's hand-coded views / external relations).
+type LookupTable interface {
+	Lookup(key tuple.Value) (tuple.Value, bool)
+}
+
+var (
+	tableMu sync.RWMutex
+	tables  = map[string]LookupTable{}
+)
+
+// RegisterTable installs a named lookup table usable from queries as
+// lookup(expr, 'name'), the analogue of f(destIP, 'peerid.tbl').
+func RegisterTable(name string, t LookupTable) {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	tables[name] = t
+}
+
+func nullIf(cond bool, v tuple.Value) tuple.Value {
+	if cond {
+		return tuple.Null
+	}
+	return v
+}
+
+func init() {
+	RegisterFunc(&Func{Name: "abs", Arity: 1, Result: tuple.KindFloat,
+		Apply: func(a []tuple.Value) tuple.Value {
+			f, ok := a[0].AsFloat()
+			return nullIf(!ok, tuple.Float(math.Abs(f)))
+		}})
+	RegisterFunc(&Func{Name: "sqrt", Arity: 1, Result: tuple.KindFloat,
+		Apply: func(a []tuple.Value) tuple.Value {
+			f, ok := a[0].AsFloat()
+			return nullIf(!ok || f < 0, tuple.Float(math.Sqrt(f)))
+		}})
+	RegisterFunc(&Func{Name: "floor", Arity: 1, Result: tuple.KindInt,
+		Apply: func(a []tuple.Value) tuple.Value {
+			f, ok := a[0].AsFloat()
+			return nullIf(!ok, tuple.Int(int64(math.Floor(f))))
+		}})
+	RegisterFunc(&Func{Name: "len", Arity: 1, Result: tuple.KindInt,
+		Apply: func(a []tuple.Value) tuple.Value {
+			s, ok := a[0].AsString()
+			return nullIf(!ok, tuple.Int(int64(len(s))))
+		}})
+	RegisterFunc(&Func{Name: "lower", Arity: 1, Result: tuple.KindString,
+		Apply: func(a []tuple.Value) tuple.Value {
+			s, ok := a[0].AsString()
+			return nullIf(!ok, tuple.String(strings.ToLower(s)))
+		}})
+	RegisterFunc(&Func{Name: "upper", Arity: 1, Result: tuple.KindString,
+		Apply: func(a []tuple.Value) tuple.Value {
+			s, ok := a[0].AsString()
+			return nullIf(!ok, tuple.String(strings.ToUpper(s)))
+		}})
+	// contains(payload, 'keyword') — the Gigascope P2P detector's core:
+	// "search for P2P related keywords within each TCP datagram".
+	RegisterFunc(&Func{Name: "contains", Arity: 2, Result: tuple.KindBool,
+		Apply: func(a []tuple.Value) tuple.Value {
+			s, ok1 := a[0].AsString()
+			sub, ok2 := a[1].AsString()
+			return nullIf(!ok1 || !ok2, tuple.Bool(strings.Contains(s, sub)))
+		}})
+	// contains_any(payload, 'k1|k2|k3') — multi-keyword variant.
+	RegisterFunc(&Func{Name: "contains_any", Arity: 2, Result: tuple.KindBool,
+		Apply: func(a []tuple.Value) tuple.Value {
+			s, ok1 := a[0].AsString()
+			subs, ok2 := a[1].AsString()
+			if !ok1 || !ok2 {
+				return tuple.Null
+			}
+			for _, sub := range strings.Split(subs, "|") {
+				if sub != "" && strings.Contains(s, sub) {
+					return tuple.Bool(true)
+				}
+			}
+			return tuple.Bool(false)
+		}})
+	// tb(time, width) — explicit time-bucket function, equivalent to the
+	// GSQL idiom "group by time/60 as tb" (slides 13, 37).
+	RegisterFunc(&Func{Name: "tb", Arity: 2, Result: tuple.KindInt,
+		Apply: func(a []tuple.Value) tuple.Value {
+			t, ok1 := a[0].AsInt()
+			w, ok2 := a[1].AsInt()
+			return nullIf(!ok1 || !ok2 || w <= 0, tuple.Int(t/max64(w, 1)))
+		}})
+	// lookup(key, 'table') — GSQL external-table function.
+	RegisterFunc(&Func{Name: "lookup", Arity: 2, Result: tuple.KindString,
+		Apply: func(a []tuple.Value) tuple.Value {
+			name, ok := a[1].AsString()
+			if !ok {
+				return tuple.Null
+			}
+			tableMu.RLock()
+			tbl, found := tables[name]
+			tableMu.RUnlock()
+			if !found {
+				return tuple.Null
+			}
+			v, hit := tbl.Lookup(a[0])
+			return nullIf(!hit, v)
+		}})
+	// ip4(a) — render an IP as dotted quad for output.
+	RegisterFunc(&Func{Name: "ip4", Arity: 1, Result: tuple.KindString,
+		Apply: func(a []tuple.Value) tuple.Value {
+			u, ok := a[0].AsUint()
+			return nullIf(!ok, tuple.String(tuple.FormatIPv4(uint32(u))))
+		}})
+	// coalesce(...) — first non-NULL argument.
+	RegisterFunc(&Func{Name: "coalesce", Arity: -1, Result: tuple.KindNull,
+		Apply: func(a []tuple.Value) tuple.Value {
+			for _, v := range a {
+				if !v.IsNull() {
+					return v
+				}
+			}
+			return tuple.Null
+		}})
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,259 @@
+// Package hancock is the Hancock substrate (slides 6-8, 49): a
+// stream-in relation-out signature system for transactional call-detail
+// streams. It provides the callRec_t data model, a synthetic CDR
+// generator with fraud injection (substituting for AT&T's proprietary
+// call streams, DESIGN.md §2), the iterate/event signature-program
+// paradigm of slide 8, blend-based signature evolution, and a
+// block-oriented persistent signature store whose I/O behaviour the
+// tutorial repeatedly emphasizes (slides 6, 21, 56).
+package hancock
+
+import (
+	"math/rand"
+	"sort"
+
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// CDR is the logical call record (slide 7's callRec_t).
+type CDR struct {
+	Origin       uint64 // calling line number
+	Dialed       uint64
+	ConnectTime  int64 // virtual ns
+	Duration     int64 // seconds
+	IsIncomplete bool
+	IsIntl       bool
+	IsTollFree   bool
+}
+
+// Schema renders CDRs as stream tuples for the query layer.
+func Schema(name string) *tuple.Schema {
+	return tuple.NewSchema(name,
+		tuple.Field{Name: "connectTime", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "origin", Kind: tuple.KindUint},
+		tuple.Field{Name: "dialed", Kind: tuple.KindUint},
+		tuple.Field{Name: "duration", Kind: tuple.KindInt},
+		tuple.Field{Name: "isIncomplete", Kind: tuple.KindBool, Bounded: true},
+		tuple.Field{Name: "isIntl", Kind: tuple.KindBool, Bounded: true},
+		tuple.Field{Name: "isTollFree", Kind: tuple.KindBool, Bounded: true},
+	)
+}
+
+// Tuple converts a CDR to a stream tuple.
+func (c *CDR) Tuple() *tuple.Tuple {
+	return tuple.New(c.ConnectTime,
+		tuple.Time(c.ConnectTime), tuple.Uint(c.Origin), tuple.Uint(c.Dialed),
+		tuple.Int(c.Duration), tuple.Bool(c.IsIncomplete),
+		tuple.Bool(c.IsIntl), tuple.Bool(c.IsTollFree))
+}
+
+// GenConfig parameterizes the CDR generator.
+type GenConfig struct {
+	Seed  int64
+	Lines int // caller population
+	// CallsPerLinePerDay is the mean; per-line rates are heavy-tailed.
+	CallsPerLinePerDay float64
+	// FraudLines lists line indexes whose behaviour shifts abruptly
+	// mid-trace (international call bursts), the pattern the fraud
+	// detector must catch (slide 6).
+	FraudLines []int
+	// FraudStartDay is the day fraud behaviour begins.
+	FraudStartDay int
+}
+
+// Day is one virtual day in timestamp units.
+const Day = 24 * 3600 * stream.Second
+
+// GenerateDay synthesizes one day of CDRs, time-ordered.
+func GenerateDay(cfg GenConfig, day int) []*CDR {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(day)*1009))
+	fraud := make(map[int]bool, len(cfg.FraudLines))
+	for _, l := range cfg.FraudLines {
+		fraud[l] = true
+	}
+	var out []*CDR
+	base := int64(day) * Day
+	for line := 0; line < cfg.Lines; line++ {
+		// Heavy-tailed per-line call volume, stable across days: a
+		// line's habitual rate is part of its identity (the signature
+		// assumes behavioural stability, slide 6).
+		lineRng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(line)))
+		mean := cfg.CallsPerLinePerDay * (0.2 + lineRng.ExpFloat64())
+		n := int(mean)
+		if rng.Float64() < mean-float64(n) {
+			n++
+		}
+		isFraud := fraud[line] && day >= cfg.FraudStartDay
+		if isFraud {
+			n += 20 + rng.Intn(20) // burst of activity
+		}
+		for k := 0; k < n; k++ {
+			c := &CDR{
+				Origin:      uint64(line),
+				Dialed:      uint64(rng.Intn(cfg.Lines * 10)),
+				ConnectTime: base + rng.Int63n(Day),
+				Duration:    int64(30 + rng.Intn(600)),
+			}
+			switch {
+			case isFraud && rng.Float64() < 0.7:
+				c.IsIntl = true
+				c.Duration = int64(600 + rng.Intn(3600))
+			case rng.Float64() < 0.05:
+				c.IsIntl = true
+			case rng.Float64() < 0.15:
+				c.IsTollFree = true
+			}
+			if rng.Float64() < 0.03 {
+				c.IsIncomplete = true
+			}
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ConnectTime < out[j].ConnectTime })
+	return out
+}
+
+// Source adapts a day's CDRs to a stream source.
+func Source(cdrs []*CDR) stream.Source {
+	tuples := make([]*tuple.Tuple, len(cdrs))
+	for i, c := range cdrs {
+		tuples[i] = c.Tuple()
+	}
+	return stream.FromTuples(Schema("Calls"), tuples...)
+}
+
+// Signature is a per-line behavioural profile: the evolving state the
+// Hancock program of slide 8 maintains. All rates are blended
+// exponentially (slide 8's blend()).
+type Signature struct {
+	OutTF    float64 // toll-free seconds/day
+	OutIntl  float64 // international seconds/day
+	Calls    float64 // calls/day
+	AvgDur   float64 // mean duration
+	Days     int32   // observations blended in
+	_padding int32
+}
+
+// Blend folds one day's observation into the signature with weight
+// alpha (slide 8: "us.outTF = blend(cumSec.outTF, us.outTF)").
+func Blend(alpha, today, sig float64) float64 {
+	return alpha*today + (1-alpha)*sig
+}
+
+// DayStats is one line's raw activity for a day.
+type DayStats struct {
+	TFSeconds   float64
+	IntlSeconds float64
+	Calls       float64
+	DurSum      float64
+}
+
+// Update blends a day of activity into the signature.
+func (s *Signature) Update(alpha float64, d DayStats) {
+	if s.Days == 0 {
+		// First observation: adopt wholesale rather than blending with
+		// the zero signature.
+		s.OutTF = d.TFSeconds
+		s.OutIntl = d.IntlSeconds
+		s.Calls = d.Calls
+		if d.Calls > 0 {
+			s.AvgDur = d.DurSum / d.Calls
+		}
+		s.Days = 1
+		return
+	}
+	s.OutTF = Blend(alpha, d.TFSeconds, s.OutTF)
+	s.OutIntl = Blend(alpha, d.IntlSeconds, s.OutIntl)
+	s.Calls = Blend(alpha, d.Calls, s.Calls)
+	if d.Calls > 0 {
+		s.AvgDur = Blend(alpha, d.DurSum/d.Calls, s.AvgDur)
+	}
+	s.Days++
+}
+
+// FraudScore measures how anomalous today's activity is against the
+// signature: a ratio-based deviation over international volume and call
+// count.
+func (s *Signature) FraudScore(d DayStats) float64 {
+	if s.Days == 0 {
+		return 0
+	}
+	score := 0.0
+	if d.IntlSeconds > 0 {
+		score += d.IntlSeconds / (s.OutIntl + 60)
+	}
+	if d.Calls > 0 {
+		score += d.Calls / (s.Calls + 1)
+	}
+	return score
+}
+
+// Events is the event-clause hierarchy of a Hancock signature program
+// (slide 8): line_begin / call / line_end over a stream sorted by
+// origin.
+type Events struct {
+	LineBegin func(line uint64)
+	Call      func(c *CDR)
+	LineEnd   func(line uint64)
+}
+
+// Iterate runs a signature program over one day's calls: the Hancock
+// paradigm "iterate (over calls sortedby origin filteredby
+// noIncomplete) { event ... }". The calls are re-sorted by origin (the
+// multiple-passes-on-block processing of slide 21), the filter drops
+// records (e.g. incomplete calls), and events fire per line group.
+func Iterate(calls []*CDR, filter func(*CDR) bool, ev Events) {
+	sorted := make([]*CDR, 0, len(calls))
+	for _, c := range calls {
+		if filter == nil || filter(c) {
+			sorted = append(sorted, c)
+		}
+	}
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Origin < sorted[j].Origin })
+	var cur uint64
+	started := false
+	for _, c := range sorted {
+		if !started || c.Origin != cur {
+			if started && ev.LineEnd != nil {
+				ev.LineEnd(cur)
+			}
+			cur = c.Origin
+			started = true
+			if ev.LineBegin != nil {
+				ev.LineBegin(cur)
+			}
+		}
+		if ev.Call != nil {
+			ev.Call(c)
+		}
+	}
+	if started && ev.LineEnd != nil {
+		ev.LineEnd(cur)
+	}
+}
+
+// CollectDayStats runs the canonical signature program, producing
+// per-line day statistics (the cumSec accumulation of slide 8).
+func CollectDayStats(calls []*CDR) map[uint64]DayStats {
+	stats := make(map[uint64]DayStats)
+	var cum DayStats
+	var line uint64
+	Iterate(calls,
+		func(c *CDR) bool { return !c.IsIncomplete }, // filteredby noIncomplete
+		Events{
+			LineBegin: func(l uint64) { line = l; cum = DayStats{} },
+			Call: func(c *CDR) {
+				cum.Calls++
+				cum.DurSum += float64(c.Duration)
+				if c.IsTollFree {
+					cum.TFSeconds += float64(c.Duration)
+				}
+				if c.IsIntl {
+					cum.IntlSeconds += float64(c.Duration)
+				}
+			},
+			LineEnd: func(l uint64) { stats[line] = cum },
+		})
+	return stats
+}

@@ -1,0 +1,262 @@
+package hancock
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func genCfg() GenConfig {
+	return GenConfig{
+		Seed: 1, Lines: 200, CallsPerLinePerDay: 3,
+		FraudLines: []int{7, 42}, FraudStartDay: 2,
+	}
+}
+
+func TestGenerateDayOrderedAndSized(t *testing.T) {
+	calls := GenerateDay(genCfg(), 0)
+	if len(calls) < 200 {
+		t.Fatalf("only %d calls", len(calls))
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i].ConnectTime < calls[i-1].ConnectTime {
+			t.Fatal("calls out of time order")
+		}
+	}
+	// All within the day.
+	for _, c := range calls {
+		if c.ConnectTime < 0 || c.ConnectTime >= Day {
+			t.Fatalf("call outside day: %d", c.ConnectTime)
+		}
+	}
+	// Deterministic given seed.
+	again := GenerateDay(genCfg(), 0)
+	if len(again) != len(calls) || again[0].Origin != calls[0].Origin {
+		t.Error("generator not deterministic")
+	}
+}
+
+func TestFraudLinesBurst(t *testing.T) {
+	cfg := genCfg()
+	before := CollectDayStats(GenerateDay(cfg, 0))
+	after := CollectDayStats(GenerateDay(cfg, 3))
+	if after[7].IntlSeconds <= before[7].IntlSeconds+600 {
+		t.Errorf("fraud line 7 intl: day0=%v day3=%v", before[7].IntlSeconds, after[7].IntlSeconds)
+	}
+	if after[7].Calls < before[7].Calls+15 {
+		t.Errorf("fraud line 7 calls: day0=%v day3=%v", before[7].Calls, after[7].Calls)
+	}
+}
+
+func TestIterateEventOrder(t *testing.T) {
+	calls := []*CDR{
+		{Origin: 2, ConnectTime: 1, Duration: 10},
+		{Origin: 1, ConnectTime: 2, Duration: 20},
+		{Origin: 2, ConnectTime: 3, Duration: 30, IsIncomplete: true},
+		{Origin: 1, ConnectTime: 4, Duration: 40},
+	}
+	var trace []string
+	Iterate(calls, func(c *CDR) bool { return !c.IsIncomplete }, Events{
+		LineBegin: func(l uint64) { trace = append(trace, "begin") },
+		Call:      func(c *CDR) { trace = append(trace, "call") },
+		LineEnd:   func(l uint64) { trace = append(trace, "end") },
+	})
+	want := []string{"begin", "call", "call", "end", "begin", "call", "end"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestIterateEmptyAndNilEvents(t *testing.T) {
+	Iterate(nil, nil, Events{})
+	Iterate([]*CDR{{Origin: 1}}, nil, Events{}) // no callbacks: no panic
+}
+
+func TestCollectDayStatsFiltersIncomplete(t *testing.T) {
+	calls := []*CDR{
+		{Origin: 1, Duration: 100, IsTollFree: true},
+		{Origin: 1, Duration: 50, IsIncomplete: true},
+		{Origin: 1, Duration: 30, IsIntl: true},
+	}
+	stats := CollectDayStats(calls)
+	s := stats[1]
+	if s.Calls != 2 || s.TFSeconds != 100 || s.IntlSeconds != 30 || s.DurSum != 130 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestBlendAndSignatureUpdate(t *testing.T) {
+	if Blend(0.25, 100, 0) != 25 {
+		t.Error("blend math wrong")
+	}
+	var sig Signature
+	sig.Update(0.5, DayStats{Calls: 10, DurSum: 1000, IntlSeconds: 0})
+	if sig.Calls != 10 || sig.AvgDur != 100 || sig.Days != 1 {
+		t.Fatalf("first update: %+v", sig)
+	}
+	sig.Update(0.5, DayStats{Calls: 20, DurSum: 4000})
+	if sig.Calls != 15 { // blend(0.5, 20, 10)
+		t.Errorf("blended calls = %v", sig.Calls)
+	}
+	if sig.AvgDur != 150 { // blend(0.5, 200, 100)
+		t.Errorf("blended avgdur = %v", sig.AvgDur)
+	}
+}
+
+func TestFraudScoreSeparates(t *testing.T) {
+	var sig Signature
+	for i := 0; i < 5; i++ {
+		sig.Update(0.3, DayStats{Calls: 5, DurSum: 500, IntlSeconds: 10})
+	}
+	normal := sig.FraudScore(DayStats{Calls: 5, DurSum: 500, IntlSeconds: 10})
+	fraud := sig.FraudScore(DayStats{Calls: 40, DurSum: 40000, IntlSeconds: 20000})
+	if fraud < 5*normal {
+		t.Errorf("fraud score %v not separated from normal %v", fraud, normal)
+	}
+	var empty Signature
+	if empty.FraudScore(DayStats{Calls: 100}) != 0 {
+		t.Error("unseen line scored")
+	}
+}
+
+func TestSigStoreMergeAndGet(t *testing.T) {
+	store, err := NewSigStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := map[uint64]DayStats{
+		5: {Calls: 5, DurSum: 100},
+		1: {Calls: 1, DurSum: 10},
+		9: {Calls: 9, DurSum: 900},
+	}
+	if err := store.MergeUpdate(0.3, day); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := store.Len(); n != 3 {
+		t.Fatalf("Len = %d", n)
+	}
+	sig, ok, err := store.Get(5)
+	if err != nil || !ok || sig.Calls != 5 {
+		t.Fatalf("Get(5) = %+v, %v, %v", sig, ok, err)
+	}
+	if _, ok, _ := store.Get(4); ok {
+		t.Error("Get(4) found a ghost")
+	}
+	// Second day merges into existing records and adds a new one.
+	day2 := map[uint64]DayStats{5: {Calls: 15, DurSum: 300}, 2: {Calls: 2, DurSum: 20}}
+	if err := store.MergeUpdate(0.5, day2); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := store.Len(); n != 4 {
+		t.Fatalf("Len after day 2 = %d", n)
+	}
+	sig5, _, _ := store.Get(5)
+	if sig5.Calls != 10 { // blend(0.5, 15, 5)
+		t.Errorf("blended calls = %v", sig5.Calls)
+	}
+	// Keys must come out sorted.
+	var keys []uint64
+	store.All(func(k uint64, _ Signature) bool { keys = append(keys, k); return true })
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Errorf("keys not sorted: %v", keys)
+	}
+}
+
+func TestRandomUpdateMatchesMergeUpdate(t *testing.T) {
+	// Property: both strategies produce identical stores.
+	f := func(seedRaw uint16) bool {
+		days := []map[uint64]DayStats{
+			{3: {Calls: 3}, 1: {Calls: 1}, 7: {Calls: 7}},
+			{3: {Calls: 6}, 5: {Calls: 5}},
+			{1: {Calls: 9}, 9: {Calls: 9}, 5: {Calls: 1}},
+		}
+		mdir, rdir := t.TempDir(), t.TempDir()
+		ms, _ := NewSigStore(mdir)
+		rs, _ := NewSigStore(rdir)
+		for _, d := range days {
+			if err := ms.MergeUpdate(0.5, d); err != nil {
+				return false
+			}
+			if err := rs.RandomUpdate(0.5, d); err != nil {
+				return false
+			}
+		}
+		equal := true
+		ms.All(func(k uint64, sig Signature) bool {
+			other, ok, _ := rs.Get(k)
+			if !ok || math.Abs(other.Calls-sig.Calls) > 1e-9 || other.Days != sig.Days {
+				equal = false
+			}
+			return true
+		})
+		mn, _ := ms.Len()
+		rn, _ := rs.Len()
+		return equal && mn == rn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIOStatsContrast(t *testing.T) {
+	// Merge updates do sequential I/O with no seeks; random updates
+	// seek per probe. This is the slide-56 contrast experiment E13
+	// measures at scale.
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	merge, _ := NewSigStore(dir1)
+	random, _ := NewSigStore(dir2)
+	day := map[uint64]DayStats{}
+	for i := uint64(0); i < 500; i++ {
+		day[i] = DayStats{Calls: float64(i)}
+	}
+	if err := merge.MergeUpdate(0.5, day); err != nil {
+		t.Fatal(err)
+	}
+	if err := random.MergeUpdate(0.5, day); err != nil {
+		t.Fatal(err)
+	}
+	merge.Stats = IOStats{}
+	random.Stats = IOStats{}
+
+	day2 := map[uint64]DayStats{}
+	for i := uint64(0); i < 500; i++ {
+		day2[i] = DayStats{Calls: 1}
+	}
+	if err := merge.MergeUpdate(0.5, day2); err != nil {
+		t.Fatal(err)
+	}
+	if err := random.RandomUpdate(0.5, day2); err != nil {
+		t.Fatal(err)
+	}
+	if merge.Stats.Seeks != 0 {
+		t.Errorf("merge performed %d seeks", merge.Stats.Seeks)
+	}
+	if random.Stats.Seeks < 500 {
+		t.Errorf("random performed only %d seeks", random.Stats.Seeks)
+	}
+}
+
+func TestSchemaAndTuple(t *testing.T) {
+	c := &CDR{Origin: 7, Dialed: 8, ConnectTime: 99, Duration: 60, IsIntl: true}
+	tp := c.Tuple()
+	sch := Schema("Calls")
+	if len(tp.Vals) != sch.Arity() {
+		t.Fatalf("arity mismatch: %d vs %d", len(tp.Vals), sch.Arity())
+	}
+	if v, _ := tp.Vals[sch.Index("origin")].AsUint(); v != 7 {
+		t.Error("origin wrong")
+	}
+	if b, _ := tp.Vals[sch.Index("isIntl")].AsBool(); !b {
+		t.Error("isIntl wrong")
+	}
+	src := Source([]*CDR{c})
+	if e, ok := src.Next(); !ok || e.Ts() != 99 {
+		t.Error("source broken")
+	}
+}

@@ -1,0 +1,308 @@
+package hancock
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SigStore is the persistent signature collection (slide 49: "support
+// for custom scalable persistent data structures"). Records are
+// fixed-size (key + signature), kept sorted by line number in a single
+// data file.
+//
+// Two update strategies implement the I/O contrast the tutorial draws
+// (slides 6, 21, 56):
+//
+//   - MergeUpdate: block processing — sort the day's updates, stream
+//     the old file and the updates through a sequential merge into a
+//     new file. Pure sequential I/O, O(store + updates) bytes.
+//   - RandomUpdate: per-element processing — binary-search each update's
+//     record via ReadAt and write it back via WriteAt. One seek per
+//     update, the pattern that made the pre-Hancock C code "I/O
+//     intensive" (slide 6).
+//
+// Both maintain identical logical contents; IOStats records the cost
+// difference experiment E13 reports.
+type SigStore struct {
+	path  string
+	Stats IOStats
+}
+
+// IOStats counts simulated and real I/O operations.
+type IOStats struct {
+	SeqReadBytes   int64
+	SeqWriteBytes  int64
+	RandReadBytes  int64
+	RandWriteBytes int64
+	Seeks          int64
+}
+
+// recordSize is the on-disk record: 8-byte key + 4 float64 fields +
+// days int32 + padding.
+const recordSize = 8 + 4*8 + 8
+
+// NewSigStore creates or opens a store rooted at dir.
+func NewSigStore(dir string) (*SigStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("hancock: %w", err)
+	}
+	s := &SigStore{path: filepath.Join(dir, "signatures.dat")}
+	if _, err := os.Stat(s.path); os.IsNotExist(err) {
+		if err := os.WriteFile(s.path, nil, 0o644); err != nil {
+			return nil, fmt.Errorf("hancock: %w", err)
+		}
+	}
+	return s, nil
+}
+
+func encodeRecord(buf []byte, key uint64, sig Signature) {
+	binary.LittleEndian.PutUint64(buf[0:], key)
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(sig.OutTF))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(sig.OutIntl))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(sig.Calls))
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(sig.AvgDur))
+	binary.LittleEndian.PutUint32(buf[40:], uint32(sig.Days))
+	binary.LittleEndian.PutUint32(buf[44:], 0)
+}
+
+func decodeRecord(buf []byte) (uint64, Signature) {
+	key := binary.LittleEndian.Uint64(buf[0:])
+	return key, Signature{
+		OutTF:   math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+		OutIntl: math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+		Calls:   math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
+		AvgDur:  math.Float64frombits(binary.LittleEndian.Uint64(buf[32:])),
+		Days:    int32(binary.LittleEndian.Uint32(buf[40:])),
+	}
+}
+
+// Len returns the number of stored signatures.
+func (s *SigStore) Len() (int, error) {
+	info, err := os.Stat(s.path)
+	if err != nil {
+		return 0, err
+	}
+	return int(info.Size() / recordSize), nil
+}
+
+// Get fetches one signature by key (binary search on the sorted file).
+func (s *SigStore) Get(key uint64) (Signature, bool, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return Signature{}, false, err
+	}
+	defer f.Close()
+	n, err := s.Len()
+	if err != nil {
+		return Signature{}, false, err
+	}
+	buf := make([]byte, recordSize)
+	lo, hi := 0, n-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if _, err := f.ReadAt(buf, int64(mid)*recordSize); err != nil {
+			return Signature{}, false, err
+		}
+		s.Stats.Seeks++
+		s.Stats.RandReadBytes += recordSize
+		k, sig := decodeRecord(buf)
+		switch {
+		case k == key:
+			return sig, true, nil
+		case k < key:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return Signature{}, false, nil
+}
+
+// MergeUpdate applies a day's statistics with a sequential merge pass:
+// the Hancock way. alpha is the blend weight.
+func (s *SigStore) MergeUpdate(alpha float64, day map[uint64]DayStats) error {
+	keys := make([]uint64, 0, len(day))
+	for k := range day {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	in, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tmp := s.path + ".tmp"
+	out, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	r := bufio.NewReader(in)
+	w := bufio.NewWriter(out)
+	rbuf := make([]byte, recordSize)
+	wbuf := make([]byte, recordSize)
+
+	writeRec := func(key uint64, sig Signature) error {
+		encodeRecord(wbuf, key, sig)
+		s.Stats.SeqWriteBytes += recordSize
+		_, err := w.Write(wbuf)
+		return err
+	}
+
+	ki := 0
+	var pendingOld *struct {
+		key uint64
+		sig Signature
+	}
+	readOld := func() (uint64, Signature, bool, error) {
+		if pendingOld != nil {
+			p := *pendingOld
+			pendingOld = nil
+			return p.key, p.sig, true, nil
+		}
+		if _, err := readFull(r, rbuf); err != nil {
+			return 0, Signature{}, false, nil // EOF
+		}
+		s.Stats.SeqReadBytes += recordSize
+		k, sig := decodeRecord(rbuf)
+		return k, sig, true, nil
+	}
+
+	for {
+		k, sig, ok, _ := readOld()
+		if !ok {
+			break
+		}
+		// Emit all new keys smaller than the old record's key.
+		for ki < len(keys) && keys[ki] < k {
+			var fresh Signature
+			fresh.Update(alpha, day[keys[ki]])
+			if err := writeRec(keys[ki], fresh); err != nil {
+				return err
+			}
+			ki++
+		}
+		if ki < len(keys) && keys[ki] == k {
+			sig.Update(alpha, day[keys[ki]])
+			ki++
+		}
+		if err := writeRec(k, sig); err != nil {
+			return err
+		}
+	}
+	for ki < len(keys) {
+		var fresh Signature
+		fresh.Update(alpha, day[keys[ki]])
+		if err := writeRec(keys[ki], fresh); err != nil {
+			return err
+		}
+		ki++
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path)
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// RandomUpdate applies a day's statistics with per-record random I/O:
+// the pre-Hancock baseline. Keys absent from the store are collected
+// and appended with a final merge (in-place insertion into a sorted
+// file is not possible), still charging a seek per probe.
+func (s *SigStore) RandomUpdate(alpha float64, day map[uint64]DayStats) error {
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	n, err := s.Len()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	buf := make([]byte, recordSize)
+	missing := make(map[uint64]DayStats)
+	for key, d := range day {
+		// Binary search with ReadAt: one seek per probe.
+		lo, hi := 0, n-1
+		found := -1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			if _, err := f.ReadAt(buf, int64(mid)*recordSize); err != nil {
+				f.Close()
+				return err
+			}
+			s.Stats.Seeks++
+			s.Stats.RandReadBytes += recordSize
+			k, _ := decodeRecord(buf)
+			switch {
+			case k == key:
+				found = mid
+				lo = hi + 1
+			case k < key:
+				lo = mid + 1
+			default:
+				hi = mid - 1
+			}
+		}
+		if found < 0 {
+			missing[key] = d
+			continue
+		}
+		_, sig := decodeRecord(buf)
+		sig.Update(alpha, d)
+		encodeRecord(buf, key, sig)
+		if _, err := f.WriteAt(buf, int64(found)*recordSize); err != nil {
+			f.Close()
+			return err
+		}
+		s.Stats.Seeks++
+		s.Stats.RandWriteBytes += recordSize
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if len(missing) > 0 {
+		return s.MergeUpdate(alpha, missing)
+	}
+	return nil
+}
+
+// All streams every stored signature in key order.
+func (s *SigStore) All(visit func(key uint64, sig Signature) bool) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	buf := make([]byte, recordSize)
+	for {
+		if _, err := readFull(r, buf); err != nil {
+			return nil // EOF
+		}
+		s.Stats.SeqReadBytes += recordSize
+		k, sig := decodeRecord(buf)
+		if !visit(k, sig) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package netmon
+
+import (
+	"strings"
+	"testing"
+
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+func TestSchemaLayering(t *testing.T) {
+	ip := IPv4Schema("IP")
+	tcp := TCPSchema("TCP")
+	// TCP inherits every IPv4 field, in order (slide 12).
+	for i, f := range ip.Fields {
+		if tcp.Fields[i].Name != f.Name || tcp.Fields[i].Kind != f.Kind {
+			t.Errorf("field %d: %v != %v", i, tcp.Fields[i], f)
+		}
+	}
+	if tcp.Index("payload") < 0 || tcp.Index("srcPort") < 0 {
+		t.Error("layer-4+ fields missing")
+	}
+	if FlowSchema("F").Index("bytes") < 0 {
+		t.Error("flow schema incomplete")
+	}
+}
+
+func TestPacketTraceGroundTruth(t *testing.T) {
+	pt := NewPacketTrace(TraceConfig{Seed: 1, Rate: 10000, AddrPool: 100,
+		P2PFraction: 0.3, P2PKnownPortFraction: 1.0 / 3.0})
+	n := 20000
+	var keywordHits, portHits int64
+	payloadIdx := pt.Schema().Index("payload")
+	portIdx := pt.Schema().Index("destPort")
+	for i := 0; i < n; i++ {
+		e, ok := pt.Next()
+		if !ok {
+			t.Fatal("trace ended")
+		}
+		pay, _ := e.Tuple.Vals[payloadIdx].AsString()
+		for _, kw := range P2PKeywords {
+			if strings.Contains(pay, kw) {
+				keywordHits++
+				break
+			}
+		}
+		port, _ := e.Tuple.Vals[portIdx].AsUint()
+		for _, p := range P2PWellKnownPorts {
+			if port == p {
+				portHits++
+				break
+			}
+		}
+	}
+	if pt.TotalPackets != int64(n) {
+		t.Fatalf("TotalPackets = %d", pt.TotalPackets)
+	}
+	// Keyword inspection finds all P2P; ports find ~1/3 (slide 10's 3x).
+	if keywordHits != pt.TrueP2PPackets {
+		t.Errorf("keyword hits %d != true %d", keywordHits, pt.TrueP2PPackets)
+	}
+	ratio := float64(keywordHits) / float64(portHits)
+	if ratio < 2.4 || ratio > 3.8 {
+		t.Errorf("payload/port ratio = %.2f, want ~3", ratio)
+	}
+	frac := float64(pt.TrueP2PPackets) / float64(n)
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("p2p fraction = %.3f, want ~0.3", frac)
+	}
+}
+
+func TestPacketTraceTimestampsIncrease(t *testing.T) {
+	pt := NewPacketTrace(TraceConfig{Seed: 2})
+	prev := int64(-1)
+	for i := 0; i < 1000; i++ {
+		e, _ := pt.Next()
+		if e.Ts() <= prev {
+			t.Fatal("timestamps not increasing")
+		}
+		prev = e.Ts()
+	}
+}
+
+func TestHandshakeTraceJoinable(t *testing.T) {
+	ht := NewHandshakeTrace(HandshakeConfig{Seed: 3, Rate: 1000,
+		RTTMu: -3, RTTSigma: 0.5, LossProb: 0.1, Servers: 10}, 2000)
+	syns := stream.DrainTuples(ht.Syn)
+	acks := stream.DrainTuples(ht.Ack)
+	if len(syns) != 2000 {
+		t.Fatalf("syns = %d", len(syns))
+	}
+	if len(acks) != len(ht.TrueRTTs) {
+		t.Fatalf("acks %d != truths %d", len(acks), len(ht.TrueRTTs))
+	}
+	lost := len(syns) - len(acks)
+	if lost < 120 || lost > 280 {
+		t.Errorf("lost = %d, want ~200", lost)
+	}
+	// Ack streams must be time-ordered for the window join.
+	for i := 1; i < len(acks); i++ {
+		if acks[i].Ts < acks[i-1].Ts {
+			t.Fatal("acks out of order")
+		}
+	}
+	// Every ack mirrors some syn's endpoints.
+	type key struct{ a, b uint64 }
+	synSet := map[key]bool{}
+	for _, s := range syns {
+		synSet[key{s.Vals[1].Raw(), s.Vals[3].Raw()}] = true
+	}
+	for _, a := range acks {
+		if !synSet[key{a.Vals[2].Raw(), a.Vals[4].Raw()}] {
+			t.Fatal("ack without matching syn endpoints")
+		}
+	}
+}
+
+func TestFlowTraceAggregates(t *testing.T) {
+	// Build a tiny packet source by hand: two flows, one with a gap
+	// exceeding the timeout so it splits.
+	sch := TCPSchema("TCP")
+	mk := func(ts int64, src, dst uint32, sp, dp, ln uint64) stream.Element {
+		return stream.Tup(tuple.New(ts,
+			tuple.Time(ts), tuple.IP(src), tuple.IP(dst), tuple.Uint(6), tuple.Uint(64),
+			tuple.Uint(ln), tuple.Uint(sp), tuple.Uint(dp),
+			tuple.Bool(false), tuple.Bool(true), tuple.String("x")))
+	}
+	src := stream.FromElements(sch,
+		mk(1, 1, 2, 10, 80, 100),
+		mk(2, 1, 2, 10, 80, 200),  // same flow
+		mk(3, 5, 6, 11, 443, 50),  // second flow
+		mk(500, 1, 2, 10, 80, 10), // first flow again after timeout: new record
+	)
+	ft := NewFlowTrace(src, 100)
+	flows := stream.DrainTuples(ft)
+	if len(flows) != 3 {
+		t.Fatalf("flows = %d, want 3", len(flows))
+	}
+	totalBytes := uint64(0)
+	totalPkts := uint64(0)
+	for _, f := range flows {
+		p, _ := f.Vals[5].AsUint()
+		b, _ := f.Vals[6].AsUint()
+		totalPkts += p
+		totalBytes += b
+	}
+	if totalPkts != 4 || totalBytes != 360 {
+		t.Errorf("aggregation lost data: pkts=%d bytes=%d", totalPkts, totalBytes)
+	}
+}
+
+func TestFlowTraceReducesVolume(t *testing.T) {
+	pt := NewPacketTrace(TraceConfig{Seed: 5, Rate: 100000, AddrPool: 20,
+		P2PFraction: 0.2, P2PKnownPortFraction: 0.5})
+	ft := NewFlowTrace(stream.Limit(pt, 20000), 10*stream.Second)
+	flows := stream.DrainTuples(ft)
+	if len(flows) == 0 || len(flows) >= 20000 {
+		t.Errorf("flow records = %d packets = 20000: no reduction", len(flows))
+	}
+}

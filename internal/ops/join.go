@@ -1,0 +1,318 @@
+package ops
+
+import (
+	"fmt"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+	"streamdb/internal/window"
+)
+
+// JoinMethod selects how one side's window is probed [KNV03] (slide 33):
+// a hash index (O(1) probes, extra memory) or indexed nested loops over
+// the window buffer (no index memory, O(window) probes).
+type JoinMethod uint8
+
+// Join methods. The asymmetric combination — hash on one side, nested
+// loops on the other — is the key observation of [KNV03]: "asymmetric
+// join processing has advantages if arrival rates differ".
+const (
+	JoinHash JoinMethod = iota
+	JoinNestedLoop
+)
+
+// String names the method.
+func (m JoinMethod) String() string {
+	if m == JoinHash {
+		return "hash"
+	}
+	return "inl"
+}
+
+// sideState is one input's window state.
+type sideState struct {
+	method JoinMethod
+	buf    window.Buffer
+	// index maps key hash -> tuples, maintained only for JoinHash.
+	index map[uint64][]*tuple.Tuple
+	key   []int
+	// maxTuples caps the stored window for memory-limited operation;
+	// 0 = unlimited. Overflow evicts the oldest tuple (a form of load
+	// shedding on join state).
+	maxTuples int
+	stored    int
+	evicted   int64
+	order     []*tuple.Tuple // FIFO of live tuples for eviction/expiry bookkeeping
+}
+
+func (s *sideState) insert(t *tuple.Tuple) {
+	if s.maxTuples > 0 && s.stored >= s.maxTuples {
+		s.evictOldest()
+	}
+	s.buf.Insert(t)
+	s.order = append(s.order, t)
+	s.stored++
+	if s.index != nil {
+		h := t.Key(s.key)
+		s.index[h] = append(s.index[h], t)
+	}
+}
+
+func (s *sideState) evictOldest() {
+	if len(s.order) == 0 {
+		return
+	}
+	old := s.order[0]
+	s.order = s.order[1:]
+	s.stored--
+	s.evicted++
+	s.dropFromIndex(old)
+	// The ring buffer itself drops lazily via invalidate; for row
+	// buffers eviction happens inside Insert. To keep Each consistent
+	// with the index we rebuild from order for time buffers only when
+	// eviction is active (maxTuples > 0): rebuild is O(window) but
+	// eviction is the rare, memory-pressure path.
+	if tb, ok := s.buf.(*window.TimeBuffer); ok {
+		tb.Reset()
+		for _, t := range s.order {
+			tb.Insert(t)
+		}
+	}
+}
+
+func (s *sideState) dropFromIndex(t *tuple.Tuple) {
+	if s.index == nil {
+		return
+	}
+	h := t.Key(s.key)
+	bucket := s.index[h]
+	for i, bt := range bucket {
+		if bt == t {
+			bucket[i] = bucket[len(bucket)-1]
+			s.index[h] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(s.index[h]) == 0 {
+		delete(s.index, h)
+	}
+}
+
+// invalidate expires tuples older than now-Range (slide 32: "invalidate
+// all expired tuples in A's window").
+func (s *sideState) invalidate(now int64) int {
+	n := s.buf.Invalidate(now)
+	for i := 0; i < n; i++ {
+		old := s.order[i]
+		s.dropFromIndex(old)
+	}
+	if n > 0 {
+		s.order = s.order[n:]
+		s.stored -= n
+	}
+	return n
+}
+
+func (s *sideState) memSize() int {
+	n := s.buf.MemSize()
+	if s.index != nil {
+		n += 48 * len(s.index) // bucket overhead
+	}
+	return n
+}
+
+// WindowJoin is the binary sliding-window join of [KNV03] (slides
+// 30-33). A new tuple on one input probes the opposite window, is
+// inserted into its own window, and expired tuples are invalidated.
+// Each side's probe method is chosen independently, enabling the
+// asymmetric configurations of slide 33.
+type WindowJoin struct {
+	name     string
+	out      *tuple.Schema
+	sides    [2]*sideState
+	residual expr.Expr // evaluated over concatenated (left, right) tuples
+	probes   int64     // tuple comparisons performed (CPU cost proxy)
+	emitted  int64
+	received [2]int64
+	leftSch  *tuple.Schema
+	rightSch *tuple.Schema
+}
+
+// JoinConfig configures one side of a WindowJoin.
+type JoinConfig struct {
+	Window window.Spec
+	Method JoinMethod
+	// Key lists this side's equijoin column indexes. Must have the
+	// same length on both sides; may be empty for a pure
+	// nested-loops theta join (both methods must then be NestedLoop).
+	Key []int
+	// MaxTuples caps the stored window (0 = unlimited).
+	MaxTuples int
+}
+
+// NewWindowJoin builds a window join. residual may be nil; it is
+// evaluated against the concatenation of (left, right) tuples.
+func NewWindowJoin(name string, left, right *tuple.Schema, lcfg, rcfg JoinConfig, residual expr.Expr) (*WindowJoin, error) {
+	if len(lcfg.Key) != len(rcfg.Key) {
+		return nil, fmt.Errorf("ops: join key arity mismatch: %d vs %d", len(lcfg.Key), len(rcfg.Key))
+	}
+	if len(lcfg.Key) == 0 && (lcfg.Method == JoinHash || rcfg.Method == JoinHash) {
+		return nil, fmt.Errorf("ops: hash join requires equijoin keys")
+	}
+	for i := range lcfg.Key {
+		lk := left.Fields[lcfg.Key[i]].Kind
+		rk := right.Fields[rcfg.Key[i]].Kind
+		if lk.Numeric() != rk.Numeric() || (!lk.Numeric() && lk != rk) {
+			return nil, fmt.Errorf("ops: join key %d type mismatch: %s vs %s", i, lk, rk)
+		}
+	}
+	if residual != nil && residual.Kind() != tuple.KindBool {
+		return nil, fmt.Errorf("ops: join residual must be boolean")
+	}
+	mk := func(cfg JoinConfig) *sideState {
+		st := &sideState{
+			method:    cfg.Method,
+			buf:       window.NewBuffer(cfg.Window),
+			key:       cfg.Key,
+			maxTuples: cfg.MaxTuples,
+		}
+		if cfg.Method == JoinHash {
+			st.index = make(map[uint64][]*tuple.Tuple)
+		}
+		return st
+	}
+	j := &WindowJoin{
+		name:     name,
+		out:      left.Concat(right),
+		leftSch:  left,
+		rightSch: right,
+		residual: residual,
+	}
+	j.sides[0] = mk(lcfg)
+	j.sides[1] = mk(rcfg)
+	return j, nil
+}
+
+// NewSymmetricHashJoin builds the classic symmetric hash join [WA91]
+// (slide 31): hash on both sides, unbounded windows.
+func NewSymmetricHashJoin(name string, left, right *tuple.Schema, leftKey, rightKey []int) (*WindowJoin, error) {
+	return NewWindowJoin(name, left, right,
+		JoinConfig{Window: window.Spec{}, Method: JoinHash, Key: leftKey},
+		JoinConfig{Window: window.Spec{}, Method: JoinHash, Key: rightKey},
+		nil)
+}
+
+// Name implements Operator.
+func (j *WindowJoin) Name() string { return j.name }
+
+// OutSchema implements Operator.
+func (j *WindowJoin) OutSchema() *tuple.Schema { return j.out }
+
+// NumInputs implements Operator.
+func (j *WindowJoin) NumInputs() int { return 2 }
+
+// Push implements Operator. Port 0 is the left input.
+func (j *WindowJoin) Push(port int, e stream.Element, emit Emit) {
+	if port < 0 || port > 1 {
+		return
+	}
+	me, opp := j.sides[port], j.sides[1-port]
+	if e.IsPunct() {
+		// A progress promise on this input lets the opposite window
+		// discard tuples that can no longer join with future arrivals.
+		opp.invalidate(e.Punct.Ts)
+		return
+	}
+	t := e.Tuple
+	j.received[port]++
+
+	// 1. Invalidate expired tuples in the opposite window.
+	opp.invalidate(t.Ts)
+
+	// 2. Probe the opposite window.
+	switch opp.method {
+	case JoinHash:
+		h := t.Key(me.key)
+		for _, cand := range opp.index[h] {
+			j.probes++
+			if cand.KeyEqual(t, opp.key, me.key) {
+				j.tryEmit(port, t, cand, emit)
+			}
+		}
+	case JoinNestedLoop:
+		opp.buf.Each(func(cand *tuple.Tuple) bool {
+			j.probes++
+			if len(me.key) == 0 || cand.KeyEqual(t, opp.key, me.key) {
+				j.tryEmit(port, t, cand, emit)
+			}
+			return true
+		})
+	}
+
+	// 3. Insert into own window.
+	me.insert(t)
+}
+
+// tryEmit applies the residual predicate and emits the concatenated
+// output in (left, right) field order regardless of arrival port.
+func (j *WindowJoin) tryEmit(port int, arrived, matched *tuple.Tuple, emit Emit) {
+	var out *tuple.Tuple
+	if port == 0 {
+		out = arrived.Concat(matched)
+	} else {
+		out = matched.Concat(arrived)
+	}
+	if j.residual != nil && !expr.EvalBool(j.residual, out) {
+		return
+	}
+	j.emitted++
+	emit(stream.Tup(out))
+}
+
+// Flush implements Operator.
+func (j *WindowJoin) Flush(Emit) {}
+
+// MemSize implements Operator.
+func (j *WindowJoin) MemSize() int {
+	return 128 + j.sides[0].memSize() + j.sides[1].memSize()
+}
+
+// Probes returns the number of tuple comparisons performed: the CPU-cost
+// proxy experiment E1 sweeps.
+func (j *WindowJoin) Probes() int64 { return j.probes }
+
+// Emitted returns the number of join results produced.
+func (j *WindowJoin) Emitted() int64 { return j.emitted }
+
+// Evicted returns tuples dropped by the memory cap on each side.
+func (j *WindowJoin) Evicted() (left, right int64) {
+	return j.sides[0].evicted, j.sides[1].evicted
+}
+
+// WindowSizes reports the live tuple count per side.
+func (j *WindowJoin) WindowSizes() (left, right int) {
+	return j.sides[0].buf.Len(), j.sides[1].buf.Len()
+}
+
+// Selectivity implements Costs (observed).
+func (j *WindowJoin) Selectivity() float64 {
+	in := j.received[0] + j.received[1]
+	if in == 0 {
+		return 1
+	}
+	return float64(j.emitted) / float64(in)
+}
+
+// UnitCost implements Costs: average probes per input tuple.
+func (j *WindowJoin) UnitCost() float64 {
+	in := j.received[0] + j.received[1]
+	if in == 0 {
+		return 1
+	}
+	c := float64(j.probes) / float64(in)
+	if c < 1 {
+		return 1
+	}
+	return c
+}

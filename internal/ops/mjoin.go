@@ -1,0 +1,273 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+	"streamdb/internal/window"
+)
+
+// MJoin is an N-way sliding-window equijoin over a shared key, the
+// multi-join of Golab & Özsu [GO03] referenced on slide 62 and the
+// plan shape Viglas et al. optimize for output rate [VNB03]. All
+// inputs join on one attribute each (e.g. destIP across N packet
+// streams); an arriving tuple probes every other window and each full
+// combination is emitted once.
+//
+// The probe order matters: probing the stream with the fewest expected
+// matches first prunes the candidate set early. MJoin supports a fixed
+// order or an adaptive order re-derived from observed window sizes
+// (the [GO03] heuristic).
+type MJoin struct {
+	name     string
+	inputs   []mjInput
+	out      *tuple.Schema
+	residual expr.Expr
+	adaptive bool
+	order    [][]int // probe order per arrival port
+	probes   int64
+	emitted  int64
+	arrivals int64
+	reorder  int64 // arrivals between order refreshes
+}
+
+type mjInput struct {
+	schema *tuple.Schema
+	key    int
+	buf    window.Buffer
+	index  map[uint64][]*tuple.Tuple
+	fifo   []*tuple.Tuple
+}
+
+// MJoinInput declares one input stream.
+type MJoinInput struct {
+	Schema *tuple.Schema
+	// Key is the join attribute's column index in this schema.
+	Key int
+	// Window bounds this input's state.
+	Window window.Spec
+}
+
+// NewMJoin builds an N-way join (N >= 2). With adaptive true the probe
+// order is re-derived from window sizes every reorderEvery arrivals;
+// otherwise inputs are probed in declaration order. residual (may be
+// nil) is evaluated over the concatenation of all inputs' fields in
+// declaration order.
+func NewMJoin(name string, inputs []MJoinInput, residual expr.Expr, adaptive bool, reorderEvery int) (*MJoin, error) {
+	if len(inputs) < 2 {
+		return nil, fmt.Errorf("ops: mjoin needs at least two inputs")
+	}
+	if reorderEvery <= 0 {
+		reorderEvery = 256
+	}
+	m := &MJoin{name: name, adaptive: adaptive, reorder: int64(reorderEvery)}
+	var outSchema *tuple.Schema
+	var refKind tuple.Kind
+	for i, in := range inputs {
+		if in.Key < 0 || in.Key >= in.Schema.Arity() {
+			return nil, fmt.Errorf("ops: mjoin input %d key out of range", i)
+		}
+		k := in.Schema.Fields[in.Key].Kind
+		if i == 0 {
+			refKind = k
+			outSchema = in.Schema
+		} else {
+			if k.Numeric() != refKind.Numeric() || (!k.Numeric() && k != refKind) {
+				return nil, fmt.Errorf("ops: mjoin input %d key kind %s incompatible with %s", i, k, refKind)
+			}
+			outSchema = outSchema.Concat(in.Schema)
+		}
+		m.inputs = append(m.inputs, mjInput{
+			schema: in.Schema,
+			key:    in.Key,
+			buf:    window.NewBuffer(in.Window),
+			index:  make(map[uint64][]*tuple.Tuple),
+		})
+	}
+	if residual != nil && residual.Kind() != tuple.KindBool {
+		return nil, fmt.Errorf("ops: mjoin residual must be boolean")
+	}
+	m.residual = residual
+	m.out = outSchema
+	m.order = make([][]int, len(inputs))
+	m.buildOrders()
+	return m, nil
+}
+
+// buildOrders computes, per arrival port, the order in which the other
+// inputs are probed: ascending live window size (fewest candidates
+// first). With adaptive off the declaration order is kept.
+func (m *MJoin) buildOrders() {
+	for port := range m.inputs {
+		var others []int
+		for j := range m.inputs {
+			if j != port {
+				others = append(others, j)
+			}
+		}
+		if m.adaptive {
+			sort.SliceStable(others, func(a, b int) bool {
+				return m.inputs[others[a]].buf.Len() < m.inputs[others[b]].buf.Len()
+			})
+		}
+		m.order[port] = others
+	}
+}
+
+// Name implements Operator.
+func (m *MJoin) Name() string { return m.name }
+
+// OutSchema implements Operator.
+func (m *MJoin) OutSchema() *tuple.Schema { return m.out }
+
+// NumInputs implements Operator.
+func (m *MJoin) NumInputs() int { return len(m.inputs) }
+
+// Push implements Operator.
+func (m *MJoin) Push(port int, e stream.Element, emit Emit) {
+	if port < 0 || port >= len(m.inputs) {
+		return
+	}
+	if e.IsPunct() {
+		for i := range m.inputs {
+			m.invalidate(i, e.Punct.Ts)
+		}
+		return
+	}
+	t := e.Tuple
+	m.arrivals++
+	if m.adaptive && m.arrivals%m.reorder == 0 {
+		m.buildOrders()
+	}
+	// Expire state everywhere relative to the new arrival.
+	for i := range m.inputs {
+		if i != port {
+			m.invalidate(i, t.Ts)
+		}
+	}
+	h := t.Vals[m.inputs[port].key].Hash()
+	kv := t.Vals[m.inputs[port].key]
+
+	// Progressive probing: candidate lists per input, pruned in probe
+	// order; abort as soon as one input has no match.
+	cands := make([][]*tuple.Tuple, len(m.inputs))
+	complete := true
+	for _, j := range m.order[port] {
+		in := &m.inputs[j]
+		var matches []*tuple.Tuple
+		for _, c := range in.index[h] {
+			m.probes++
+			if c.Vals[in.key].Equal(kv) {
+				matches = append(matches, c)
+			}
+		}
+		if len(matches) == 0 {
+			complete = false
+			break
+		}
+		cands[j] = matches
+	}
+	if complete {
+		m.emitCombinations(port, t, cands, emit)
+	}
+
+	// Insert the arrival into its own window.
+	in := &m.inputs[port]
+	in.buf.Insert(t)
+	in.fifo = append(in.fifo, t)
+	in.index[h] = append(in.index[h], t)
+}
+
+// emitCombinations produces the cartesian product of the candidate
+// lists with the arriving tuple in its slot, fields ordered by input
+// declaration.
+func (m *MJoin) emitCombinations(port int, arrived *tuple.Tuple, cands [][]*tuple.Tuple, emit Emit) {
+	n := len(m.inputs)
+	pick := make([]*tuple.Tuple, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			ts := int64(0)
+			total := 0
+			for _, p := range pick {
+				if p.Ts > ts {
+					ts = p.Ts
+				}
+				total += len(p.Vals)
+			}
+			vals := make([]tuple.Value, 0, total)
+			for _, p := range pick {
+				vals = append(vals, p.Vals...)
+			}
+			out := tuple.New(ts, vals...)
+			if m.residual != nil && !expr.EvalBool(m.residual, out) {
+				return
+			}
+			m.emitted++
+			emit(stream.Tup(out))
+			return
+		}
+		if i == port {
+			pick[i] = arrived
+			rec(i + 1)
+			return
+		}
+		for _, c := range cands[i] {
+			pick[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+func (m *MJoin) invalidate(i int, now int64) {
+	in := &m.inputs[i]
+	n := in.buf.Invalidate(now)
+	for k := 0; k < n; k++ {
+		old := in.fifo[k]
+		h := old.Vals[in.key].Hash()
+		bucket := in.index[h]
+		for bi, bt := range bucket {
+			if bt == old {
+				bucket[bi] = bucket[len(bucket)-1]
+				in.index[h] = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(in.index[h]) == 0 {
+			delete(in.index, h)
+		}
+	}
+	if n > 0 {
+		in.fifo = in.fifo[n:]
+	}
+}
+
+// Flush implements Operator.
+func (m *MJoin) Flush(Emit) {}
+
+// MemSize implements Operator.
+func (m *MJoin) MemSize() int {
+	n := 128
+	for i := range m.inputs {
+		n += m.inputs[i].buf.MemSize() + 48*len(m.inputs[i].index)
+	}
+	return n
+}
+
+// Stats reports (arrivals, probes, results).
+func (m *MJoin) Stats() (arrivals, probes, emitted int64) {
+	return m.arrivals, m.probes, m.emitted
+}
+
+// WindowSizes reports each input's live tuple count.
+func (m *MJoin) WindowSizes() []int {
+	out := make([]int, len(m.inputs))
+	for i := range m.inputs {
+		out[i] = m.inputs[i].buf.Len()
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package ops
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+	"streamdb/internal/window"
+)
+
+func mjSchema(name string) *tuple.Schema {
+	return tuple.NewSchema(name,
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "k", Kind: tuple.KindInt},
+	)
+}
+
+func mjInputs(n int, win window.Spec) []MJoinInput {
+	ins := make([]MJoinInput, n)
+	for i := range ins {
+		ins[i] = MJoinInput{Schema: mjSchema(string(rune('A' + i))), Key: 1, Window: win}
+	}
+	return ins
+}
+
+func mjTuple(ts, k int64) *tuple.Tuple {
+	return tuple.New(ts, tuple.Time(ts), tuple.Int(k))
+}
+
+func TestMJoinThreeWayBasic(t *testing.T) {
+	m, err := NewMJoin("m3", mjInputs(3, window.Tumbling(1000)), nil, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*tuple.Tuple
+	emit := func(e stream.Element) { out = append(out, e.Tuple) }
+	m.Push(0, stream.Tup(mjTuple(1, 7)), emit)
+	m.Push(1, stream.Tup(mjTuple(2, 7)), emit)
+	if len(out) != 0 {
+		t.Fatal("emitted before all inputs matched")
+	}
+	m.Push(2, stream.Tup(mjTuple(3, 7)), emit)
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	// Fields in declaration order: A then B then C.
+	got := out[0]
+	if len(got.Vals) != 6 {
+		t.Fatalf("arity = %d", len(got.Vals))
+	}
+	tsA, _ := got.Vals[0].AsTime()
+	tsB, _ := got.Vals[2].AsTime()
+	tsC, _ := got.Vals[4].AsTime()
+	if tsA != 1 || tsB != 2 || tsC != 3 {
+		t.Errorf("field order: %d, %d, %d", tsA, tsB, tsC)
+	}
+	if got.Ts != 3 {
+		t.Errorf("result ts = %d", got.Ts)
+	}
+	// A second C tuple with the same key joins the existing pair.
+	m.Push(2, stream.Tup(mjTuple(4, 7)), emit)
+	if len(out) != 2 {
+		t.Errorf("second combination not emitted")
+	}
+}
+
+func TestMJoinCartesianCombinations(t *testing.T) {
+	m, err := NewMJoin("m3", mjInputs(3, window.Tumbling(1000)), nil, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	emit := func(stream.Element) { count++ }
+	// 2 tuples in A, 3 in B, then one C arrival: 2*3 = 6 combinations.
+	m.Push(0, stream.Tup(mjTuple(1, 5)), emit)
+	m.Push(0, stream.Tup(mjTuple(2, 5)), emit)
+	m.Push(1, stream.Tup(mjTuple(3, 5)), emit)
+	m.Push(1, stream.Tup(mjTuple(4, 5)), emit)
+	m.Push(1, stream.Tup(mjTuple(5, 5)), emit)
+	count = 0
+	m.Push(2, stream.Tup(mjTuple(6, 5)), emit)
+	if count != 6 {
+		t.Errorf("combinations = %d, want 6", count)
+	}
+}
+
+// refMJoin computes the expected 3-way result count: every (a, b, c)
+// triple with equal keys where each pair is within the window at the
+// LATEST member's arrival. With a shared tumbling window W and lazy
+// expiry at arrival time, a triple forms iff at the last arrival the
+// two earlier tuples are still in scope.
+func TestMJoinMatchesTwoStageReference(t *testing.T) {
+	// With unbounded windows the N-way join count must equal the
+	// composition of two binary joins.
+	rng := rand.New(rand.NewSource(33))
+	type ev struct {
+		port int
+		k    int64
+	}
+	var evs []ev
+	for i := 0; i < 600; i++ {
+		evs = append(evs, ev{port: rng.Intn(3), k: rng.Int63n(8)})
+	}
+	m, err := NewMJoin("m3", mjInputs(3, window.Spec{}), nil, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mjCount int64
+	emit := func(stream.Element) { mjCount++ }
+	counts := [3]map[int64]int64{{}, {}, {}}
+	var expected int64
+	for i, e := range evs {
+		ts := int64(i + 1)
+		m.Push(e.port, stream.Tup(mjTuple(ts, e.k)), emit)
+		// The arrival forms count[other1][k] * count[other2][k] triples.
+		prod := int64(1)
+		for p := 0; p < 3; p++ {
+			if p != e.port {
+				prod *= counts[p][e.k]
+			}
+		}
+		expected += prod
+		counts[e.port][e.k]++
+	}
+	if mjCount != expected {
+		t.Errorf("mjoin = %d, reference = %d", mjCount, expected)
+	}
+}
+
+func TestMJoinWindowExpiry(t *testing.T) {
+	m, err := NewMJoin("m3", mjInputs(3, window.Tumbling(10)), nil, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	emit := func(stream.Element) { count++ }
+	m.Push(0, stream.Tup(mjTuple(1, 7)), emit)
+	m.Push(1, stream.Tup(mjTuple(2, 7)), emit)
+	// C arrives far later: A and B expired.
+	m.Push(2, stream.Tup(mjTuple(100, 7)), emit)
+	if count != 0 {
+		t.Errorf("expired tuples joined: %d", count)
+	}
+	sizes := m.WindowSizes()
+	if sizes[0] != 0 || sizes[1] != 0 || sizes[2] != 1 {
+		t.Errorf("window sizes = %v", sizes)
+	}
+}
+
+func TestMJoinPunctuationInvalidates(t *testing.T) {
+	m, err := NewMJoin("m2", mjInputs(2, window.Tumbling(10)), nil, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit := func(stream.Element) {}
+	m.Push(0, stream.Tup(mjTuple(1, 7)), emit)
+	m.Push(1, stream.Punct(stream.ProgressPunct(100, 0, tuple.Time(100))), emit)
+	if sizes := m.WindowSizes(); sizes[0] != 0 {
+		t.Errorf("punctuation did not expire: %v", sizes)
+	}
+}
+
+func TestMJoinAdaptiveOrderReducesProbes(t *testing.T) {
+	// One input has a tiny window, another a huge one. Probing the tiny
+	// window first prunes non-matching arrivals cheaply.
+	run := func(adaptive bool) int64 {
+		ins := []MJoinInput{
+			{Schema: mjSchema("BIG"), Key: 1, Window: window.Spec{}},
+			{Schema: mjSchema("SMALL"), Key: 1, Window: window.Spec{}},
+			{Schema: mjSchema("PROBE"), Key: 1, Window: window.Spec{}},
+		}
+		m, err := NewMJoin("m", ins, nil, adaptive, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emit := func(stream.Element) {}
+		ts := int64(0)
+		// Load BIG with many tuples of keys 0..99, SMALL with only key 0.
+		for i := int64(0); i < 2000; i++ {
+			ts++
+			m.Push(0, stream.Tup(mjTuple(ts, i%100)), emit)
+		}
+		ts++
+		m.Push(1, stream.Tup(mjTuple(ts, 0)), emit)
+		// Now probe with arrivals on PROBE that mostly miss SMALL.
+		before, _, _ := m.Stats()
+		_ = before
+		for i := int64(1); i < 500; i++ {
+			ts++
+			m.Push(2, stream.Tup(mjTuple(ts, i%100)), emit)
+		}
+		_, probes, _ := m.Stats()
+		return probes
+	}
+	fixed := run(false)   // declaration order probes BIG first
+	adaptive := run(true) // adapts to probe SMALL first
+	if adaptive >= fixed {
+		t.Errorf("adaptive probes %d >= fixed %d", adaptive, fixed)
+	}
+}
+
+func TestMJoinValidation(t *testing.T) {
+	if _, err := NewMJoin("m", mjInputs(1, window.Spec{}), nil, false, 0); err == nil {
+		t.Error("single input accepted")
+	}
+	bad := mjInputs(2, window.Spec{})
+	bad[1].Key = 9
+	if _, err := NewMJoin("m", bad, nil, false, 0); err == nil {
+		t.Error("key out of range accepted")
+	}
+	mixed := []MJoinInput{
+		{Schema: mjSchema("A"), Key: 1, Window: window.Spec{}},
+		{Schema: tuple.NewSchema("S",
+			tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+			tuple.Field{Name: "k", Kind: tuple.KindString}), Key: 1, Window: window.Spec{}},
+	}
+	if _, err := NewMJoin("m", mixed, nil, false, 0); err == nil {
+		t.Error("int/string key mix accepted")
+	}
+}
+
+func TestMJoinStatsAndMemSize(t *testing.T) {
+	m, err := NewMJoin("m", mjInputs(2, window.Spec{}), nil, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit := func(stream.Element) {}
+	m.Push(0, stream.Tup(mjTuple(1, 1)), emit)
+	m.Push(1, stream.Tup(mjTuple(2, 1)), emit)
+	arr, probes, emitted := m.Stats()
+	if arr != 2 || probes == 0 || emitted != 1 {
+		t.Errorf("stats = %d, %d, %d", arr, probes, emitted)
+	}
+	if m.MemSize() <= 128 {
+		t.Error("MemSize ignores state")
+	}
+	if m.NumInputs() != 2 || m.OutSchema().Arity() != 4 {
+		t.Error("metadata broken")
+	}
+}

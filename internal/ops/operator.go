@@ -1,0 +1,283 @@
+// Package ops implements the physical stream operators of slides 29-33:
+// per-element selection and projection, duplicate elimination, stream
+// merge, the symmetric hash join [WA91], the windowed binary join in its
+// hash and indexed-nested-loops variants [KNV03], and XJoin's
+// memory-overflow processing [UF00].
+//
+// Operators are event-driven: the engine pushes one element at a time
+// into a numbered input port and collects outputs via an emit callback.
+// This keeps operators schedulable (slide 43's FIFO/Greedy/Chain policies
+// need explicit queues between operators) and deterministic under
+// virtual time.
+package ops
+
+import (
+	"fmt"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// Emit receives operator output elements.
+type Emit func(stream.Element)
+
+// Operator is an event-driven stream operator.
+type Operator interface {
+	// Name identifies the operator instance in plans and introspection.
+	Name() string
+	// OutSchema describes the output tuples.
+	OutSchema() *tuple.Schema
+	// NumInputs reports the number of input ports (1 or 2).
+	NumInputs() int
+	// Push processes one element arriving on the given port.
+	Push(port int, e stream.Element, emit Emit)
+	// Flush finalizes state at end-of-stream (e.g. closes open windows).
+	Flush(emit Emit)
+	// MemSize reports the operator's state footprint in bytes; the
+	// memory-based optimizer and load shedder read it (slide 42).
+	MemSize() int
+}
+
+// Costs optionally exposes an operator's unit cost and selectivity for
+// rate-based optimization (slide 40). Operators that know their
+// per-tuple cost implement it.
+type Costs interface {
+	// Selectivity is the expected output/input tuple ratio.
+	Selectivity() float64
+	// UnitCost is the relative per-tuple processing cost (1 = a simple
+	// predicate evaluation).
+	UnitCost() float64
+}
+
+// Select filters tuples by a predicate: a local per-element operator
+// (slide 29). Punctuations pass through unchanged — a punctuation's
+// promise survives filtering.
+type Select struct {
+	name string
+	pred expr.Expr
+	sch  *tuple.Schema
+	in   int64
+	out  int64
+	sel  float64 // declared selectivity estimate; <0 means "observe"
+	cost float64
+}
+
+// NewSelect builds a filter. The declared selectivity seeds the
+// rate-based optimizer; pass a negative value to use observed counts.
+func NewSelect(name string, sch *tuple.Schema, pred expr.Expr, sel, cost float64) (*Select, error) {
+	if pred.Kind() != tuple.KindBool {
+		return nil, fmt.Errorf("ops: selection predicate must be boolean, got %s", pred.Kind())
+	}
+	if cost <= 0 {
+		cost = 1
+	}
+	return &Select{name: name, sch: sch, pred: pred, sel: sel, cost: cost}, nil
+}
+
+// Name implements Operator.
+func (s *Select) Name() string { return s.name }
+
+// OutSchema implements Operator.
+func (s *Select) OutSchema() *tuple.Schema { return s.sch }
+
+// NumInputs implements Operator.
+func (s *Select) NumInputs() int { return 1 }
+
+// Push implements Operator.
+func (s *Select) Push(_ int, e stream.Element, emit Emit) {
+	if e.IsPunct() {
+		emit(e)
+		return
+	}
+	s.in++
+	if expr.EvalBool(s.pred, e.Tuple) {
+		s.out++
+		emit(e)
+	}
+}
+
+// Flush implements Operator.
+func (s *Select) Flush(Emit) {}
+
+// MemSize implements Operator.
+func (s *Select) MemSize() int { return 64 }
+
+// Selectivity implements Costs: declared if provided, else observed.
+func (s *Select) Selectivity() float64 {
+	if s.sel >= 0 {
+		return s.sel
+	}
+	if s.in == 0 {
+		return 1
+	}
+	return float64(s.out) / float64(s.in)
+}
+
+// UnitCost implements Costs.
+func (s *Select) UnitCost() float64 { return s.cost }
+
+// Predicate returns the selection predicate (plan introspection).
+func (s *Select) Predicate() expr.Expr { return s.pred }
+
+// Project evaluates one expression per output field (slide 29,
+// duplicate-preserving). The planner is responsible for including the
+// ordering attribute when downstream operators need it [JMS95].
+type Project struct {
+	name  string
+	exprs []expr.Expr
+	sch   *tuple.Schema
+}
+
+// NewProject builds a projection. Output field i is exprs[i] named
+// outSchema.Fields[i].
+func NewProject(name string, out *tuple.Schema, exprs []expr.Expr) (*Project, error) {
+	if len(exprs) != out.Arity() {
+		return nil, fmt.Errorf("ops: projection has %d exprs for %d fields", len(exprs), out.Arity())
+	}
+	for i, e := range exprs {
+		if e.Kind() != out.Fields[i].Kind && e.Kind() != tuple.KindNull {
+			return nil, fmt.Errorf("ops: projection field %s is %s but expression yields %s",
+				out.Fields[i].Name, out.Fields[i].Kind, e.Kind())
+		}
+	}
+	return &Project{name: name, exprs: exprs, sch: out}, nil
+}
+
+// Name implements Operator.
+func (p *Project) Name() string { return p.name }
+
+// OutSchema implements Operator.
+func (p *Project) OutSchema() *tuple.Schema { return p.sch }
+
+// NumInputs implements Operator.
+func (p *Project) NumInputs() int { return 1 }
+
+// Push implements Operator.
+func (p *Project) Push(_ int, e stream.Element, emit Emit) {
+	if e.IsPunct() {
+		// Field patterns no longer line up after projection; forward
+		// only the progress information (wildcards elsewhere).
+		emit(stream.Punct(&stream.Punctuation{Ts: e.Punct.Ts}))
+		return
+	}
+	vals := make([]tuple.Value, len(p.exprs))
+	for i, ex := range p.exprs {
+		vals[i] = ex.Eval(e.Tuple)
+	}
+	emit(stream.Tup(tuple.New(e.Tuple.Ts, vals...)))
+}
+
+// Flush implements Operator.
+func (p *Project) Flush(Emit) {}
+
+// MemSize implements Operator.
+func (p *Project) MemSize() int { return 64 }
+
+// Selectivity implements Costs.
+func (p *Project) Selectivity() float64 { return 1 }
+
+// UnitCost implements Costs.
+func (p *Project) UnitCost() float64 { return float64(len(p.exprs)) }
+
+// DupElim is duplicate-eliminating projection, "like grouping"
+// (slide 29): it tracks the keys seen in the current tumbling window and
+// suppresses repeats. Window boundaries (by element time) reset state,
+// keeping memory bounded for bounded windows.
+type DupElim struct {
+	name   string
+	sch    *tuple.Schema
+	keyIdx []int
+	winLen int64 // 0 = whole stream (unbounded state!)
+	winEnd int64
+	seen   map[uint64][]*tuple.Tuple
+	bytes  int
+}
+
+// NewDupElim builds a distinct operator over the given key fields with a
+// tumbling window of winLen timestamp units (0 = unbounded).
+func NewDupElim(name string, sch *tuple.Schema, keyIdx []int, winLen int64) *DupElim {
+	return &DupElim{
+		name: name, sch: sch, keyIdx: keyIdx, winLen: winLen,
+		seen: make(map[uint64][]*tuple.Tuple),
+	}
+}
+
+// Name implements Operator.
+func (d *DupElim) Name() string { return d.name }
+
+// OutSchema implements Operator.
+func (d *DupElim) OutSchema() *tuple.Schema { return d.sch }
+
+// NumInputs implements Operator.
+func (d *DupElim) NumInputs() int { return 1 }
+
+// Push implements Operator.
+func (d *DupElim) Push(_ int, e stream.Element, emit Emit) {
+	if e.IsPunct() {
+		emit(e)
+		return
+	}
+	t := e.Tuple
+	if d.winLen > 0 {
+		if t.Ts >= d.winEnd {
+			d.seen = make(map[uint64][]*tuple.Tuple)
+			d.bytes = 0
+			d.winEnd = (t.Ts/d.winLen + 1) * d.winLen
+		}
+	}
+	h := t.Key(d.keyIdx)
+	for _, prev := range d.seen[h] {
+		if prev.KeyEqual(t, d.keyIdx, d.keyIdx) {
+			return // duplicate
+		}
+	}
+	d.seen[h] = append(d.seen[h], t)
+	d.bytes += t.MemSize()
+	emit(e)
+}
+
+// Flush implements Operator.
+func (d *DupElim) Flush(Emit) {}
+
+// MemSize implements Operator.
+func (d *DupElim) MemSize() int { return 64 + d.bytes }
+
+// Union interleaves two streams with identical schemas (slide 13:
+// "merging data streams"). Elements pass through in arrival order; the
+// engine is responsible for arrival-order interleaving across ports.
+type Union struct {
+	name string
+	sch  *tuple.Schema
+}
+
+// NewUnion builds a union operator.
+func NewUnion(name string, sch *tuple.Schema) *Union {
+	return &Union{name: name, sch: sch}
+}
+
+// Name implements Operator.
+func (u *Union) Name() string { return u.name }
+
+// OutSchema implements Operator.
+func (u *Union) OutSchema() *tuple.Schema { return u.sch }
+
+// NumInputs implements Operator.
+func (u *Union) NumInputs() int { return 2 }
+
+// Push implements Operator.
+func (u *Union) Push(_ int, e stream.Element, emit Emit) {
+	// A punctuation from one input does not bound the merged stream;
+	// only tuples pass through. (A punctuation-correct union would
+	// need to intersect promises across ports.)
+	if e.IsPunct() {
+		return
+	}
+	emit(e)
+}
+
+// Flush implements Operator.
+func (u *Union) Flush(Emit) {}
+
+// MemSize implements Operator.
+func (u *Union) MemSize() int { return 32 }

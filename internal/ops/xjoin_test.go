@@ -1,0 +1,141 @@
+package ops
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// refJoinSize computes the exact equijoin cardinality of two key slices.
+func refJoinSize(l, r []uint32) int {
+	counts := map[uint32]int{}
+	for _, k := range l {
+		counts[k]++
+	}
+	n := 0
+	for _, k := range r {
+		n += counts[k]
+	}
+	return n
+}
+
+func xjoinRun(t *testing.T, budget int, lKeys, rKeys []uint32) (int, *XJoin) {
+	t.Helper()
+	a, b := joinSchemas()
+	x, err := NewXJoin("x", a, b, []int{1}, []int{1}, 4, budget, nil, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := 0
+	emit := func(stream.Element) { out++ }
+	// Interleave arrivals.
+	i, j := 0, 0
+	ts := int64(0)
+	for i < len(lKeys) || j < len(rKeys) {
+		ts++
+		if i < len(lKeys) && (j >= len(rKeys) || i <= j) {
+			x.Push(0, stream.Tup(ab(ts, lKeys[i])), emit)
+			i++
+		} else {
+			x.Push(1, stream.Tup(ab(ts, rKeys[j])), emit)
+			j++
+		}
+	}
+	x.Flush(emit)
+	return out, x
+}
+
+func TestXJoinNoSpillMatchesReference(t *testing.T) {
+	l := []uint32{1, 2, 3, 2}
+	r := []uint32{2, 2, 4}
+	got, x := xjoinRun(t, 1000, l, r)
+	if want := refJoinSize(l, r); got != want {
+		t.Errorf("join size = %d, want %d", got, want)
+	}
+	if _, spills, _, _ := x.Stats(); spills != 0 {
+		t.Errorf("unexpected spills: %d", spills)
+	}
+}
+
+func TestXJoinSpillExactlyOnce(t *testing.T) {
+	// Force heavy spilling with a tiny budget; results must match the
+	// reference join exactly (no duplicates, no losses).
+	rng := rand.New(rand.NewSource(11))
+	var l, r []uint32
+	for i := 0; i < 400; i++ {
+		l = append(l, uint32(rng.Intn(50)))
+		r = append(r, uint32(rng.Intn(50)))
+	}
+	got, x := xjoinRun(t, 32, l, r)
+	want := refJoinSize(l, r)
+	if got != want {
+		t.Fatalf("spilled join size = %d, want %d", got, want)
+	}
+	_, spills, spilled, diskBytes := x.Stats()
+	if spills == 0 || spilled == 0 || diskBytes == 0 {
+		t.Errorf("expected spilling: spills=%d tuples=%d bytes=%d", spills, spilled, diskBytes)
+	}
+	if x.MemSize() > 1<<20 {
+		t.Errorf("memory not bounded: %d", x.MemSize())
+	}
+}
+
+func TestXJoinSpillBudgetSweepProperty(t *testing.T) {
+	// Join size must be invariant to the memory budget.
+	rng := rand.New(rand.NewSource(7))
+	var l, r []uint32
+	for i := 0; i < 150; i++ {
+		l = append(l, uint32(rng.Intn(20)))
+		r = append(r, uint32(rng.Intn(20)))
+	}
+	want := refJoinSize(l, r)
+	for _, budget := range []int{8, 16, 64, 256, 10000} {
+		got, _ := xjoinRun(t, budget, l, r)
+		if got != want {
+			t.Errorf("budget %d: join size = %d, want %d", budget, got, want)
+		}
+	}
+}
+
+func TestXJoinValidation(t *testing.T) {
+	a, b := joinSchemas()
+	if _, err := NewXJoin("x", a, b, nil, nil, 4, 10, nil, t.TempDir()); err == nil {
+		t.Error("missing keys accepted")
+	}
+	if _, err := NewXJoin("x", a, b, []int{1}, []int{1}, 0, 0, nil, ""); err != nil {
+		t.Errorf("defaulted construction failed: %v", err)
+	}
+}
+
+func TestXJoinFlushIdempotent(t *testing.T) {
+	l := []uint32{1, 1}
+	r := []uint32{1}
+	a, b := joinSchemas()
+	x, _ := NewXJoin("x", a, b, []int{1}, []int{1}, 2, 1, nil, t.TempDir())
+	out := 0
+	emit := func(stream.Element) { out++ }
+	x.Push(0, stream.Tup(ab(1, l[0])), emit)
+	x.Push(0, stream.Tup(ab(2, l[1])), emit)
+	x.Push(1, stream.Tup(ab(3, r[0])), emit)
+	x.Flush(emit)
+	first := out
+	x.Flush(emit)
+	if out != first {
+		t.Errorf("second Flush emitted more: %d -> %d", first, out)
+	}
+	if want := refJoinSize(l, r); first != want {
+		t.Errorf("join size = %d, want %d", first, want)
+	}
+}
+
+func TestXJoinIgnoresPunctuation(t *testing.T) {
+	a, b := joinSchemas()
+	x, _ := NewXJoin("x", a, b, []int{1}, []int{1}, 2, 100, nil, t.TempDir())
+	out := 0
+	x.Push(0, stream.Punct(stream.ProgressPunct(1, 0, tuple.Time(1))), func(stream.Element) { out++ })
+	if out != 0 {
+		t.Error("punctuation produced output")
+	}
+}

@@ -1,0 +1,150 @@
+package rate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MultiJoinModel predicts the behaviour of an N-way sliding-window
+// equijoin [VNB03] ("Maximizing the Output Rate of Multi-Way Join
+// Queries over Streaming Information Sources", slide 64's reference
+// list): per-stream arrival rates and window lengths determine expected
+// window populations; a per-pair match probability determines how many
+// candidates survive each probe step.
+type MultiJoinModel struct {
+	// Rates[i] is stream i's arrival rate in tuples/sec.
+	Rates []float64
+	// Windows[i] is stream i's window length in seconds.
+	Windows []float64
+	// MatchProb is the probability an arbitrary pair of tuples from two
+	// different streams agrees on the join key.
+	MatchProb float64
+}
+
+// Validate checks the model.
+func (m MultiJoinModel) Validate() error {
+	if len(m.Rates) < 2 || len(m.Rates) != len(m.Windows) {
+		return fmt.Errorf("rate: multi-join needs matched rates/windows (>= 2)")
+	}
+	for i := range m.Rates {
+		if m.Rates[i] <= 0 || m.Windows[i] <= 0 {
+			return fmt.Errorf("rate: stream %d rate/window must be positive", i)
+		}
+	}
+	if m.MatchProb <= 0 || m.MatchProb > 1 {
+		return fmt.Errorf("rate: match probability out of (0,1]")
+	}
+	return nil
+}
+
+// population returns the expected live tuple count of stream i's window.
+func (m MultiJoinModel) population(i int) float64 {
+	return m.Rates[i] * m.Windows[i]
+}
+
+// OutputRate predicts result tuples/sec: each arrival on stream i forms
+// prod_{j != i} (pop_j * p) complete combinations in expectation.
+func (m MultiJoinModel) OutputRate() float64 {
+	total := 0.0
+	for i := range m.Rates {
+		prod := m.Rates[i]
+		for j := range m.Rates {
+			if j != i {
+				prod *= m.population(j) * m.MatchProb
+			}
+		}
+		total += prod
+	}
+	return total
+}
+
+// ProbeCost predicts expected key comparisons per second for a given
+// probe order per arrival stream: probing stream o1 first inspects
+// pop(o1) candidates; the surviving pop(o1)*p partial matches each
+// inspect pop(o2), and so on — the progressive-pruning cost the MJoin
+// operator pays.
+func (m MultiJoinModel) ProbeCost(orders [][]int) float64 {
+	total := 0.0
+	for i, order := range orders {
+		perArrival := 0.0
+		partial := 1.0
+		for _, j := range order {
+			perArrival += partial * m.population(j)
+			partial *= m.population(j) * m.MatchProb
+		}
+		total += m.Rates[i] * perArrival
+	}
+	return total
+}
+
+// BestProbeOrders returns, per arrival stream, the probe order that
+// minimizes expected cost. For the progressive-pruning cost model the
+// optimal order visits windows by ascending expected surviving work;
+// with a uniform match probability that is simply ascending population
+// (exchange argument), which is also [GO03]'s heuristic.
+func (m MultiJoinModel) BestProbeOrders() [][]int {
+	n := len(m.Rates)
+	orders := make([][]int, n)
+	for i := 0; i < n; i++ {
+		var others []int
+		for j := 0; j < n; j++ {
+			if j != i {
+				others = append(others, j)
+			}
+		}
+		sort.SliceStable(others, func(a, b int) bool {
+			return m.population(others[a]) < m.population(others[b])
+		})
+		orders[i] = others
+	}
+	return orders
+}
+
+// WorstProbeOrders returns the reverse (descending population) order,
+// the baseline the optimization is measured against.
+func (m MultiJoinModel) WorstProbeOrders() [][]int {
+	best := m.BestProbeOrders()
+	for _, o := range best {
+		for l, r := 0, len(o)-1; l < r; l, r = l+1, r-1 {
+			o[l], o[r] = o[r], o[l]
+		}
+	}
+	return best
+}
+
+// StateSize predicts total resident tuples across windows.
+func (m MultiJoinModel) StateSize() float64 {
+	total := 0.0
+	for i := range m.Rates {
+		total += m.population(i)
+	}
+	return total
+}
+
+// TrimWindowsForBudget shrinks windows proportionally until the state
+// fits the tuple budget, returning the scale factor applied — the
+// memory-limited operating point (slide 33's second regime) for
+// multi-way joins.
+func (m *MultiJoinModel) TrimWindowsForBudget(budget float64) float64 {
+	s := m.StateSize()
+	if s <= budget || s == 0 {
+		return 1
+	}
+	f := budget / s
+	for i := range m.Windows {
+		m.Windows[i] *= f
+	}
+	return f
+}
+
+// OutputPerProbe is the rate-based figure of merit: results per unit of
+// probe work under the best probe orders. Plans (window assignments)
+// with higher values dominate when CPU is the constraint.
+func (m MultiJoinModel) OutputPerProbe() float64 {
+	cost := m.ProbeCost(m.BestProbeOrders())
+	if cost == 0 {
+		return math.Inf(1)
+	}
+	return m.OutputRate() / cost
+}

@@ -1,0 +1,135 @@
+package rate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func model3() MultiJoinModel {
+	return MultiJoinModel{
+		Rates:     []float64{1000, 10, 100},
+		Windows:   []float64{10, 10, 10},
+		MatchProb: 0.001,
+	}
+}
+
+func TestMultiJoinValidate(t *testing.T) {
+	if err := model3().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MultiJoinModel{
+		{Rates: []float64{1}, Windows: []float64{1}, MatchProb: 0.1},
+		{Rates: []float64{1, 2}, Windows: []float64{1}, MatchProb: 0.1},
+		{Rates: []float64{1, 0}, Windows: []float64{1, 1}, MatchProb: 0.1},
+		{Rates: []float64{1, 1}, Windows: []float64{1, -1}, MatchProb: 0.1},
+		{Rates: []float64{1, 1}, Windows: []float64{1, 1}, MatchProb: 0},
+		{Rates: []float64{1, 1}, Windows: []float64{1, 1}, MatchProb: 1.5},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d validated", i)
+		}
+	}
+}
+
+func TestMultiJoinOutputRate(t *testing.T) {
+	m := MultiJoinModel{
+		Rates:     []float64{10, 20},
+		Windows:   []float64{2, 3},
+		MatchProb: 0.01,
+	}
+	// pop = 20, 60. Output = 10*(60*.01) + 20*(20*.01) = 6 + 4 = 10.
+	if got := m.OutputRate(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("OutputRate = %v, want 10", got)
+	}
+	// Two-stream model must agree with the binary JoinModel.
+	b := JoinModel{RateA: 10, RateB: 20, WindowA: 2, WindowB: 3,
+		MatchProb: 0.01, CapacityProbes: math.Inf(1)}
+	if math.Abs(m.OutputRate()-b.OutputRate()) > 1e-9 {
+		t.Errorf("multi %v != binary %v", m.OutputRate(), b.OutputRate())
+	}
+}
+
+func TestBestProbeOrdersAscendingPopulation(t *testing.T) {
+	m := model3() // populations: 10000, 100, 1000
+	orders := m.BestProbeOrders()
+	// Arrivals on stream 0 probe 1 (pop 100) then 2 (pop 1000).
+	if orders[0][0] != 1 || orders[0][1] != 2 {
+		t.Errorf("orders[0] = %v", orders[0])
+	}
+	// Arrivals on stream 1 probe 2 then 0.
+	if orders[1][0] != 2 || orders[1][1] != 0 {
+		t.Errorf("orders[1] = %v", orders[1])
+	}
+}
+
+func TestBestBeatsWorstProbeCost(t *testing.T) {
+	m := model3()
+	best := m.ProbeCost(m.BestProbeOrders())
+	worst := m.ProbeCost(m.WorstProbeOrders())
+	if best >= worst {
+		t.Errorf("best cost %v >= worst %v", best, worst)
+	}
+	// Concrete check for stream 0's arrivals (rate 1000):
+	// best: 100 + 100*.001*1000 = 200/arrival.
+	// worst: 1000 + 1000*.001*100 = 1100/arrival.
+	if best > worst/2 {
+		t.Errorf("expected a large gap: best %v, worst %v", best, worst)
+	}
+}
+
+func TestBestProbeOrderOptimalProperty(t *testing.T) {
+	// Property: for 3-stream models, the ascending-population order has
+	// cost <= both alternative orders for every arrival stream.
+	f := func(r1, r2, r3, w1, w2, w3 uint16) bool {
+		m := MultiJoinModel{
+			Rates:     []float64{float64(r1%100) + 1, float64(r2%100) + 1, float64(r3%100) + 1},
+			Windows:   []float64{float64(w1%20) + 1, float64(w2%20) + 1, float64(w3%20) + 1},
+			MatchProb: 0.01,
+		}
+		best := m.ProbeCost(m.BestProbeOrders())
+		perms := [][][]int{
+			{{1, 2}, {0, 2}, {0, 1}},
+			{{2, 1}, {2, 0}, {1, 0}},
+		}
+		for _, p := range perms {
+			if m.ProbeCost(p) < best-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrimWindowsForBudget(t *testing.T) {
+	m := model3() // state = 10000 + 100 + 1000 = 11100
+	if got := m.StateSize(); math.Abs(got-11100) > 1e-9 {
+		t.Fatalf("StateSize = %v", got)
+	}
+	f := m.TrimWindowsForBudget(1110)
+	if math.Abs(f-0.1) > 1e-9 {
+		t.Errorf("scale = %v, want 0.1", f)
+	}
+	if got := m.StateSize(); math.Abs(got-1110) > 1e-6 {
+		t.Errorf("trimmed state = %v", got)
+	}
+	// Already within budget: no-op.
+	if f := m.TrimWindowsForBudget(1e9); f != 1 {
+		t.Errorf("no-op trim = %v", f)
+	}
+}
+
+func TestOutputPerProbeRatio(t *testing.T) {
+	m := model3()
+	want := m.OutputRate() / m.ProbeCost(m.BestProbeOrders())
+	if got := m.OutputPerProbe(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("OutputPerProbe = %v, want %v", got, want)
+	}
+	if !(want > 0) {
+		t.Errorf("figure of merit not positive: %v", want)
+	}
+}

@@ -1,0 +1,181 @@
+// Package rate implements rate-based query optimization [VN02]
+// (slides 39-41): plans are ranked by the tuple output rate they can
+// sustain given stream arrival rates, operator service capacities and
+// selectivities — not by the classic total-work cost metric.
+//
+// The model reproduces the tutorial's worked example: a 500 tuples/sec
+// stream through {a slow selective operator, a very fast operator}
+// yields 0.5 tuples/sec in one order and 5 tuples/sec in the other.
+package rate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Op models one unary operator for rate purposes.
+type Op struct {
+	Name string
+	// Sel is the fraction of input tuples that survive.
+	Sel float64
+	// Capacity is the service rate in tuples/sec; +Inf for operators
+	// whose per-tuple cost is negligible ("very fast op").
+	Capacity float64
+}
+
+// Validate checks the model parameters.
+func (o Op) Validate() error {
+	if o.Sel < 0 || o.Sel > 1 {
+		return fmt.Errorf("rate: selectivity %v out of [0,1]", o.Sel)
+	}
+	if o.Capacity <= 0 {
+		return fmt.Errorf("rate: capacity must be positive")
+	}
+	return nil
+}
+
+// ChainOutput computes the sustained output rate of a pipeline: each
+// operator forwards min(input, capacity) * sel tuples/sec — input beyond
+// the service capacity is dropped at that operator's queue (the
+// steady-state behaviour of an overloaded operator).
+func ChainOutput(input float64, chain []Op) float64 {
+	r := input
+	for _, op := range chain {
+		r = math.Min(r, op.Capacity) * op.Sel
+	}
+	return r
+}
+
+// ChainCost computes the classic cost-metric: total service demand in
+// operator-seconds per second of stream, the quantity a traditional
+// least-cost optimizer would minimize (slide 40's contrast).
+func ChainCost(input float64, chain []Op) float64 {
+	r := input
+	cost := 0.0
+	for _, op := range chain {
+		admitted := math.Min(r, op.Capacity)
+		if !math.IsInf(op.Capacity, 1) {
+			cost += admitted / op.Capacity
+		}
+		r = admitted * op.Sel
+	}
+	return cost
+}
+
+// Plan is an operator ordering with its predicted metrics.
+type Plan struct {
+	Order  []int // indexes into the op set
+	Output float64
+	Cost   float64
+}
+
+// Names renders the plan order using the op names.
+func (p Plan) Names(opSet []Op) []string {
+	out := make([]string, len(p.Order))
+	for i, idx := range p.Order {
+		out[i] = opSet[idx].Name
+	}
+	return out
+}
+
+// Enumerate returns every permutation of the commutative operator set,
+// with predicted output rate and cost, sorted by descending output rate.
+// Intended for the small operator sets of streaming predicates (n <= 8).
+func Enumerate(input float64, opSet []Op) ([]Plan, error) {
+	if len(opSet) == 0 {
+		return nil, fmt.Errorf("rate: empty operator set")
+	}
+	if len(opSet) > 8 {
+		return nil, fmt.Errorf("rate: %d operators is too many to enumerate", len(opSet))
+	}
+	for _, op := range opSet {
+		if err := op.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	idx := make([]int, len(opSet))
+	for i := range idx {
+		idx[i] = i
+	}
+	var plans []Plan
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(idx) {
+			order := append([]int(nil), idx...)
+			chain := make([]Op, len(order))
+			for i, j := range order {
+				chain[i] = opSet[j]
+			}
+			plans = append(plans, Plan{
+				Order:  order,
+				Output: ChainOutput(input, chain),
+				Cost:   ChainCost(input, chain),
+			})
+			return
+		}
+		for i := k; i < len(idx); i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			rec(k + 1)
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+	}
+	rec(0)
+	sort.SliceStable(plans, func(i, j int) bool { return plans[i].Output > plans[j].Output })
+	return plans, nil
+}
+
+// Best returns the rate-optimal plan (maximum output rate).
+func Best(input float64, opSet []Op) (Plan, error) {
+	plans, err := Enumerate(input, opSet)
+	if err != nil {
+		return Plan{}, err
+	}
+	return plans[0], nil
+}
+
+// LeastCost returns the plan a traditional optimizer would pick
+// (minimum total service demand), for the rate-vs-cost contrast of
+// slide 40.
+func LeastCost(input float64, opSet []Op) (Plan, error) {
+	plans, err := Enumerate(input, opSet)
+	if err != nil {
+		return Plan{}, err
+	}
+	best := plans[0]
+	for _, p := range plans[1:] {
+		if p.Cost < best.Cost {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// JoinModel predicts a sliding-window join's output rate from input
+// rates, window lengths (seconds) and per-pair match probability
+// [KNV03]: each arriving a-tuple meets rb*Tb candidate partners and
+// vice versa.
+type JoinModel struct {
+	RateA, RateB     float64
+	WindowA, WindowB float64 // seconds of stream time
+	MatchProb        float64
+	// CapacityProbes bounds the probes/sec the executor can perform;
+	// +Inf when CPU is not the constraint.
+	CapacityProbes float64
+}
+
+// OutputRate predicts result tuples per second.
+func (m JoinModel) OutputRate() float64 {
+	probesPerSec := m.RateA*m.RateB*m.WindowB + m.RateB*m.RateA*m.WindowA
+	produced := probesPerSec * m.MatchProb
+	if math.IsInf(m.CapacityProbes, 1) || probesPerSec <= m.CapacityProbes {
+		return produced
+	}
+	// CPU-limited: only a fraction of probes happen.
+	return produced * (m.CapacityProbes / probesPerSec)
+}
+
+// StateSize predicts the join's resident tuple count (memory demand).
+func (m JoinModel) StateSize() float64 {
+	return m.RateA*m.WindowA + m.RateB*m.WindowB
+}

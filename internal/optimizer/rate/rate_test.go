@@ -1,0 +1,173 @@
+package rate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// slide41Ops is the tutorial's worked example: a slow selective operator
+// (service rate 50 tuples/sec, selectivity 0.1) and a very fast operator
+// (selectivity 0.1) over a 500 tuples/sec stream.
+func slide41Ops() []Op {
+	return []Op{
+		{Name: "slow", Sel: 0.1, Capacity: 50},
+		{Name: "fast", Sel: 0.1, Capacity: math.Inf(1)},
+	}
+}
+
+func TestSlide41ExactRates(t *testing.T) {
+	ops := slide41Ops()
+	// Plan A: slow first. 500 -> min(500,50)*0.1 = 5 -> fast: 0.5.
+	planA := ChainOutput(500, []Op{ops[0], ops[1]})
+	if math.Abs(planA-0.5) > 1e-9 {
+		t.Errorf("slow-first output = %v, want 0.5", planA)
+	}
+	// Plan B: fast first. 500 -> 50 -> min(50,50)*0.1 = 5.
+	planB := ChainOutput(500, []Op{ops[1], ops[0]})
+	if math.Abs(planB-5) > 1e-9 {
+		t.Errorf("fast-first output = %v, want 5", planB)
+	}
+	if planB/planA != 10 {
+		t.Errorf("improvement factor = %v, want 10", planB/planA)
+	}
+}
+
+func TestBestPicksFastFirst(t *testing.T) {
+	best, err := Best(500, slide41Ops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := best.Names(slide41Ops())
+	if names[0] != "fast" || names[1] != "slow" {
+		t.Errorf("best order = %v", names)
+	}
+	if math.Abs(best.Output-5) > 1e-9 {
+		t.Errorf("best output = %v", best.Output)
+	}
+}
+
+func TestEnumerateCountsPermutations(t *testing.T) {
+	ops := []Op{
+		{Name: "a", Sel: 0.5, Capacity: 100},
+		{Name: "b", Sel: 0.5, Capacity: 100},
+		{Name: "c", Sel: 0.5, Capacity: 100},
+	}
+	plans, err := Enumerate(10, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 6 {
+		t.Errorf("plans = %d, want 3! = 6", len(plans))
+	}
+	// Sorted descending by output.
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Output > plans[i-1].Output+1e-12 {
+			t.Error("plans not sorted by output")
+		}
+	}
+}
+
+func TestEnumerateValidation(t *testing.T) {
+	if _, err := Enumerate(10, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := Enumerate(10, make([]Op, 9)); err == nil {
+		t.Error("oversized set accepted")
+	}
+	if _, err := Enumerate(10, []Op{{Sel: 2, Capacity: 1}}); err == nil {
+		t.Error("bad selectivity accepted")
+	}
+	if _, err := Enumerate(10, []Op{{Sel: 0.5, Capacity: 0}}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestLeastCostDivergesFromRateBased(t *testing.T) {
+	// A selective-but-slow operator first minimizes downstream work
+	// (classic cost) yet throttles output; rate-based prefers the
+	// opposite order. Construct such a case: op X sel 0.01 capacity 60,
+	// op Y sel 0.9 capacity 1000, input 500/s.
+	ops := []Op{
+		{Name: "X", Sel: 0.01, Capacity: 60},
+		{Name: "Y", Sel: 0.9, Capacity: 1000},
+	}
+	rateBest, _ := Best(500, ops)
+	costBest, _ := LeastCost(500, ops)
+	if rateBest.Names(ops)[0] != "Y" {
+		t.Errorf("rate-based order = %v, want Y first", rateBest.Names(ops))
+	}
+	if costBest.Names(ops)[0] != "X" {
+		t.Errorf("least-cost order = %v, want X first", costBest.Names(ops))
+	}
+	if rateBest.Output <= costBest.Output {
+		t.Errorf("rate-based output %v not better than least-cost %v",
+			rateBest.Output, costBest.Output)
+	}
+}
+
+func TestChainOutputUnderCapacityIsOrderInsensitive(t *testing.T) {
+	// Property: when no operator saturates, output = input * prod(sel)
+	// in any order.
+	f := func(s1, s2 uint8) bool {
+		a := float64(s1%10) / 10
+		b := float64(s2%10) / 10
+		ops := []Op{
+			{Sel: a, Capacity: 1e9},
+			{Sel: b, Capacity: 1e9},
+		}
+		o1 := ChainOutput(100, ops)
+		o2 := ChainOutput(100, []Op{ops[1], ops[0]})
+		want := 100 * a * b
+		return math.Abs(o1-want) < 1e-9 && math.Abs(o2-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainCost(t *testing.T) {
+	ops := slide41Ops()
+	// Slow-first admits 50 of 500: utilization 1.0; fast costs nothing.
+	c := ChainCost(500, []Op{ops[0], ops[1]})
+	if math.Abs(c-1) > 1e-9 {
+		t.Errorf("cost = %v, want 1", c)
+	}
+	// Fast-first: fast free, slow sees 50/s = full utilization.
+	c2 := ChainCost(500, []Op{ops[1], ops[0]})
+	if math.Abs(c2-1) > 1e-9 {
+		t.Errorf("cost = %v, want 1", c2)
+	}
+}
+
+func TestJoinModelOutputRate(t *testing.T) {
+	m := JoinModel{RateA: 10, RateB: 20, WindowA: 2, WindowB: 3, MatchProb: 0.01, CapacityProbes: math.Inf(1)}
+	// probes/sec = 10*20*3 + 20*10*2 = 600+400 = 1000; out = 10/s.
+	if got := m.OutputRate(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("OutputRate = %v, want 10", got)
+	}
+	if got := m.StateSize(); math.Abs(got-80) > 1e-9 {
+		t.Errorf("StateSize = %v, want 80", got)
+	}
+}
+
+func TestJoinModelCPULimited(t *testing.T) {
+	m := JoinModel{RateA: 10, RateB: 20, WindowA: 2, WindowB: 3, MatchProb: 0.01, CapacityProbes: 500}
+	// Only half the probes happen: output halves.
+	if got := m.OutputRate(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("CPU-limited OutputRate = %v, want 5", got)
+	}
+}
+
+func TestJoinModelAsymmetry(t *testing.T) {
+	// With asymmetric rates, shrinking the window on the fast stream
+	// reduces state much more than shrinking the slow stream's window.
+	fast := JoinModel{RateA: 1000, RateB: 10, WindowA: 10, WindowB: 10, MatchProb: 0.001, CapacityProbes: math.Inf(1)}
+	shrinkA := fast
+	shrinkA.WindowA = 1
+	shrinkB := fast
+	shrinkB.WindowB = 1
+	if fast.StateSize()-shrinkA.StateSize() <= fast.StateSize()-shrinkB.StateSize() {
+		t.Error("asymmetric window sizing has no effect")
+	}
+}

@@ -1,0 +1,185 @@
+// Package share implements multi-query processing on streams
+// (slide 45): sharing work between the select/project expressions of
+// concurrent queries, and sharing sliding-window join state between
+// queries that join the same streams with different windows [HFAE03].
+package share
+
+import (
+	"fmt"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/ops"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+	"streamdb/internal/window"
+)
+
+// SharedSelect evaluates a set of registered query predicates over one
+// stream, evaluating each *distinct* predicate once per tuple and
+// fanning the tuple out to every subscribed query. Queries registering
+// a predicate with an identical rendering share its evaluation — the
+// common-subexpression sharing of traditional multi-query optimization
+// applied to streams.
+type SharedSelect struct {
+	name string
+	sch  *tuple.Schema
+	// preds holds the distinct predicates; queries maps each to the
+	// subscribed query IDs.
+	preds   []expr.Expr
+	byKey   map[string]int
+	subs    [][]int
+	sinks   map[int]ops.Emit
+	evals   int64
+	naive   int64 // evaluations an unshared deployment would perform
+	queries int
+}
+
+// NewSharedSelect builds an empty shared selection over the schema.
+func NewSharedSelect(name string, sch *tuple.Schema) *SharedSelect {
+	return &SharedSelect{
+		name: name, sch: sch,
+		byKey: make(map[string]int),
+		sinks: make(map[int]ops.Emit),
+	}
+}
+
+// Register adds a query with its predicate and output sink, returning
+// the query ID.
+func (s *SharedSelect) Register(pred expr.Expr, sink ops.Emit) (int, error) {
+	if pred.Kind() != tuple.KindBool {
+		return 0, fmt.Errorf("share: predicate must be boolean")
+	}
+	qid := s.queries
+	s.queries++
+	s.sinks[qid] = sink
+	key := pred.String()
+	i, ok := s.byKey[key]
+	if !ok {
+		i = len(s.preds)
+		s.preds = append(s.preds, pred)
+		s.subs = append(s.subs, nil)
+		s.byKey[key] = i
+	}
+	s.subs[i] = append(s.subs[i], qid)
+	return qid, nil
+}
+
+// Push evaluates the distinct predicates once and routes the tuple.
+func (s *SharedSelect) Push(e stream.Element) {
+	if e.IsPunct() {
+		for _, sink := range s.sinks {
+			sink(e)
+		}
+		return
+	}
+	s.naive += int64(s.queries)
+	for i, p := range s.preds {
+		s.evals++
+		if expr.EvalBool(p, e.Tuple) {
+			for _, qid := range s.subs[i] {
+				s.sinks[qid](e)
+			}
+		}
+	}
+}
+
+// Stats reports (shared evaluations performed, evaluations a per-query
+// deployment would have performed).
+func (s *SharedSelect) Stats() (shared, unshared int64) { return s.evals, s.naive }
+
+// DistinctPredicates reports how many predicate instances are evaluated
+// per tuple after sharing.
+func (s *SharedSelect) DistinctPredicates() int { return len(s.preds) }
+
+// JoinQuery is one query's window requirement on a shared join.
+type JoinQuery struct {
+	// Window is the query's join window in timestamp units: a result
+	// pair (a, b) belongs to the query iff |a.Ts - b.Ts| <= Window.
+	Window int64
+	Sink   ops.Emit
+}
+
+// SharedWindowJoin executes one physical sliding-window equijoin sized
+// for the largest registered window and routes each result to exactly
+// the queries whose window covers the pair's timestamp distance
+// [HFAE03]. One state store and one probe per tuple serve all queries.
+type SharedWindowJoin struct {
+	name    string
+	join    *ops.WindowJoin
+	queries []JoinQuery
+	maxWin  int64
+	lIdx    int // index of left timestamp in the join output
+	rIdx    int
+	probes  int64
+	routed  int64
+}
+
+// NewSharedWindowJoin builds a shared join on the given key columns.
+// queries must be non-empty; the physical window is the maximum query
+// window.
+func NewSharedWindowJoin(name string, left, right *tuple.Schema, leftKey, rightKey []int, queries []JoinQuery) (*SharedWindowJoin, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("share: no queries registered")
+	}
+	maxWin := int64(0)
+	for _, q := range queries {
+		if q.Window <= 0 {
+			return nil, fmt.Errorf("share: query window must be positive")
+		}
+		if q.Window > maxWin {
+			maxWin = q.Window
+		}
+	}
+	j, err := ops.NewWindowJoin(name, left, right,
+		ops.JoinConfig{Window: window.Tumbling(maxWin), Method: ops.JoinHash, Key: leftKey},
+		ops.JoinConfig{Window: window.Tumbling(maxWin), Method: ops.JoinHash, Key: rightKey},
+		nil)
+	if err != nil {
+		return nil, err
+	}
+	lOrd := left.OrderingIndex()
+	rOrd := right.OrderingIndex()
+	if lOrd < 0 || rOrd < 0 {
+		return nil, fmt.Errorf("share: both inputs need ordering attributes")
+	}
+	return &SharedWindowJoin{
+		name: name, join: j, queries: queries, maxWin: maxWin,
+		lIdx: lOrd, rIdx: left.Arity() + rOrd,
+	}, nil
+}
+
+// Push feeds one element into the shared join (port 0 = left).
+func (s *SharedWindowJoin) Push(port int, e stream.Element) {
+	s.join.Push(port, e, func(out stream.Element) {
+		lts, _ := out.Tuple.Vals[s.lIdx].AsTime()
+		rts, _ := out.Tuple.Vals[s.rIdx].AsTime()
+		dist := lts - rts
+		if dist < 0 {
+			dist = -dist
+		}
+		for _, q := range s.queries {
+			if dist <= q.Window {
+				s.routed++
+				q.Sink(out)
+			}
+		}
+	})
+}
+
+// Stats reports (probes by the one shared join, results routed to
+// queries). An unshared deployment performs len(queries) times the
+// probes.
+func (s *SharedWindowJoin) Stats() (probes, routed int64) {
+	return s.join.Probes(), s.routed
+}
+
+// UnsharedProbeEstimate returns the probes a per-query deployment would
+// have spent, assuming each query's window holds a proportional share
+// of the tuples the maximal window holds.
+func (s *SharedWindowJoin) UnsharedProbeEstimate() float64 {
+	total := 0.0
+	for _, q := range s.queries {
+		total += float64(s.join.Probes()) * float64(q.Window) / float64(s.maxWin)
+	}
+	return total
+}

@@ -1,0 +1,147 @@
+package share
+
+import (
+	"testing"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/ops"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+var sch = tuple.NewSchema("S",
+	tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+	tuple.Field{Name: "v", Kind: tuple.KindInt},
+)
+
+func el(ts, v int64) stream.Element {
+	return stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(v)))
+}
+
+func gt(t *testing.T, threshold int64) expr.Expr {
+	t.Helper()
+	e, err := expr.NewBin(expr.OpGt, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(threshold)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSharedSelectDeduplicatesPredicates(t *testing.T) {
+	s := NewSharedSelect("ss", sch)
+	counts := map[int]int{}
+	mkSink := func(qid int) ops.Emit {
+		return func(stream.Element) { counts[qid]++ }
+	}
+	// 8 queries, only 2 distinct predicates.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Register(gt(t, 10), mkSink(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if _, err := s.Register(gt(t, 20), mkSink(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.DistinctPredicates() != 2 {
+		t.Fatalf("distinct predicates = %d", s.DistinctPredicates())
+	}
+	for i := int64(0); i < 30; i++ {
+		s.Push(el(i, i))
+	}
+	shared, unshared := s.Stats()
+	if shared != 30*2 {
+		t.Errorf("shared evals = %d, want 60", shared)
+	}
+	if unshared != 30*8 {
+		t.Errorf("unshared evals = %d, want 240", unshared)
+	}
+	// v > 10 passes 19 tuples (11..29); v > 20 passes 9 (21..29).
+	if counts[0] != 19 || counts[7] != 9 {
+		t.Errorf("query outputs = %v", counts)
+	}
+}
+
+func TestSharedSelectPunctuationFansOut(t *testing.T) {
+	s := NewSharedSelect("ss", sch)
+	got := 0
+	if _, err := s.Register(gt(t, 0), func(e stream.Element) {
+		if e.IsPunct() {
+			got++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Push(stream.Punct(stream.ProgressPunct(1, 0, tuple.Time(1))))
+	if got != 1 {
+		t.Error("punctuation not forwarded")
+	}
+}
+
+func TestSharedSelectRejectsNonBoolean(t *testing.T) {
+	s := NewSharedSelect("ss", sch)
+	if _, err := s.Register(expr.MustColumn(sch, "v"), func(stream.Element) {}); err == nil {
+		t.Error("non-boolean predicate accepted")
+	}
+}
+
+func joinSchemas() (*tuple.Schema, *tuple.Schema) {
+	a := tuple.NewSchema("A",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "k", Kind: tuple.KindInt},
+	)
+	b := tuple.NewSchema("B",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "k", Kind: tuple.KindInt},
+	)
+	return a, b
+}
+
+func TestSharedWindowJoinRoutesByDistance(t *testing.T) {
+	a, b := joinSchemas()
+	var narrow, wide []int64
+	queries := []JoinQuery{
+		{Window: 5, Sink: func(e stream.Element) { narrow = append(narrow, e.Ts()) }},
+		{Window: 50, Sink: func(e stream.Element) { wide = append(wide, e.Ts()) }},
+	}
+	sj, err := NewSharedWindowJoin("sj", a, b, []int{1}, []int{1}, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(ts, k int64) stream.Element {
+		return stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(k)))
+	}
+	sj.Push(0, mk(0, 7))
+	sj.Push(1, mk(3, 7))  // distance 3: both queries
+	sj.Push(1, mk(20, 7)) // distance 20: only the wide query
+	if len(narrow) != 1 {
+		t.Errorf("narrow query got %d results, want 1", len(narrow))
+	}
+	if len(wide) != 2 {
+		t.Errorf("wide query got %d results, want 2", len(wide))
+	}
+	probes, routed := sj.Stats()
+	if probes == 0 || routed != 3 {
+		t.Errorf("probes=%d routed=%d", probes, routed)
+	}
+	if sj.UnsharedProbeEstimate() <= float64(probes) {
+		t.Error("sharing shows no probe saving")
+	}
+}
+
+func TestSharedWindowJoinValidation(t *testing.T) {
+	a, b := joinSchemas()
+	if _, err := NewSharedWindowJoin("sj", a, b, []int{1}, []int{1}, nil); err == nil {
+		t.Error("no queries accepted")
+	}
+	if _, err := NewSharedWindowJoin("sj", a, b, []int{1}, []int{1},
+		[]JoinQuery{{Window: 0, Sink: func(stream.Element) {}}}); err == nil {
+		t.Error("zero window accepted")
+	}
+	noOrd := tuple.NewSchema("N", tuple.Field{Name: "k", Kind: tuple.KindInt})
+	if _, err := NewSharedWindowJoin("sj", noOrd, b, []int{0}, []int{1},
+		[]JoinQuery{{Window: 5, Sink: func(stream.Element) {}}}); err == nil {
+		t.Error("missing ordering attribute accepted")
+	}
+}

@@ -1,0 +1,359 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"streamdb/internal/agg"
+	"streamdb/internal/expr"
+	"streamdb/internal/tuple"
+)
+
+// Catalog maps stream names to schemas; the analyzer resolves FROM
+// items against it.
+type Catalog struct {
+	schemas map[string]*tuple.Schema
+}
+
+// NewCatalog builds an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{schemas: make(map[string]*tuple.Schema)} }
+
+// Register adds or replaces a stream schema.
+func (c *Catalog) Register(name string, s *tuple.Schema) { c.schemas[name] = s }
+
+// Lookup resolves a stream name.
+func (c *Catalog) Lookup(name string) (*tuple.Schema, bool) {
+	s, ok := c.schemas[name]
+	return s, ok
+}
+
+// boundStream is one FROM item resolved against the catalog.
+type boundStream struct {
+	item   FromItem
+	schema *tuple.Schema
+	offset int // column offset in the join-concatenated row
+}
+
+// binder resolves identifiers against one or two bound streams.
+type binder struct {
+	streams []*boundStream
+	// aggCalls collects the aggregate calls registered by collectAggs;
+	// each distinct call (by rendering) gets one output column.
+	aggCalls []*CallExpr
+	aggNames []string
+	aggSpecs []agg.Spec
+	approx   bool
+}
+
+func (b *binder) resolve(id *Ident) (expr.Expr, error) {
+	var found expr.Expr
+	matches := 0
+	for _, s := range b.streams {
+		if id.Qualifier != "" && id.Qualifier != s.item.Name() {
+			continue
+		}
+		if i := s.schema.Index(id.Name); i >= 0 {
+			matches++
+			found = &expr.Col{Index: s.offset + i, Name: Render(id), Typ: s.schema.Fields[i].Kind}
+		}
+	}
+	switch matches {
+	case 0:
+		return nil, fmt.Errorf("query: unknown column %s", Render(id))
+	case 1:
+		return found, nil
+	default:
+		return nil, fmt.Errorf("query: ambiguous column %s", Render(id))
+	}
+}
+
+var sqlToBinOp = map[string]expr.BinOp{
+	"+": expr.OpAdd, "-": expr.OpSub, "*": expr.OpMul, "/": expr.OpDiv, "%": expr.OpMod,
+	"=": expr.OpEq, "<>": expr.OpNe, "<": expr.OpLt, "<=": expr.OpLe,
+	">": expr.OpGt, ">=": expr.OpGe, "AND": expr.OpAnd, "OR": expr.OpOr,
+}
+
+// bind lowers an AST node to a typed expression. Aggregate calls are
+// rejected unless allowAggs is set, in which case each becomes a column
+// reference into the aggregation output (bound later by name).
+func (b *binder) bind(n Node) (expr.Expr, error) {
+	switch v := n.(type) {
+	case *Ident:
+		return b.resolve(v)
+	case *NumLit:
+		if v.IsFloat {
+			f, err := strconv.ParseFloat(v.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: bad number %q", v.Text)
+			}
+			return expr.Constant(tuple.Float(f)), nil
+		}
+		i, err := strconv.ParseInt(v.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad number %q", v.Text)
+		}
+		return expr.Constant(tuple.Int(i)), nil
+	case *StrLit:
+		return expr.Constant(tuple.String(v.Val)), nil
+	case *BoolLit:
+		return expr.Constant(tuple.Bool(v.Val)), nil
+	case *NullLit:
+		return expr.Constant(tuple.Null), nil
+	case *NegExpr:
+		e, err := b.bind(v.E)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Neg{E: e}, nil
+	case *NotExpr:
+		e, err := b.bind(v.E)
+		if err != nil {
+			return nil, err
+		}
+		if e.Kind() != tuple.KindBool {
+			return nil, fmt.Errorf("query: NOT requires a boolean")
+		}
+		return &expr.Not{E: e}, nil
+	case *IsNullExpr:
+		e, err := b.bind(v.E)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{E: e, Negate: v.Negate}, nil
+	case *BinExpr:
+		l, err := b.bind(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bind(v.R)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := sqlToBinOp[v.Op]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown operator %q", v.Op)
+		}
+		return expr.NewBin(op, l, r)
+	case *CallExpr:
+		if _, err := agg.Lookup(v.Name, b.approx); err == nil {
+			// Aggregates are collected separately (collectAggs) and
+			// rewritten to output-column references before binding.
+			return nil, fmt.Errorf("query: aggregate %s not allowed here", v.Name)
+		}
+		args := make([]expr.Expr, len(v.Args))
+		for i, a := range v.Args {
+			e, err := b.bind(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = e
+		}
+		return expr.NewCall(v.Name, args...)
+	}
+	return nil, fmt.Errorf("query: unsupported expression")
+}
+
+// bindAggCall registers a distinct aggregate call (deduplicated by
+// rendering); its output column is named fn_<index> and later referenced
+// via rewriteForOutput.
+func (b *binder) bindAggCall(v *CallExpr, fn *agg.Func) error {
+	key := strings.ToLower(Render(v))
+	for _, prev := range b.aggCalls {
+		if strings.ToLower(Render(prev)) == key {
+			return nil
+		}
+	}
+	var arg expr.Expr
+	if v.Star {
+		if fn.NeedsArg {
+			return fmt.Errorf("query: %s(*) is not valid", fn.Name)
+		}
+	} else {
+		if len(v.Args) != 1 {
+			return fmt.Errorf("query: %s takes exactly one argument", fn.Name)
+		}
+		var err error
+		inner := &binder{streams: b.streams} // no nested aggregates
+		arg, err = inner.bind(v.Args[0])
+		if err != nil {
+			return err
+		}
+	}
+	name := fmt.Sprintf("%s_%d", fn.Name, len(b.aggCalls))
+	b.aggCalls = append(b.aggCalls, v)
+	b.aggNames = append(b.aggNames, name)
+	b.aggSpecs = append(b.aggSpecs, agg.Spec{Fn: fn, Arg: arg, Name: name})
+	return nil
+}
+
+// BoundedMemory is the verdict of the [ABB+02] analysis (slides 35-36).
+type BoundedMemory struct {
+	OK      bool
+	Reasons []string
+}
+
+// boundsFromWhere extracts per-column constant range constraints from
+// the WHERE conjuncts: "length > 512 AND length < 1024" bounds length.
+type rangeBound struct{ lower, upper bool }
+
+func collectBounds(where Node, bounds map[string]*rangeBound) {
+	be, ok := where.(*BinExpr)
+	if !ok {
+		return
+	}
+	if be.Op == "AND" {
+		collectBounds(be.L, bounds)
+		collectBounds(be.R, bounds)
+		return
+	}
+	id, idLeft := be.L.(*Ident)
+	num := false
+	if _, isNum := be.R.(*NumLit); isNum {
+		num = true
+	}
+	if !idLeft || !num {
+		// Try the mirrored form: const op column.
+		id2, idRight := be.R.(*Ident)
+		if _, isNum := be.L.(*NumLit); isNum && idRight {
+			id = id2
+			// Mirror the operator.
+			switch be.Op {
+			case "<":
+				be = &BinExpr{Op: ">", L: be.R, R: be.L}
+			case "<=":
+				be = &BinExpr{Op: ">=", L: be.R, R: be.L}
+			case ">":
+				be = &BinExpr{Op: "<", L: be.R, R: be.L}
+			case ">=":
+				be = &BinExpr{Op: "<=", L: be.R, R: be.L}
+			}
+		} else {
+			return
+		}
+	}
+	b := bounds[id.Name]
+	if b == nil {
+		b = &rangeBound{}
+		bounds[id.Name] = b
+	}
+	switch be.Op {
+	case "<", "<=":
+		b.upper = true
+	case ">", ">=":
+		b.lower = true
+	case "=":
+		b.lower, b.upper = true, true
+	}
+}
+
+// analyzeBoundedMemory applies the [ABB+02] criteria to an aggregate
+// query: every grouping expression must range over a bounded domain,
+// and no holistic aggregate may run over an unbounded attribute
+// (slide 35). Windows do not rescue an unbounded group domain — the
+// number of distinct groups within a window is still unbounded
+// (slide 36's first example carries a window and is still rejected).
+func analyzeBoundedMemory(q *Query, streams []*boundStream, groupASTs []Node, specs []agg.Spec) BoundedMemory {
+	bounds := map[string]*rangeBound{}
+	if q.Where != nil {
+		collectBounds(q.Where, bounds)
+	}
+
+	var colBounded func(n Node) bool
+	colBounded = func(n Node) bool {
+		switch v := n.(type) {
+		case *NumLit, *StrLit, *BoolLit, *NullLit:
+			return true
+		case *Ident:
+			for _, s := range streams {
+				if f, ok := s.schema.Field(v.Name); ok &&
+					(v.Qualifier == "" || v.Qualifier == s.item.Name()) {
+					if f.Bounded || f.Kind == tuple.KindBool {
+						return true
+					}
+				}
+			}
+			if b := bounds[v.Name]; b != nil && b.lower && b.upper {
+				return true
+			}
+			return false
+		case *BinExpr:
+			if v.Op == "/" || v.Op == "%" {
+				// x / c and x % c with bounded x stay bounded; x % c is
+				// bounded for any x when c is constant.
+				if _, isConst := v.R.(*NumLit); isConst && v.Op == "%" {
+					return true
+				}
+			}
+			return colBounded(v.L) && colBounded(v.R)
+		case *NegExpr:
+			return colBounded(v.E)
+		case *CallExpr:
+			for _, a := range v.Args {
+				if !colBounded(a) {
+					return false
+				}
+			}
+			return !v.Star
+		}
+		return false
+	}
+
+	verdict := BoundedMemory{OK: true}
+	for i, g := range groupASTs {
+		if !colBounded(g) {
+			verdict.OK = false
+			verdict.Reasons = append(verdict.Reasons,
+				fmt.Sprintf("grouping expression %d (%s) ranges over an unbounded domain", i, Render(g)))
+		}
+	}
+	for _, spec := range specs {
+		if spec.Fn.Class != agg.Holistic || q.Approx {
+			continue
+		}
+		if spec.Arg == nil {
+			continue
+		}
+		// A holistic aggregate over an unbounded attribute needs the
+		// whole multiset.
+		verdict.OK = false
+		verdict.Reasons = append(verdict.Reasons,
+			fmt.Sprintf("holistic aggregate %s requires unbounded state (use WITH APPROX for a synopsis)", spec.Fn.Name))
+	}
+	if verdict.OK {
+		verdict.Reasons = append(verdict.Reasons, "all grouping attributes bounded; no exact holistic aggregates")
+	}
+	return verdict
+}
+
+// Streamable reports whether an aggregate query's result can itself be
+// emitted as a stream in arrival order: true when the grouping
+// attributes include the stream's ordering attribute [JMS95] (slide 35)
+// or a monotone function of it (time bucketing).
+func streamable(groupASTs []Node, streams []*boundStream) bool {
+	for _, g := range groupASTs {
+		if mentionsOrdering(g, streams) {
+			return true
+		}
+	}
+	return false
+}
+
+func mentionsOrdering(n Node, streams []*boundStream) bool {
+	switch v := n.(type) {
+	case *Ident:
+		for _, s := range streams {
+			if i := s.schema.OrderingIndex(); i >= 0 && s.schema.Fields[i].Name == v.Name {
+				return true
+			}
+		}
+	case *BinExpr:
+		// time/60 is monotone in time when the divisor is constant.
+		if v.Op == "/" {
+			if _, isConst := v.R.(*NumLit); isConst {
+				return mentionsOrdering(v.L, streams)
+			}
+		}
+	}
+	return false
+}

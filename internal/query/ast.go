@@ -1,0 +1,171 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"streamdb/internal/window"
+)
+
+// The AST mirrors the query surface before schema binding. Expressions
+// are untyped here; the analyzer binds them against stream schemas into
+// internal/expr trees.
+
+// Node is an unbound expression node.
+type Node interface{ render(b *strings.Builder) }
+
+// Ident is a (possibly qualified) column reference.
+type Ident struct {
+	Qualifier string // stream name or alias; empty if unqualified
+	Name      string
+}
+
+func (n *Ident) render(b *strings.Builder) {
+	if n.Qualifier != "" {
+		b.WriteString(n.Qualifier)
+		b.WriteByte('.')
+	}
+	b.WriteString(n.Name)
+}
+
+// NumLit is an integer or float literal.
+type NumLit struct {
+	Text    string
+	IsFloat bool
+}
+
+func (n *NumLit) render(b *strings.Builder) { b.WriteString(n.Text) }
+
+// StrLit is a string literal.
+type StrLit struct{ Val string }
+
+func (n *StrLit) render(b *strings.Builder) { fmt.Fprintf(b, "'%s'", n.Val) }
+
+// BoolLit is TRUE/FALSE.
+type BoolLit struct{ Val bool }
+
+func (n *BoolLit) render(b *strings.Builder) { fmt.Fprintf(b, "%v", n.Val) }
+
+// NullLit is NULL.
+type NullLit struct{}
+
+func (n *NullLit) render(b *strings.Builder) { b.WriteString("NULL") }
+
+// BinExpr is a binary operation; Op uses SQL spellings.
+type BinExpr struct {
+	Op   string
+	L, R Node
+}
+
+func (n *BinExpr) render(b *strings.Builder) {
+	b.WriteByte('(')
+	n.L.render(b)
+	b.WriteByte(' ')
+	b.WriteString(n.Op)
+	b.WriteByte(' ')
+	n.R.render(b)
+	b.WriteByte(')')
+}
+
+// NotExpr is boolean negation.
+type NotExpr struct{ E Node }
+
+func (n *NotExpr) render(b *strings.Builder) {
+	b.WriteString("NOT ")
+	n.E.render(b)
+}
+
+// NegExpr is numeric negation.
+type NegExpr struct{ E Node }
+
+func (n *NegExpr) render(b *strings.Builder) {
+	b.WriteByte('-')
+	n.E.render(b)
+}
+
+// IsNullExpr is IS [NOT] NULL.
+type IsNullExpr struct {
+	E      Node
+	Negate bool
+}
+
+func (n *IsNullExpr) render(b *strings.Builder) {
+	n.E.render(b)
+	if n.Negate {
+		b.WriteString(" IS NOT NULL")
+	} else {
+		b.WriteString(" IS NULL")
+	}
+}
+
+// CallExpr is a function or aggregate application; Star marks agg(*).
+type CallExpr struct {
+	Name string
+	Args []Node
+	Star bool
+}
+
+func (n *CallExpr) render(b *strings.Builder) {
+	b.WriteString(n.Name)
+	b.WriteByte('(')
+	if n.Star {
+		b.WriteByte('*')
+	}
+	for i, a := range n.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a.render(b)
+	}
+	b.WriteByte(')')
+}
+
+// Render prints a node as query text.
+func Render(n Node) string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+// SelectItem is one SELECT-list entry.
+type SelectItem struct {
+	Expr Node
+	As   string
+	Star bool // bare * select-list
+}
+
+// FromItem is one stream reference with its window.
+type FromItem struct {
+	Stream string
+	Alias  string
+	Window window.Spec
+	// HasWindow distinguishes an explicit [UNBOUNDED] from no spec.
+	HasWindow bool
+}
+
+// Name returns the binding name (alias or stream name).
+func (f FromItem) Name() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Stream
+}
+
+// GroupItem is one GROUP BY entry, optionally named (GSQL's
+// "group by time/60 as tb", slide 37).
+type GroupItem struct {
+	Expr Node
+	As   string
+}
+
+// Query is a parsed statement.
+type Query struct {
+	Distinct bool
+	Select   []SelectItem
+	From     []FromItem
+	Where    Node // nil if absent
+	GroupBy  []GroupItem
+	Having   Node // nil if absent
+	Approx   bool // WITH APPROX: use synopsis-backed holistic aggregates
+	Text     string
+}

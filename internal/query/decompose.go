@@ -1,0 +1,90 @@
+package query
+
+import (
+	"fmt"
+
+	"streamdb/internal/dsms"
+	"streamdb/internal/expr"
+	"streamdb/internal/window"
+)
+
+// Decompose splits a single-stream aggregate query across the 3-level
+// architecture (slide 54: "how do we decompose a declarative (SQL)
+// query?" — "Gigascope does some automatic decomposition"). The WHERE
+// filter and a bounded-slot partial aggregation run at the low level;
+// group merging runs at the high level. Requirements: one stream, GROUP
+// BY with only distributive/algebraic aggregates, no HAVING (a HAVING
+// can only be evaluated on final groups; apply it downstream of the
+// high level).
+//
+// slots sizes the low-level group table; the time bucket comes from the
+// query's window (tumbling windows only), defaulting to 60 seconds.
+func Decompose(text string, cat *Catalog, slots int) (*dsms.Decomposition, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.From) != 1 {
+		return nil, fmt.Errorf("query: decomposition needs a single stream")
+	}
+	if q.Having != nil {
+		return nil, fmt.Errorf("query: HAVING cannot be decomposed; evaluate it above the high level")
+	}
+	if q.Distinct {
+		return nil, fmt.Errorf("query: DISTINCT cannot be decomposed")
+	}
+	sch, ok := cat.Lookup(q.From[0].Stream)
+	if !ok {
+		return nil, fmt.Errorf("query: unknown stream %q", q.From[0].Stream)
+	}
+	streams := []*boundStream{{item: q.From[0], schema: sch}}
+
+	b := &binder{streams: streams}
+	var pred expr.Expr
+	if q.Where != nil {
+		e, err := b.bind(q.Where)
+		if err != nil {
+			return nil, err
+		}
+		pred = e
+	}
+
+	groupNames := make([]string, len(q.GroupBy))
+	groupExprs := make([]expr.Expr, len(q.GroupBy))
+	for i, gi := range q.GroupBy {
+		e, err := b.bind(gi.Expr)
+		if err != nil {
+			return nil, err
+		}
+		groupExprs[i] = e
+		groupNames[i] = groupItemName(gi, i)
+	}
+
+	aggBinder := &binder{streams: streams, approx: q.Approx}
+	for _, it := range q.Select {
+		if it.Star {
+			return nil, fmt.Errorf("query: * is not valid in a decomposed aggregate")
+		}
+		if err := collectAggs(it.Expr, aggBinder); err != nil {
+			return nil, err
+		}
+	}
+	if len(aggBinder.aggSpecs) == 0 {
+		return nil, fmt.Errorf("query: decomposition needs at least one aggregate")
+	}
+
+	bucketLen := int64(60_000_000_000) // 60 virtual seconds
+	if q.From[0].HasWindow {
+		w := q.From[0].Window
+		switch {
+		case w.Kind == window.KindTime && !w.Landmark && w.Slide == w.Range:
+			bucketLen = w.Range
+		case w.Kind == window.KindNone:
+			// unbounded: keep the default bucket for periodic emission
+		default:
+			return nil, fmt.Errorf("query: only tumbling windows decompose (got %s)", w)
+		}
+	}
+	return dsms.NewDecomposition(sch, pred, groupExprs, groupNames,
+		aggBinder.aggSpecs, slots, bucketLen)
+}

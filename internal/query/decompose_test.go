@@ -1,0 +1,138 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+func TestDecomposeEndToEndMatchesDirectQuery(t *testing.T) {
+	cat := testCatalog()
+	const sql = `select srcIP, count(*) as c, sum(length) as s
+		from Traffic [range 60] where protocol = 6 group by srcIP`
+
+	d, err := Decompose(sql, cat, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Workload shared by both evaluations.
+	rng := rand.New(rand.NewSource(77))
+	var tuples []*tuple.Tuple
+	for i := 0; i < 5000; i++ {
+		ts := int64(i) * stream.Second / 20
+		proto := uint64(6)
+		if rng.Intn(4) == 0 {
+			proto = 17
+		}
+		tuples = append(tuples, trafficTuple(ts, uint32(rng.Intn(100)), 9, proto, uint64(rng.Intn(1500))))
+	}
+
+	// Direct evaluation through the ordinary planner.
+	direct := map[uint64][2]float64{} // srcIP -> (count, sum) across windows
+	rows, _, err := Run(sql, cat,
+		map[string]stream.Source{"Traffic": stream.FromTuples(cat.schemas["Traffic"], tuples...)}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		ip, _ := r.Vals[0].AsUint()
+		c, _ := r.Vals[1].AsInt()
+		s, _ := r.Vals[2].AsFloat()
+		cur := direct[ip]
+		direct[ip] = [2]float64{cur[0] + float64(c), cur[1] + s}
+	}
+
+	// Decomposed evaluation: 2 low-level nodes partition the stream.
+	high, err := d.NewHighLevel("hfta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decomposed := map[uint64][2]float64{}
+	emitFinal := func(e stream.Element) {
+		tp := e.Tuple
+		ip, _ := tp.Vals[1].AsUint()
+		c, _ := tp.Vals[2].AsInt()
+		s, _ := tp.Vals[3].AsFloat()
+		cur := decomposed[ip]
+		decomposed[ip] = [2]float64{cur[0] + float64(c), cur[1] + s}
+	}
+	emitPartial := func(e stream.Element) { high.Push(0, e, emitFinal) }
+	l0, err := d.NewLowLevel("n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := d.NewLowLevel("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tp := range tuples {
+		if i%2 == 0 {
+			l0.Push(stream.Tup(tp), emitPartial)
+		} else {
+			l1.Push(stream.Tup(tp), emitPartial)
+		}
+	}
+	l0.Flush(emitPartial)
+	l1.Flush(emitPartial)
+	high.Flush(emitFinal)
+
+	if len(decomposed) != len(direct) {
+		t.Fatalf("groups: decomposed %d vs direct %d", len(decomposed), len(direct))
+	}
+	for ip, want := range direct {
+		got := decomposed[ip]
+		if got[0] != want[0] || math.Abs(got[1]-want[1]) > 1e-6 {
+			t.Fatalf("srcIP %d: decomposed %v vs direct %v", ip, got, want)
+		}
+	}
+}
+
+func TestDecomposeRejections(t *testing.T) {
+	cat := testCatalog()
+	bad := []string{
+		"select * from Traffic",                                                  // no aggregates
+		"select count(*) from S, A where S.srcIP = A.destIP",                     // two streams
+		"select srcIP, count(*) from Traffic group by srcIP having count(*) > 1", // HAVING
+		"select median(length) from Traffic group by protocol",                   // holistic
+		"select count(*) from Traffic [range 60 slide 10] group by srcIP",        // sliding window
+		"select count(*) from Nowhere group by x",                                // unknown stream
+		"select count(nosuchcol) from Traffic group by srcIP",                    // binding
+		"select count(*) from Traffic group by nosuchcol",                        // group binding
+		"not sql at all",
+	}
+	for _, sql := range bad {
+		if _, err := Decompose(sql, cat, 64); err == nil {
+			t.Errorf("decomposed %q", sql)
+		}
+	}
+}
+
+func TestDecomposeApproxStillRejectsNonMergeable(t *testing.T) {
+	cat := testCatalog()
+	// Approximate holistic states do not merge; decomposition must
+	// reject them too.
+	if _, err := Decompose(
+		"select median(length) from Traffic group by protocol with approx",
+		cat, 64); err == nil {
+		t.Error("approx median decomposed")
+	}
+}
+
+func TestDecomposeDefaultsAndWindowBucket(t *testing.T) {
+	cat := testCatalog()
+	d, err := Decompose("select count(*) from Traffic [range 10] group by srcIP", cat, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PartialSchema().Index("bucket") != 0 {
+		t.Error("partial schema missing bucket")
+	}
+	// Unbounded query still decomposes with the default bucket.
+	if _, err := Decompose("select count(*) from Traffic group by srcIP", cat, 16); err != nil {
+		t.Errorf("unbounded decomposition failed: %v", err)
+	}
+}

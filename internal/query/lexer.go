@@ -1,0 +1,170 @@
+// Package query implements the declarative layer of the DSMS: a
+// CQL/GSQL-hybrid stream query language (slide 25), its parser, the
+// semantic analyzer — including the bounded-memory analysis of
+// aggregate queries [ABB+02] (slides 35-36) — and the physical planner
+// that lowers queries onto the operators of internal/ops and
+// internal/agg.
+//
+// The dialect:
+//
+//	SELECT [DISTINCT] expr [AS name], agg(expr|*) [AS name], ...
+//	FROM stream ['[' RANGE n [SLIDE m] | ROWS n | LANDMARK SLIDE n ']'] [AS alias]
+//	     [, stream [window] [AS alias]]
+//	[WHERE predicate]
+//	[GROUP BY expr [AS name], ...]
+//	[HAVING predicate]
+//	[WITH APPROX]
+//
+// Durations accept NS/MS/SECONDS/MINUTES suffixes (default seconds),
+// matching the tutorial's "[window T]" notation (slide 30) and GSQL's
+// time/60 idiom (slide 13).
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // recognized keywords, uppercased
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IS": true, "NULL": true,
+	"TRUE": true, "FALSE": true,
+	"RANGE": true, "SLIDE": true, "ROWS": true, "LANDMARK": true,
+	"UNBOUNDED": true, "PARTITION": true, "PUNCTUATED": true,
+	"NS": true, "MS": true, "SECOND": true, "SECONDS": true,
+	"MINUTE": true, "MINUTES": true,
+	"WITH": true, "APPROX": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexWord()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			l.pos++
+		} else if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+		} else {
+			break
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexWord() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+			l.pos++
+		} else {
+			break
+		}
+	}
+	word := l.src[start:l.pos]
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+	}
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("query: unterminated string at %d", start)
+}
+
+var twoCharSyms = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true}
+
+func (l *lexer) lexSymbol() error {
+	start := l.pos
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharSyms[two] {
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: start})
+			return nil
+		}
+	}
+	switch c := l.src[l.pos]; c {
+	case '(', ')', '[', ']', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.':
+		l.pos++
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		return nil
+	default:
+		return fmt.Errorf("query: unexpected character %q at %d", c, start)
+	}
+}

@@ -1,0 +1,488 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+
+	"streamdb/internal/stream"
+	"streamdb/internal/window"
+)
+
+// Parse turns query text into an AST.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	q.Text = src
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("query: %s (near position %d in %q)",
+		fmt.Sprintf(format, args...), p.cur().pos, p.src)
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) acceptSym(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	q.Distinct = p.acceptKw("DISTINCT")
+
+	// Select list.
+	for {
+		if p.acceptSym("*") {
+			q.Select = append(q.Select, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKw("AS") {
+				if p.cur().kind != tokIdent {
+					return nil, p.errf("expected alias after AS")
+				}
+				item.As = p.next().text
+			}
+			q.Select = append(q.Select, item)
+		}
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		fi, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, fi)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if len(q.From) > 2 {
+		return nil, p.errf("at most two streams per query (binary joins, slide 32)")
+	}
+
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			gi := GroupItem{Expr: e}
+			if p.acceptKw("AS") {
+				if p.cur().kind != tokIdent {
+					return nil, p.errf("expected alias after AS")
+				}
+				gi.As = p.next().text
+			}
+			q.GroupBy = append(q.GroupBy, gi)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = e
+	}
+	if p.acceptKw("WITH") {
+		if err := p.expectKw("APPROX"); err != nil {
+			return nil, err
+		}
+		q.Approx = true
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	var fi FromItem
+	if p.cur().kind != tokIdent {
+		return fi, p.errf("expected stream name")
+	}
+	fi.Stream = p.next().text
+	if p.acceptSym("[") {
+		spec, err := p.parseWindow()
+		if err != nil {
+			return fi, err
+		}
+		fi.Window = spec
+		fi.HasWindow = true
+		if err := p.expectSym("]"); err != nil {
+			return fi, err
+		}
+	}
+	if p.acceptKw("AS") {
+		if p.cur().kind != tokIdent {
+			return fi, p.errf("expected alias after AS")
+		}
+		fi.Alias = p.next().text
+	} else if p.cur().kind == tokIdent {
+		fi.Alias = p.next().text
+	}
+	return fi, nil
+}
+
+// parseDuration reads a number with an optional time unit, returning
+// virtual nanoseconds. Bare numbers are seconds, matching the
+// tutorial's "[window T]" notation.
+func (p *parser) parseDuration() (int64, error) {
+	if p.cur().kind != tokNumber {
+		return 0, p.errf("expected duration")
+	}
+	f, err := strconv.ParseFloat(p.next().text, 64)
+	if err != nil {
+		return 0, p.errf("bad duration: %v", err)
+	}
+	unit := float64(stream.Second)
+	if p.cur().kind == tokKeyword {
+		switch p.cur().text {
+		case "NS":
+			unit = 1
+			p.pos++
+		case "MS":
+			unit = 1e6
+			p.pos++
+		case "SECOND", "SECONDS":
+			unit = float64(stream.Second)
+			p.pos++
+		case "MINUTE", "MINUTES":
+			unit = 60 * float64(stream.Second)
+			p.pos++
+		}
+	}
+	return int64(f * unit), nil
+}
+
+func (p *parser) parseWindow() (window.Spec, error) {
+	switch {
+	case p.acceptKw("UNBOUNDED"):
+		return window.Spec{}, nil
+	case p.acceptKw("PUNCTUATED"):
+		// Data-dependent windows [TMSF03]: groups close when a
+		// punctuation covering them arrives (the auction idiom of
+		// slide 28); otherwise state flushes at end-of-stream.
+		return window.Punctuated(), nil
+	case p.acceptKw("ROWS"):
+		if p.cur().kind != tokNumber {
+			return window.Spec{}, p.errf("expected row count")
+		}
+		n, err := strconv.ParseInt(p.next().text, 10, 64)
+		if err != nil || n <= 0 {
+			return window.Spec{}, p.errf("bad row count")
+		}
+		return window.Rows(n), nil
+	case p.acceptKw("LANDMARK"):
+		if err := p.expectKw("SLIDE"); err != nil {
+			return window.Spec{}, err
+		}
+		slide, err := p.parseDuration()
+		if err != nil {
+			return window.Spec{}, err
+		}
+		return window.Landmark(slide), nil
+	case p.acceptKw("RANGE"):
+		rng, err := p.parseDuration()
+		if err != nil {
+			return window.Spec{}, err
+		}
+		slide := rng
+		if p.acceptKw("SLIDE") {
+			slide, err = p.parseDuration()
+			if err != nil {
+				return window.Spec{}, err
+			}
+		}
+		spec := window.Time(rng, slide)
+		return spec, spec.Validate()
+	}
+	return window.Spec{}, p.errf("expected window specification")
+}
+
+// Expression grammar (precedence climbing):
+//
+//	or   := and (OR and)*
+//	and  := not (AND not)*
+//	not  := NOT not | cmp
+//	cmp  := add ((= | <> | < | <= | > | >=) add | IS [NOT] NULL)?
+//	add  := mul ((+ | -) mul)*
+//	mul  := unary ((* | / | %) unary)*
+//	unary := - unary | prim
+//	prim := literal | ident[.ident] | call | ( or )
+func (p *parser) parseExpr() (Node, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.acceptKw("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Node, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKw("IS") {
+		neg := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: l, Negate: neg}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "=", "<", ">"} {
+		if p.acceptSym(op) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSym("+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: "+", L: l, R: r}
+		case p.acceptSym("-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptSym("*"):
+			op = "*"
+		case p.acceptSym("/"):
+			op = "/"
+		case p.acceptSym("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.acceptSym("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		isFloat := false
+		for _, c := range t.text {
+			if c == '.' {
+				isFloat = true
+			}
+		}
+		return &NumLit{Text: t.text, IsFloat: isFloat}, nil
+	case tokString:
+		p.pos++
+		return &StrLit{Val: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.pos++
+			return &BoolLit{Val: true}, nil
+		case "FALSE":
+			p.pos++
+			return &BoolLit{Val: false}, nil
+		case "NULL":
+			p.pos++
+			return &NullLit{}, nil
+		}
+		return nil, p.errf("unexpected keyword %s", t.text)
+	case tokIdent:
+		p.pos++
+		name := t.text
+		// Function or aggregate call.
+		if p.acceptSym("(") {
+			call := &CallExpr{Name: name}
+			if p.acceptSym("*") {
+				call.Star = true
+				if err := p.expectSym(")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if p.acceptSym(")") {
+				return call, nil
+			}
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.acceptSym(",") {
+					break
+				}
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified column.
+		if p.acceptSym(".") {
+			if p.cur().kind != tokIdent {
+				return nil, p.errf("expected column after %q.", name)
+			}
+			return &Ident{Qualifier: name, Name: p.next().text}, nil
+		}
+		return &Ident{Name: name}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

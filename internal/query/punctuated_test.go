@@ -1,0 +1,90 @@
+package query
+
+import (
+	"testing"
+
+	"streamdb/internal/exec"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// TestPunctuatedWindowQuery runs the slide-28 auction idiom end to end
+// through the language: bids accumulate per auction and a group closes
+// the moment its end-of-auction punctuation arrives.
+func TestPunctuatedWindowQuery(t *testing.T) {
+	cat := NewCatalog()
+	bids := tuple.NewSchema("Bids",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "auction", Kind: tuple.KindInt},
+		tuple.Field{Name: "bid", Kind: tuple.KindFloat},
+	)
+	cat.Register("Bids", bids)
+
+	mk := func(ts, auction int64, v float64) stream.Element {
+		return stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(auction), tuple.Float(v)))
+	}
+	elems := []stream.Element{
+		mk(1, 7, 10),
+		mk(2, 8, 5),
+		mk(3, 7, 30),
+		stream.Punct(stream.EndGroupPunct(4, 1, tuple.Int(7))), // auction 7 closes
+		mk(5, 8, 9),
+	}
+
+	q, err := Parse("select auction, max(bid) as winning from Bids [punctuated] group by auction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*tuple.Tuple
+	var closedEarly int
+	g := exec.NewGraph(func(e stream.Element) {
+		if !e.IsPunct() {
+			results = append(results, e.Tuple)
+			if len(results) == 1 {
+				closedEarly = 1
+			}
+		}
+	})
+	if err := plan.Build(g, map[string]stream.Source{
+		"Bids": stream.FromElements(bids, elems...),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Process only up to the punctuation first: auction 7 must already
+	// be out before end-of-stream.
+	g.Pump(4)
+	if len(results) != 1 || closedEarly != 1 {
+		t.Fatalf("results after punctuation = %d, want 1", len(results))
+	}
+	if a, _ := results[0].Vals[0].AsInt(); a != 7 {
+		t.Errorf("closed auction = %d", a)
+	}
+	if w, _ := results[0].Vals[1].AsFloat(); w != 30 {
+		t.Errorf("winning bid = %v", w)
+	}
+	// Remaining input + flush emits auction 8.
+	g.Run(-1)
+	if len(results) != 2 {
+		t.Fatalf("final results = %d", len(results))
+	}
+	if a, _ := results[1].Vals[0].AsInt(); a != 8 {
+		t.Errorf("flushed auction = %d", a)
+	}
+	if w, _ := results[1].Vals[1].AsFloat(); w != 9 {
+		t.Errorf("auction 8 winning = %v", w)
+	}
+}
+
+func TestPunctuatedWindowParse(t *testing.T) {
+	q, err := Parse("select count(*) from Bids [punctuated] group by auction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.From[0].HasWindow || q.From[0].Window.String() != "[PUNCTUATED]" {
+		t.Errorf("window = %+v", q.From[0].Window)
+	}
+}

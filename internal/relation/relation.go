@@ -1,0 +1,248 @@
+// Package relation is the DBMS level of the tutorial's 3-level
+// architecture (slides 14-15): resource-rich persistent relations that
+// data stream systems populate, used to "audit query results of the
+// data stream system" and to answer one-time queries.
+//
+// It also provides CQL's relation-to-stream operators (slide 25's
+// "queries produce relations or streams"): IStream, DStream and RStream
+// turn a changing relation back into a stream.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// Table is an in-memory relation: a bag of tuples under a schema.
+type Table struct {
+	mu     sync.RWMutex
+	schema *tuple.Schema
+	rows   []*tuple.Tuple
+}
+
+// NewTable builds an empty table.
+func NewTable(schema *tuple.Schema) *Table { return &Table{schema: schema} }
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *tuple.Schema { return t.schema }
+
+// Insert appends one row after arity checking.
+func (t *Table) Insert(row *tuple.Tuple) error {
+	if len(row.Vals) != t.schema.Arity() {
+		return fmt.Errorf("relation: arity %d != schema %d", len(row.Vals), t.schema.Arity())
+	}
+	t.mu.Lock()
+	t.rows = append(t.rows, row)
+	t.mu.Unlock()
+	return nil
+}
+
+// Len returns the row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Scan visits every row; the visit function must not retain the slice.
+func (t *Table) Scan(visit func(*tuple.Tuple) bool) {
+	t.mu.RLock()
+	rows := t.rows
+	t.mu.RUnlock()
+	for _, r := range rows {
+		if !visit(r) {
+			return
+		}
+	}
+}
+
+// Select returns rows satisfying the predicate (one-time query).
+func (t *Table) Select(pred expr.Expr) []*tuple.Tuple {
+	var out []*tuple.Tuple
+	t.Scan(func(r *tuple.Tuple) bool {
+		if pred == nil || expr.EvalBool(pred, r) {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// Delete removes rows satisfying the predicate, returning how many.
+func (t *Table) Delete(pred expr.Expr) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.rows[:0]
+	removed := 0
+	for _, r := range t.rows {
+		if pred != nil && expr.EvalBool(pred, r) {
+			removed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(t.rows); i++ {
+		t.rows[i] = nil
+	}
+	t.rows = kept
+	return removed
+}
+
+// Source exposes a snapshot of the table as a finite, timestamp-ordered
+// stream: the bridge that lets one-time (transient) queries run through
+// the same query processor (slide 19: data stream systems "support
+// persistent and transient queries").
+func (t *Table) Source() stream.Source {
+	t.mu.RLock()
+	snap := make([]*tuple.Tuple, len(t.rows))
+	copy(snap, t.rows)
+	t.mu.RUnlock()
+	sort.SliceStable(snap, func(i, j int) bool { return snap[i].Ts < snap[j].Ts })
+	return stream.FromTuples(t.schema, snap...)
+}
+
+// Sink returns an Emit-compatible function appending stream results to
+// the table: the stream-in relation-out shape of Hancock (slide 18) and
+// the "identify what data to populate in database" role of slide 15.
+func (t *Table) Sink() func(stream.Element) {
+	return func(e stream.Element) {
+		if !e.IsPunct() {
+			_ = t.Insert(e.Tuple)
+		}
+	}
+}
+
+// DB is a named collection of tables.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB builds an empty database.
+func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// Create adds a table; it errors if the name exists.
+func (db *DB) Create(name string, schema *tuple.Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("relation: table %q exists", name)
+	}
+	t := NewTable(schema)
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table fetches a table by name.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Names lists table names sorted.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StreamKind selects a relation-to-stream operator (CQL).
+type StreamKind int
+
+// Relation-to-stream kinds: IStream emits rows inserted since the last
+// snapshot, DStream rows deleted, RStream the full relation each tick.
+const (
+	IStream StreamKind = iota
+	DStream
+	RStream
+)
+
+// Streamer converts successive relation snapshots into a stream
+// following CQL's multiset-difference semantics.
+type Streamer struct {
+	kind StreamKind
+	prev map[string]*fpEntry
+}
+
+type fpEntry struct {
+	count  int
+	sample *tuple.Tuple
+}
+
+// NewStreamer builds a relation-to-stream converter.
+func NewStreamer(kind StreamKind) *Streamer {
+	return &Streamer{kind: kind, prev: map[string]*fpEntry{}}
+}
+
+func fingerprint(t *tuple.Tuple) string {
+	// Fingerprint on values only: the multiset identity must ignore the
+	// tuple's position so re-snapshotted rows compare equal.
+	c := *t
+	c.Ts = 0
+	return c.String()
+}
+
+// Snapshot observes the relation at time ts and returns the stream
+// elements the operator emits for that instant: inserted rows
+// (IStream), deleted rows (DStream), or all rows (RStream).
+func (s *Streamer) Snapshot(ts int64, tbl *Table) []stream.Element {
+	cur := map[string]*fpEntry{}
+	var rows []*tuple.Tuple
+	tbl.Scan(func(r *tuple.Tuple) bool {
+		fp := fingerprint(r)
+		e := cur[fp]
+		if e == nil {
+			e = &fpEntry{sample: r}
+			cur[fp] = e
+		}
+		e.count++
+		rows = append(rows, r)
+		return true
+	})
+	emitAt := func(r *tuple.Tuple) stream.Element {
+		c := r.Clone()
+		c.Ts = ts
+		return stream.Tup(c)
+	}
+	var out []stream.Element
+	switch s.kind {
+	case RStream:
+		for _, r := range rows {
+			out = append(out, emitAt(r))
+		}
+	case IStream:
+		for fp, e := range cur {
+			prevN := 0
+			if p := s.prev[fp]; p != nil {
+				prevN = p.count
+			}
+			for i := 0; i < e.count-prevN; i++ {
+				out = append(out, emitAt(e.sample))
+			}
+		}
+	case DStream:
+		for fp, p := range s.prev {
+			curN := 0
+			if e := cur[fp]; e != nil {
+				curN = e.count
+			}
+			for i := 0; i < p.count-curN; i++ {
+				out = append(out, emitAt(p.sample))
+			}
+		}
+	}
+	s.prev = cur
+	return out
+}

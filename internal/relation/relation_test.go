@@ -1,0 +1,184 @@
+package relation
+
+import (
+	"sort"
+	"testing"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+var sch = tuple.NewSchema("T",
+	tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+	tuple.Field{Name: "v", Kind: tuple.KindInt},
+)
+
+func row(ts, v int64) *tuple.Tuple {
+	return tuple.New(ts, tuple.Time(ts), tuple.Int(v))
+}
+
+func TestTableInsertScanSelect(t *testing.T) {
+	tbl := NewTable(sch)
+	for i := int64(0); i < 10; i++ {
+		if err := tbl.Insert(row(i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Len() != 10 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if err := tbl.Insert(tuple.New(0, tuple.Int(1))); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	pred, _ := expr.NewBin(expr.OpGe, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(50)))
+	got := tbl.Select(pred)
+	if len(got) != 5 {
+		t.Errorf("Select = %d rows", len(got))
+	}
+	if len(tbl.Select(nil)) != 10 {
+		t.Error("nil predicate should select all")
+	}
+	n := 0
+	tbl.Scan(func(*tuple.Tuple) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("Scan early stop visited %d", n)
+	}
+}
+
+func TestTableDelete(t *testing.T) {
+	tbl := NewTable(sch)
+	for i := int64(0); i < 10; i++ {
+		tbl.Insert(row(i, i))
+	}
+	pred, _ := expr.NewBin(expr.OpLt, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(4)))
+	if n := tbl.Delete(pred); n != 4 {
+		t.Errorf("Delete = %d", n)
+	}
+	if tbl.Len() != 6 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	if tbl.Delete(nil) != 0 {
+		t.Error("nil predicate deleted rows")
+	}
+}
+
+func TestTableSourceOrdered(t *testing.T) {
+	tbl := NewTable(sch)
+	tbl.Insert(row(5, 1))
+	tbl.Insert(row(1, 2))
+	tbl.Insert(row(3, 3))
+	got := stream.DrainTuples(tbl.Source())
+	if len(got) != 3 {
+		t.Fatalf("drained %d", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Ts < got[j].Ts }) {
+		t.Error("source not timestamp-ordered")
+	}
+}
+
+func TestTableSink(t *testing.T) {
+	tbl := NewTable(sch)
+	sink := tbl.Sink()
+	sink(stream.Tup(row(1, 1)))
+	sink(stream.Punct(stream.ProgressPunct(2, 0, tuple.Time(2))))
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d (punctuation must not insert)", tbl.Len())
+	}
+}
+
+func TestDB(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Create("t1", sch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Create("t1", sch); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	db.Create("a", sch)
+	if _, ok := db.Table("t1"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, ok := db.Table("nope"); ok {
+		t.Error("ghost table")
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "a" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestRStream(t *testing.T) {
+	tbl := NewTable(sch)
+	tbl.Insert(row(1, 1))
+	tbl.Insert(row(2, 2))
+	s := NewStreamer(RStream)
+	out := s.Snapshot(100, tbl)
+	if len(out) != 2 {
+		t.Fatalf("RStream = %d", len(out))
+	}
+	for _, e := range out {
+		if e.Ts() != 100 {
+			t.Error("snapshot ts not applied")
+		}
+	}
+	// Unchanged table: RStream emits everything again.
+	if len(s.Snapshot(200, tbl)) != 2 {
+		t.Error("RStream must re-emit")
+	}
+}
+
+func TestIStreamEmitsOnlyInsertions(t *testing.T) {
+	tbl := NewTable(sch)
+	tbl.Insert(row(1, 1))
+	s := NewStreamer(IStream)
+	if got := s.Snapshot(10, tbl); len(got) != 1 {
+		t.Fatalf("first snapshot = %d", len(got))
+	}
+	if got := s.Snapshot(20, tbl); len(got) != 0 {
+		t.Fatalf("unchanged snapshot = %d", len(got))
+	}
+	tbl.Insert(row(2, 2))
+	tbl.Insert(row(3, 1)) // duplicate value of an existing row
+	got := s.Snapshot(30, tbl)
+	if len(got) != 2 {
+		t.Fatalf("after inserts = %d, want 2 (multiset semantics)", len(got))
+	}
+}
+
+func TestDStreamEmitsDeletions(t *testing.T) {
+	tbl := NewTable(sch)
+	tbl.Insert(row(1, 1))
+	tbl.Insert(row(2, 2))
+	s := NewStreamer(DStream)
+	if got := s.Snapshot(10, tbl); len(got) != 0 {
+		t.Fatalf("initial = %d", len(got))
+	}
+	pred, _ := expr.NewBin(expr.OpEq, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(1)))
+	tbl.Delete(pred)
+	got := s.Snapshot(20, tbl)
+	if len(got) != 1 {
+		t.Fatalf("after delete = %d", len(got))
+	}
+	if v, _ := got[0].Tuple.Vals[1].AsInt(); v != 1 {
+		t.Errorf("deleted row v = %d", v)
+	}
+	if got[0].Ts() != 20 {
+		t.Error("deletion ts wrong")
+	}
+}
+
+func TestAuditStreamAgainstRelation(t *testing.T) {
+	// The slide-15 pattern: the DBMS audits a stream system's output.
+	// Stream result: windowed counts; relation: raw rows; the audit
+	// recomputes the count from the relation.
+	raw := NewTable(sch)
+	for i := int64(0); i < 100; i++ {
+		raw.Insert(row(i, i%5))
+	}
+	pred, _ := expr.NewBin(expr.OpEq, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(3)))
+	audit := len(raw.Select(pred))
+	if audit != 20 {
+		t.Errorf("audit count = %d", audit)
+	}
+}

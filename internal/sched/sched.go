@@ -1,0 +1,319 @@
+// Package sched implements memory-based operator scheduling [BBDM03]
+// (slides 42-43): a discrete-time simulator for operator chains with
+// declared selectivities and per-tuple costs, under pluggable scheduling
+// policies — FIFO, RoundRobin, Greedy, and Chain.
+//
+// The simulator reproduces the tutorial's worked example exactly: two
+// operators (selectivity 0.2 then 0), one tuple arriving per time unit,
+// one operator-invocation per time unit of CPU. Backlog is measured in
+// memory units where a tuple occupies the product of the selectivities
+// already applied to it — the progress-chart currency of the Chain
+// paper.
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// OpSpec declares one operator of a chain.
+type OpSpec struct {
+	// Sel is the operator's selectivity: output tuples per input tuple.
+	Sel float64
+	// Cost is the CPU time units needed to process one tuple.
+	Cost float64
+}
+
+// Policy selects, at each scheduling step, which operator to run next.
+type Policy interface {
+	Name() string
+	// Pick returns the index of the operator to run, given the number
+	// of tuples queued before each operator and the tuples' arrival
+	// order; -1 means idle. queues[i] counts tuples waiting before
+	// operator i; oldest[i] is the arrival sequence of the head tuple
+	// (math.MaxInt64 when empty).
+	Pick(s *Sim) int
+}
+
+// Sim is the discrete-time chain simulator. Tuples flow through
+// operators 0..n-1 in order; operator i's output (probabilistically a
+// fraction Sel of its input, simulated deterministically as fractional
+// tuples) queues before operator i+1.
+//
+// Fractional tuples: following the Chain paper's fluid analysis, a tuple
+// that has passed operators with selectivities s1..sk occupies s1*...*sk
+// memory units and is dropped entirely when the product reaches zero.
+type Sim struct {
+	specs  []OpSpec
+	sizes  []float64 // memory units of a tuple queued before op i
+	queues [][]qtuple
+	policy Policy
+	now    float64
+	busy   float64 // CPU busy until this time
+	seq    int64
+
+	// Backlog series: total memory at each integer tick, recorded
+	// before processing that tick's work.
+	Ticks   []float64
+	Backlog []float64
+	// Processed counts operator invocations.
+	Processed int64
+	// Emitted counts tuples (fractions) leaving the chain.
+	Emitted float64
+	// PeakBacklog is the high-water mark across all recorded ticks.
+	PeakBacklog float64
+}
+
+type qtuple struct {
+	seq  int64
+	frac float64 // surviving fraction of the original tuple
+}
+
+// NewSim builds a simulator for the given chain and policy.
+func NewSim(specs []OpSpec, policy Policy) (*Sim, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sched: empty chain")
+	}
+	sizes := make([]float64, len(specs))
+	prod := 1.0
+	for i, sp := range specs {
+		if sp.Sel < 0 || sp.Sel > 1 {
+			return nil, fmt.Errorf("sched: selectivity %v out of [0,1]", sp.Sel)
+		}
+		if sp.Cost <= 0 {
+			return nil, fmt.Errorf("sched: cost must be positive")
+		}
+		sizes[i] = prod
+		prod *= sp.Sel
+	}
+	return &Sim{
+		specs:  specs,
+		sizes:  sizes,
+		queues: make([][]qtuple, len(specs)),
+		policy: policy,
+	}, nil
+}
+
+// QueueLens reports tuples waiting before each operator.
+func (s *Sim) QueueLens() []int {
+	out := make([]int, len(s.queues))
+	for i, q := range s.queues {
+		out[i] = len(q)
+	}
+	return out
+}
+
+// OldestSeq reports the arrival sequence of the head tuple before each
+// operator (MaxInt64 when empty); FIFO keys off it.
+func (s *Sim) OldestSeq() []int64 {
+	out := make([]int64, len(s.queues))
+	for i, q := range s.queues {
+		if len(q) == 0 {
+			out[i] = math.MaxInt64
+		} else {
+			out[i] = q[0].seq
+		}
+	}
+	return out
+}
+
+// Specs exposes the chain description to policies.
+func (s *Sim) Specs() []OpSpec { return s.specs }
+
+// Sizes exposes the per-stage memory units to policies.
+func (s *Sim) Sizes() []float64 { return s.sizes }
+
+// TotalMemory sums queue backlog in memory units.
+func (s *Sim) TotalMemory() float64 {
+	// A queued tuple's size is the product of the selectivities already
+	// applied to it, carried in frac (sizes[] duplicates this per-stage
+	// for policy use; using frac keeps partially-filtered tuples exact).
+	total := 0.0
+	for _, q := range s.queues {
+		for _, t := range q {
+			total += t.frac
+		}
+	}
+	return total
+}
+
+// Arrive enqueues n tuples before the first operator.
+func (s *Sim) Arrive(n int) {
+	for k := 0; k < n; k++ {
+		s.seq++
+		s.queues[0] = append(s.queues[0], qtuple{seq: s.seq, frac: 1})
+	}
+}
+
+// step runs one operator invocation (cost units of CPU) chosen by the
+// policy; returns false when every queue is empty.
+func (s *Sim) step(budget *float64) bool {
+	i := s.policy.Pick(s)
+	if i < 0 || i >= len(s.queues) || len(s.queues[i]) == 0 {
+		return false
+	}
+	cost := s.specs[i].Cost
+	if *budget < cost {
+		return false // not enough CPU left this tick
+	}
+	*budget -= cost
+	t := s.queues[i][0]
+	s.queues[i] = s.queues[i][1:]
+	s.Processed++
+	out := qtuple{seq: t.seq, frac: t.frac * s.specs[i].Sel}
+	if out.frac <= 1e-12 {
+		return true // tuple filtered out entirely
+	}
+	if i == len(s.queues)-1 {
+		s.Emitted += out.frac
+		return true
+	}
+	s.queues[i+1] = append(s.queues[i+1], out)
+	return true
+}
+
+// Run simulates ticks time units: at each integer tick, arrivals[t]
+// tuples arrive (0 beyond the slice), the backlog is recorded, and one
+// time unit of CPU is spent per the policy. The recorded series matches
+// slide 43's table: backlog is sampled after arrivals, before service.
+func (s *Sim) Run(ticks int, arrivals []int) {
+	for t := 0; t < ticks; t++ {
+		if t < len(arrivals) {
+			s.Arrive(arrivals[t])
+		}
+		m := s.TotalMemory()
+		s.Ticks = append(s.Ticks, float64(t))
+		s.Backlog = append(s.Backlog, m)
+		if m > s.PeakBacklog {
+			s.PeakBacklog = m
+		}
+		budget := 1.0
+		for s.step(&budget) {
+		}
+	}
+}
+
+// FIFO processes tuples strictly in arrival order: the head tuple is
+// pushed through its next operator before any younger tuple advances.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "FIFO" }
+
+// Pick implements Policy.
+func (FIFO) Pick(s *Sim) int {
+	oldest := s.OldestSeq()
+	best, bestSeq := -1, int64(math.MaxInt64)
+	for i, seq := range oldest {
+		if seq < bestSeq {
+			best, bestSeq = i, seq
+		}
+	}
+	return best
+}
+
+// RoundRobin services non-empty queues cyclically.
+type RoundRobin struct{ next int }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "RoundRobin" }
+
+// Pick implements Policy.
+func (r *RoundRobin) Pick(s *Sim) int {
+	lens := s.QueueLens()
+	for k := 0; k < len(lens); k++ {
+		i := (r.next + k) % len(lens)
+		if lens[i] > 0 {
+			r.next = i + 1
+			return i
+		}
+	}
+	return -1
+}
+
+// Greedy always runs the operator with the greatest memory reduction per
+// unit cost among non-empty queues (the locally optimal heuristic of
+// slide 43).
+type Greedy struct{}
+
+// Name implements Policy.
+func (Greedy) Name() string { return "Greedy" }
+
+// Pick implements Policy.
+func (Greedy) Pick(s *Sim) int {
+	lens := s.QueueLens()
+	best := -1
+	bestGain := math.Inf(-1)
+	for i := range lens {
+		if lens[i] == 0 {
+			continue
+		}
+		// Running op i turns size[i] into size[i]*sel: reduction per cost.
+		gain := s.sizes[i] * (1 - s.specs[i].Sel) / s.specs[i].Cost
+		if gain > bestGain {
+			best, bestGain = i, gain
+		}
+	}
+	return best
+}
+
+// Chain is the optimal-memory policy of [BBDM03]: operators are grouped
+// by the lower envelope of the progress chart (cumulative cost vs
+// remaining size); at each step the tuple lying on the steepest envelope
+// segment is advanced, ties broken by arrival order.
+type Chain struct {
+	slopes []float64 // envelope slope of the segment starting at stage i
+	built  bool
+}
+
+// Name implements Policy.
+func (*Chain) Name() string { return "Chain" }
+
+func (c *Chain) build(s *Sim) {
+	specs := s.Specs()
+	sizes := s.Sizes()
+	n := len(specs)
+	// Progress chart points: (cumulative cost, size) for stages 0..n.
+	cost := make([]float64, n+1)
+	size := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		cost[i+1] = cost[i] + specs[i].Cost
+		size[i+1] = sizes[i] * specs[i].Sel
+	}
+	size[0] = 1
+	// Lower envelope: from each stage, the steepest drop achievable.
+	c.slopes = make([]float64, n)
+	for i := 0; i < n; i++ {
+		best := 0.0
+		for j := i + 1; j <= n; j++ {
+			drop := (size[i] - size[j]) / (cost[j] - cost[i])
+			if drop > best {
+				best = drop
+			}
+		}
+		c.slopes[i] = best
+	}
+	c.built = true
+}
+
+// Pick implements Policy.
+func (c *Chain) Pick(s *Sim) int {
+	if !c.built {
+		c.build(s)
+	}
+	lens := s.QueueLens()
+	oldest := s.OldestSeq()
+	best := -1
+	bestSlope := math.Inf(-1)
+	var bestSeq int64 = math.MaxInt64
+	for i := range lens {
+		if lens[i] == 0 {
+			continue
+		}
+		sl := c.slopes[i]
+		if sl > bestSlope || (sl == bestSlope && oldest[i] < bestSeq) {
+			best, bestSlope, bestSeq = i, sl, oldest[i]
+		}
+	}
+	return best
+}

@@ -1,0 +1,197 @@
+// Package shed implements load shedding (slide 44): "when input stream
+// rate exceeds system capacity a stream manager can shed load (tuples)".
+// Both flavours the tutorial names are provided — random shedding, which
+// drops uniformly, and semantic shedding, which drops by value so that
+// the tuples most relevant to registered queries survive [TCZ+03].
+// A feedback controller adjusts the drop rate to track a capacity
+// target, in the spirit of Aurora's QoS-driven shedding (slide 47).
+package shed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/ops"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// Random drops each tuple independently with probability Rate.
+// Punctuations always pass: they carry progress, not load.
+type Random struct {
+	name    string
+	sch     *tuple.Schema
+	rate    float64
+	rng     *rand.Rand
+	in, out int64
+}
+
+// NewRandom builds a random shedder dropping the given fraction.
+func NewRandom(name string, sch *tuple.Schema, rate float64, seed int64) (*Random, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("shed: drop rate %v out of [0,1]", rate)
+	}
+	return &Random{name: name, sch: sch, rate: rate, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Name implements ops.Operator.
+func (r *Random) Name() string { return r.name }
+
+// OutSchema implements ops.Operator.
+func (r *Random) OutSchema() *tuple.Schema { return r.sch }
+
+// NumInputs implements ops.Operator.
+func (r *Random) NumInputs() int { return 1 }
+
+// Push implements ops.Operator.
+func (r *Random) Push(_ int, e stream.Element, emit ops.Emit) {
+	if e.IsPunct() {
+		emit(e)
+		return
+	}
+	r.in++
+	if r.rng.Float64() < r.rate {
+		return
+	}
+	r.out++
+	emit(e)
+}
+
+// Flush implements ops.Operator.
+func (r *Random) Flush(ops.Emit) {}
+
+// MemSize implements ops.Operator.
+func (r *Random) MemSize() int { return 64 }
+
+// SetRate changes the drop rate (controller hook).
+func (r *Random) SetRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	r.rate = rate
+}
+
+// Rate returns the current drop rate.
+func (r *Random) Rate() float64 { return r.rate }
+
+// Dropped reports how many tuples were shed.
+func (r *Random) Dropped() int64 { return r.in - r.out }
+
+// Semantic sheds by value: tuples satisfying Keep always pass; the rest
+// are dropped with probability Rate. With Rate=1 this is a pure
+// semantic filter — the "semantic load shedding" of slide 44, where the
+// dropped tuples are those least useful to the standing queries.
+type Semantic struct {
+	name    string
+	sch     *tuple.Schema
+	keep    expr.Expr
+	rate    float64
+	rng     *rand.Rand
+	in, out int64
+	kept    int64
+}
+
+// NewSemantic builds a semantic shedder.
+func NewSemantic(name string, sch *tuple.Schema, keep expr.Expr, rate float64, seed int64) (*Semantic, error) {
+	if keep == nil || keep.Kind() != tuple.KindBool {
+		return nil, fmt.Errorf("shed: keep predicate must be boolean")
+	}
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("shed: drop rate %v out of [0,1]", rate)
+	}
+	return &Semantic{name: name, sch: sch, keep: keep, rate: rate, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Name implements ops.Operator.
+func (s *Semantic) Name() string { return s.name }
+
+// OutSchema implements ops.Operator.
+func (s *Semantic) OutSchema() *tuple.Schema { return s.sch }
+
+// NumInputs implements ops.Operator.
+func (s *Semantic) NumInputs() int { return 1 }
+
+// Push implements ops.Operator.
+func (s *Semantic) Push(_ int, e stream.Element, emit ops.Emit) {
+	if e.IsPunct() {
+		emit(e)
+		return
+	}
+	s.in++
+	if expr.EvalBool(s.keep, e.Tuple) {
+		s.kept++
+		s.out++
+		emit(e)
+		return
+	}
+	if s.rng.Float64() < s.rate {
+		return
+	}
+	s.out++
+	emit(e)
+}
+
+// Flush implements ops.Operator.
+func (s *Semantic) Flush(ops.Emit) {}
+
+// MemSize implements ops.Operator.
+func (s *Semantic) MemSize() int { return 96 }
+
+// SetRate changes the drop rate for non-kept tuples.
+func (s *Semantic) SetRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	s.rate = rate
+}
+
+// Stats reports (input, output, kept-by-predicate) counts.
+func (s *Semantic) Stats() (in, out, kept int64) { return s.in, s.out, s.kept }
+
+// RateSetter is the controller's view of a shedder.
+type RateSetter interface{ SetRate(float64) }
+
+// Controller adjusts a shedder's drop rate so downstream load tracks a
+// capacity target. Observe is called periodically with the offered rate
+// (tuples/sec); the controller sets drop = max(0, 1 - capacity/offered),
+// smoothed exponentially to avoid oscillation on bursty inputs.
+type Controller struct {
+	shedder  RateSetter
+	capacity float64
+	alpha    float64 // smoothing factor in (0,1]
+	current  float64
+}
+
+// NewController builds a controller for the given capacity in
+// tuples/sec. alpha is the exponential smoothing weight for new
+// observations; 1 reacts instantly.
+func NewController(s RateSetter, capacity, alpha float64) (*Controller, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("shed: capacity must be positive")
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("shed: alpha must be in (0,1]")
+	}
+	return &Controller{shedder: s, capacity: capacity, alpha: alpha}, nil
+}
+
+// Observe feeds one offered-rate measurement and updates the shedder.
+func (c *Controller) Observe(offered float64) float64 {
+	target := 0.0
+	if offered > c.capacity {
+		target = 1 - c.capacity/offered
+	}
+	c.current = c.current + c.alpha*(target-c.current)
+	c.shedder.SetRate(c.current)
+	return c.current
+}
+
+// Rate returns the controller's current drop rate.
+func (c *Controller) Rate() float64 { return c.current }

@@ -1,0 +1,204 @@
+package shed
+
+import (
+	"math"
+	"testing"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+var sch = tuple.NewSchema("S",
+	tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+	tuple.Field{Name: "v", Kind: tuple.KindInt},
+)
+
+func el(ts, v int64) stream.Element {
+	return stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(v)))
+}
+
+func TestRandomShedsApproximatelyRate(t *testing.T) {
+	r, err := NewRandom("shed", sch, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passed := 0
+	emit := func(stream.Element) { passed++ }
+	n := 20000
+	for i := 0; i < n; i++ {
+		r.Push(0, el(int64(i), int64(i)), emit)
+	}
+	got := 1 - float64(passed)/float64(n)
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("empirical drop rate = %v, want ~0.3", got)
+	}
+	if r.Dropped() != int64(n-passed) {
+		t.Errorf("Dropped = %d, want %d", r.Dropped(), n-passed)
+	}
+}
+
+func TestRandomZeroAndFullRates(t *testing.T) {
+	r, _ := NewRandom("shed", sch, 0, 1)
+	passed := 0
+	emit := func(stream.Element) { passed++ }
+	for i := 0; i < 100; i++ {
+		r.Push(0, el(int64(i), 0), emit)
+	}
+	if passed != 100 {
+		t.Errorf("rate 0 dropped tuples: %d", passed)
+	}
+	r.SetRate(1)
+	for i := 0; i < 100; i++ {
+		r.Push(0, el(int64(i), 0), emit)
+	}
+	if passed != 100 {
+		t.Errorf("rate 1 passed tuples: %d", passed)
+	}
+	// SetRate clamps.
+	r.SetRate(-5)
+	if r.Rate() != 0 {
+		t.Error("negative rate not clamped")
+	}
+	r.SetRate(5)
+	if r.Rate() != 1 {
+		t.Error("rate > 1 not clamped")
+	}
+}
+
+func TestRandomPassesPunctuation(t *testing.T) {
+	r, _ := NewRandom("shed", sch, 1, 1)
+	got := 0
+	r.Push(0, stream.Punct(stream.ProgressPunct(1, 0, tuple.Time(1))), func(stream.Element) { got++ })
+	if got != 1 {
+		t.Error("punctuation shed")
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	if _, err := NewRandom("s", sch, -0.1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewRandom("s", sch, 1.1, 1); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+}
+
+func TestSemanticKeepsPredicateTuples(t *testing.T) {
+	// Keep v >= 90 (the heavy hitters a fraud query cares about); drop
+	// everything else with probability 1.
+	keep, _ := expr.NewBin(expr.OpGe, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(90)))
+	s, err := NewSemantic("sem", sch, keep, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	emit := func(e stream.Element) {
+		v, _ := e.Tuple.Vals[1].AsInt()
+		got = append(got, v)
+	}
+	for i := int64(0); i < 100; i++ {
+		s.Push(0, el(i, i), emit)
+	}
+	if len(got) != 10 {
+		t.Fatalf("kept %d tuples, want 10", len(got))
+	}
+	for _, v := range got {
+		if v < 90 {
+			t.Errorf("kept v=%d below threshold", v)
+		}
+	}
+	in, out, kept := s.Stats()
+	if in != 100 || out != 10 || kept != 10 {
+		t.Errorf("stats = %d, %d, %d", in, out, kept)
+	}
+}
+
+func TestSemanticPartialRate(t *testing.T) {
+	keep, _ := expr.NewBin(expr.OpGe, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(90)))
+	s, _ := NewSemantic("sem", sch, keep, 0.5, 2)
+	passed := 0
+	emit := func(stream.Element) { passed++ }
+	for i := int64(0); i < 10000; i++ {
+		s.Push(0, el(i, i%100), emit)
+	}
+	// 10% always kept + ~45% of the rest.
+	frac := float64(passed) / 10000
+	if math.Abs(frac-0.55) > 0.02 {
+		t.Errorf("pass fraction = %v, want ~0.55", frac)
+	}
+	s.SetRate(2) // clamps to 1
+	s.SetRate(-1)
+}
+
+func TestSemanticValidation(t *testing.T) {
+	if _, err := NewSemantic("s", sch, nil, 0.5, 1); err == nil {
+		t.Error("nil predicate accepted")
+	}
+	if _, err := NewSemantic("s", sch, expr.MustColumn(sch, "v"), 0.5, 1); err == nil {
+		t.Error("non-boolean predicate accepted")
+	}
+	keep, _ := expr.NewBin(expr.OpGe, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(0)))
+	if _, err := NewSemantic("s", sch, keep, 2, 1); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+}
+
+func TestSemanticPassesPunctuation(t *testing.T) {
+	keep, _ := expr.NewBin(expr.OpGe, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(0)))
+	s, _ := NewSemantic("sem", sch, keep, 1, 1)
+	got := 0
+	s.Push(0, stream.Punct(stream.ProgressPunct(1, 0, tuple.Time(1))), func(stream.Element) { got++ })
+	if got != 1 {
+		t.Error("punctuation shed")
+	}
+}
+
+type fakeShedder struct{ rate float64 }
+
+func (f *fakeShedder) SetRate(r float64) { f.rate = r }
+
+func TestControllerTracksOverload(t *testing.T) {
+	fs := &fakeShedder{}
+	c, err := NewController(fs, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offered 200/sec against capacity 100: drop half.
+	if got := c.Observe(200); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("drop = %v, want 0.5", got)
+	}
+	if fs.rate != c.Rate() {
+		t.Error("controller did not push rate to shedder")
+	}
+	// Underload: rate falls back to 0.
+	if got := c.Observe(50); got != 0 {
+		t.Errorf("drop under capacity = %v, want 0", got)
+	}
+}
+
+func TestControllerSmoothing(t *testing.T) {
+	fs := &fakeShedder{}
+	c, _ := NewController(fs, 100, 0.5)
+	r1 := c.Observe(200) // target 0.5, smoothed: 0.25
+	if math.Abs(r1-0.25) > 1e-9 {
+		t.Errorf("first observation = %v, want 0.25", r1)
+	}
+	r2 := c.Observe(200)
+	if r2 <= r1 || r2 > 0.5 {
+		t.Errorf("smoothing not converging: %v then %v", r1, r2)
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	fs := &fakeShedder{}
+	if _, err := NewController(fs, 0, 0.5); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewController(fs, 10, 0); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := NewController(fs, 10, 1.5); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+}

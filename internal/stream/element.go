@@ -1,0 +1,136 @@
+// Package stream defines the stream abstraction: a potentially unbounded
+// sequence of elements (slide 3), where each element is either a data
+// tuple or a punctuation [TMSF03] (slide 28). It also provides sources,
+// sinks and synthetic workload generators standing in for the paper's
+// proprietary AT&T feeds (see DESIGN.md §2).
+package stream
+
+import (
+	"fmt"
+	"strings"
+
+	"streamdb/internal/tuple"
+)
+
+// Element is one item of a stream: exactly one of Tuple or Punct is set.
+type Element struct {
+	Tuple *tuple.Tuple
+	Punct *Punctuation
+}
+
+// Tup wraps a tuple as an element.
+func Tup(t *tuple.Tuple) Element { return Element{Tuple: t} }
+
+// Punct wraps a punctuation as an element.
+func Punct(p *Punctuation) Element { return Element{Punct: p} }
+
+// IsPunct reports whether the element is a punctuation.
+func (e Element) IsPunct() bool { return e.Punct != nil }
+
+// Ts returns the element's position in stream order.
+func (e Element) Ts() int64 {
+	if e.Punct != nil {
+		return e.Punct.Ts
+	}
+	return e.Tuple.Ts
+}
+
+// String renders the element.
+func (e Element) String() string {
+	if e.Punct != nil {
+		return e.Punct.String()
+	}
+	return e.Tuple.String()
+}
+
+// PatternKind selects how one field of a punctuation matches.
+type PatternKind uint8
+
+// Field pattern kinds per Tucker et al. [TMSF03]: wildcard, constant and
+// range patterns.
+const (
+	PatWildcard PatternKind = iota
+	PatConst
+	PatLE // matches values <= Val (the "end of processing up to V" form)
+	PatRange
+)
+
+// Pattern matches one field of future tuples.
+type Pattern struct {
+	Kind    PatternKind
+	Val, Hi tuple.Value
+}
+
+// Matches reports whether v satisfies the pattern.
+func (p Pattern) Matches(v tuple.Value) bool {
+	switch p.Kind {
+	case PatWildcard:
+		return true
+	case PatConst:
+		return v.Equal(p.Val)
+	case PatLE:
+		return !v.IsNull() && v.Compare(p.Val) <= 0
+	case PatRange:
+		return !v.IsNull() && v.Compare(p.Val) >= 0 && v.Compare(p.Hi) <= 0
+	}
+	return false
+}
+
+// Punctuation is an application-inserted assertion: "no tuple matching
+// every field pattern will appear later in the stream" (slide 28). The
+// common special case — progress punctuation on the ordering attribute —
+// is a PatLE pattern on that field.
+type Punctuation struct {
+	// Ts is the punctuation's own position in the stream.
+	Ts int64
+	// Fields maps field index -> pattern. Unlisted fields are wildcards.
+	Fields map[int]Pattern
+}
+
+// ProgressPunct builds the standard "all tuples with ordering attribute
+// <= ts have been seen" punctuation on field idx.
+func ProgressPunct(ts int64, idx int, upTo tuple.Value) *Punctuation {
+	return &Punctuation{Ts: ts, Fields: map[int]Pattern{idx: {Kind: PatLE, Val: upTo}}}
+}
+
+// EndGroupPunct builds a punctuation asserting a group's end: no more
+// tuples with Fields[idx] == key (the auction-close idiom of slide 28).
+func EndGroupPunct(ts int64, idx int, key tuple.Value) *Punctuation {
+	return &Punctuation{Ts: ts, Fields: map[int]Pattern{idx: {Kind: PatConst, Val: key}}}
+}
+
+// Matches reports whether a tuple is covered by the punctuation, i.e.
+// the punctuation promises no more tuples like t.
+func (p *Punctuation) Matches(t *tuple.Tuple) bool {
+	for i, pat := range p.Fields {
+		if i >= len(t.Vals) || !pat.Matches(t.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the punctuation.
+func (p *Punctuation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "punct@%d{", p.Ts)
+	first := true
+	for i, pat := range p.Fields {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		switch pat.Kind {
+		case PatWildcard:
+			fmt.Fprintf(&b, "%d:*", i)
+		case PatConst:
+			fmt.Fprintf(&b, "%d:=%s", i, pat.Val)
+		case PatLE:
+			fmt.Fprintf(&b, "%d:<=%s", i, pat.Val)
+		case PatRange:
+			fmt.Fprintf(&b, "%d:[%s,%s]", i, pat.Val, pat.Hi)
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,310 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamdb/internal/tuple"
+)
+
+var ts = tuple.NewSchema("S",
+	tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+	tuple.Field{Name: "v", Kind: tuple.KindInt},
+)
+
+func el(t int64, v int64) Element {
+	return Tup(tuple.New(t, tuple.Time(t), tuple.Int(v)))
+}
+
+func TestElementBasics(t *testing.T) {
+	e := el(5, 1)
+	if e.IsPunct() || e.Ts() != 5 {
+		t.Errorf("element = %v", e)
+	}
+	p := Punct(ProgressPunct(7, 0, tuple.Time(7)))
+	if !p.IsPunct() || p.Ts() != 7 {
+		t.Errorf("punct = %v", p)
+	}
+}
+
+func TestPunctuationMatching(t *testing.T) {
+	p := ProgressPunct(10, 0, tuple.Time(10))
+	if !p.Matches(tuple.New(5, tuple.Time(5), tuple.Int(1))) {
+		t.Error("progress punct must cover ts=5")
+	}
+	if p.Matches(tuple.New(11, tuple.Time(11), tuple.Int(1))) {
+		t.Error("progress punct must not cover ts=11")
+	}
+	g := EndGroupPunct(10, 1, tuple.Int(42))
+	if !g.Matches(tuple.New(99, tuple.Time(99), tuple.Int(42))) {
+		t.Error("group punct must cover key=42")
+	}
+	if g.Matches(tuple.New(99, tuple.Time(99), tuple.Int(43))) {
+		t.Error("group punct must not cover key=43")
+	}
+	r := &Punctuation{Ts: 0, Fields: map[int]Pattern{1: {Kind: PatRange, Val: tuple.Int(1), Hi: tuple.Int(3)}}}
+	if !r.Matches(tuple.New(0, tuple.Time(0), tuple.Int(2))) || r.Matches(tuple.New(0, tuple.Time(0), tuple.Int(4))) {
+		t.Error("range pattern broken")
+	}
+	w := &Punctuation{Ts: 0, Fields: map[int]Pattern{1: {Kind: PatWildcard}}}
+	if !w.Matches(tuple.New(0, tuple.Time(0), tuple.Int(999))) {
+		t.Error("wildcard pattern broken")
+	}
+	// Out-of-range field index never matches.
+	oob := &Punctuation{Ts: 0, Fields: map[int]Pattern{9: {Kind: PatWildcard}}}
+	if oob.Matches(tuple.New(0, tuple.Time(0), tuple.Int(1))) {
+		t.Error("out-of-range pattern matched")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := FromElements(ts, el(1, 10), el(2, 20))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got := Drain(s, -1)
+	if len(got) != 2 || got[0].Ts() != 1 || got[1].Ts() != 2 {
+		t.Errorf("Drain = %v", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("exhausted source returned an element")
+	}
+	s.Reset()
+	if e, ok := s.Next(); !ok || e.Ts() != 1 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestLimitAndDrainTuples(t *testing.T) {
+	s := FromElements(ts, el(1, 1), Punct(ProgressPunct(1, 0, tuple.Time(1))), el(2, 2), el(3, 3))
+	if got := Drain(Limit(FromElements(ts, el(1, 1), el(2, 2), el(3, 3)), 2), -1); len(got) != 2 {
+		t.Errorf("Limit drain = %d", len(got))
+	}
+	tups := DrainTuples(s)
+	if len(tups) != 3 {
+		t.Errorf("DrainTuples = %d, want 3 (punct dropped)", len(tups))
+	}
+}
+
+func TestMergeOrders(t *testing.T) {
+	a := FromElements(ts, el(1, 1), el(4, 4), el(9, 9))
+	b := FromElements(ts, el(2, 2), el(3, 3), el(10, 10))
+	got := Drain(Merge(a, b), -1)
+	if len(got) != 6 {
+		t.Fatalf("merge len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Ts() < got[i-1].Ts() {
+			t.Fatalf("merge out of order at %d: %v", i, got)
+		}
+	}
+}
+
+func TestMergeTieBreaksBySourceIndex(t *testing.T) {
+	a := FromElements(ts, el(5, 100))
+	b := FromElements(ts, el(5, 200))
+	got := Drain(Merge(a, b), -1)
+	if v, _ := got[0].Tuple.Vals[1].AsInt(); v != 100 {
+		t.Errorf("tie broke to source 1 first: %v", got)
+	}
+}
+
+func TestMergeProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		mk := func(zs []uint16) Source {
+			elems := make([]Element, len(zs))
+			sorted := append([]uint16(nil), zs...)
+			for i := 1; i < len(sorted); i++ {
+				for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+					sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+				}
+			}
+			for i, z := range sorted {
+				elems[i] = el(int64(z), int64(z))
+			}
+			return FromElements(ts, elems...)
+		}
+		got := Drain(Merge(mk(xs), mk(ys)), -1)
+		if len(got) != len(xs)+len(ys) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Ts() < got[i-1].Ts() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformArrival(t *testing.T) {
+	a := UniformArrival{Rate: 10}
+	t1 := a.Next(0)
+	t2 := a.Next(t1)
+	if t1 != Second/10 || t2 != 2*Second/10 {
+		t.Errorf("arrivals = %d, %d", t1, t2)
+	}
+}
+
+func TestPoissonArrivalMeanRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := PoissonArrival{Rate: 100, Rng: rng}
+	var now int64
+	n := 10000
+	for i := 0; i < n; i++ {
+		now = a.Next(now)
+	}
+	rate := float64(n) / (float64(now) / float64(Second))
+	if rate < 90 || rate > 110 {
+		t.Errorf("poisson empirical rate = %.1f, want ~100", rate)
+	}
+}
+
+func TestBurstyArrival(t *testing.T) {
+	b := &BurstyArrival{OnRate: 1000, OnLen: Second, OffLen: 9 * Second}
+	var now int64
+	var stamps []int64
+	for i := 0; i < 3000; i++ {
+		now = b.Next(now)
+		stamps = append(stamps, now)
+	}
+	// Arrivals must be strictly increasing and exhibit gaps >= OffLen.
+	gaps := 0
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] <= stamps[i-1] {
+			t.Fatalf("non-increasing arrivals at %d", i)
+		}
+		if stamps[i]-stamps[i-1] >= 9*Second {
+			gaps++
+		}
+	}
+	if gaps == 0 {
+		t.Error("bursty arrival produced no off-period gaps")
+	}
+}
+
+func TestGeneratorOrderingAttribute(t *testing.T) {
+	g := NewTrafficStream(7, 1000, 100)
+	prev := int64(-1)
+	for i := 0; i < 500; i++ {
+		e, ok := g.Next()
+		if !ok {
+			t.Fatal("generator ended")
+		}
+		if e.Ts() <= prev {
+			t.Fatalf("timestamps not increasing: %d after %d", e.Ts(), prev)
+		}
+		prev = e.Ts()
+		tm, ok := e.Tuple.Vals[0].AsTime()
+		if !ok || tm != e.Ts() {
+			t.Fatal("ordering attribute diverges from tuple Ts")
+		}
+		if p, _ := e.Tuple.Vals[3].AsUint(); p != 6 && p != 17 {
+			t.Fatalf("protocol = %d", p)
+		}
+		if l, _ := e.Tuple.Vals[4].AsUint(); l < 40 || l > 1500 {
+			t.Fatalf("length = %d", l)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewTrafficStream(42, 1000, 50)
+	b := NewTrafficStream(42, 1000, 50)
+	for i := 0; i < 100; i++ {
+		ea, _ := a.Next()
+		eb, _ := b.Next()
+		if ea.String() != eb.String() {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, ea, eb)
+		}
+	}
+}
+
+func TestMeasurementStream(t *testing.T) {
+	g := NewMeasurementStream(3, 4, 100)
+	seen := map[int64]bool{}
+	for i := 0; i < 400; i++ {
+		e, _ := g.Next()
+		id, _ := e.Tuple.Vals[1].AsInt()
+		if id < 0 || id > 3 {
+			t.Fatalf("sensor id = %d", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("only %d sensors observed", len(seen))
+	}
+}
+
+func TestStatsAndTap(t *testing.T) {
+	var st Stats
+	src := Tap(FromElements(ts, el(0, 1), el(Second, 2), el(2*Second, 3)), &st)
+	Drain(src, -1)
+	if st.Count != 3 {
+		t.Errorf("Count = %d", st.Count)
+	}
+	if r := st.Rate(); r < 0.99 || r > 1.01 {
+		t.Errorf("Rate = %v, want ~1", r)
+	}
+	var empty Stats
+	if empty.Rate() != 0 {
+		t.Error("empty Rate != 0")
+	}
+}
+
+func TestWithProgressPunctuation(t *testing.T) {
+	src := FromElements(ts, el(1, 1), el(Second+1, 2), el(2*Second+2, 3))
+	out := Drain(WithProgressPunctuation(src, Second), -1)
+	var puncts, tuples int
+	for _, e := range out {
+		if e.IsPunct() {
+			puncts++
+			// Punctuation must precede any tuple with a later ts.
+		} else {
+			tuples++
+		}
+	}
+	if tuples != 3 || puncts != 2 {
+		t.Errorf("tuples=%d puncts=%d, want 3 and 2", tuples, puncts)
+	}
+	// Punctuations are emitted before the tuple that triggered them.
+	for i, e := range out {
+		if e.IsPunct() && i+1 < len(out) && out[i+1].Ts() < e.Ts() {
+			t.Errorf("punct at %d emitted after covered tuple", i)
+		}
+	}
+}
+
+func TestValueGens(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	u := UniformInt(rng, 10, 20)
+	for i := 0; i < 100; i++ {
+		v, _ := u().AsInt()
+		if v < 10 || v > 20 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+	}
+	z := ZipfInt(rng, 1.5, 1000)
+	counts := map[int64]int{}
+	for i := 0; i < 5000; i++ {
+		v, _ := z().AsInt()
+		counts[v]++
+	}
+	if counts[0] < counts[500] {
+		t.Error("zipf not skewed toward small values")
+	}
+	ln := LognormalFloat(rng, 0, 0.5)
+	for i := 0; i < 100; i++ {
+		v, _ := ln().AsFloat()
+		if v <= 0 {
+			t.Fatal("lognormal <= 0")
+		}
+	}
+	if s, _ := ConstStr("x")().AsString(); s != "x" {
+		t.Error("ConstStr broken")
+	}
+}

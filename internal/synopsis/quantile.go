@@ -1,0 +1,180 @@
+package synopsis
+
+import (
+	"sort"
+
+	"streamdb/internal/tuple"
+)
+
+// GK is the Greenwald-Khanna epsilon-approximate quantile summary: the
+// structure behind "quantile computation is part of Gigascope, and
+// engineered to reduce drops" (slide 53). A query for quantile q returns
+// a value whose rank is within eps*N of q*N, using O((1/eps) log(eps N))
+// space, one pass, no randomization.
+type GK struct {
+	eps     float64
+	n       int64
+	entries []gkEntry // sorted by value
+}
+
+type gkEntry struct {
+	v     float64
+	g     int64 // rank(this) - rank(prev) lower-bound gap
+	delta int64 // uncertainty
+}
+
+// NewGK builds a summary with the given rank error bound (e.g. 0.01).
+func NewGK(eps float64) *GK {
+	if eps <= 0 {
+		eps = 0.001
+	}
+	return &GK{eps: eps}
+}
+
+// Add inserts one observation.
+func (g *GK) Add(v float64) {
+	g.n++
+	i := sort.Search(len(g.entries), func(i int) bool { return g.entries[i].v >= v })
+	var delta int64
+	if i > 0 && i < len(g.entries) {
+		delta = int64(2*g.eps*float64(g.n)) - 1
+		if delta < 0 {
+			delta = 0
+		}
+	}
+	g.entries = append(g.entries, gkEntry{})
+	copy(g.entries[i+1:], g.entries[i:])
+	g.entries[i] = gkEntry{v: v, g: 1, delta: delta}
+	if g.n%int64(1.0/(2.0*g.eps)) == 0 {
+		g.compress()
+	}
+}
+
+func (g *GK) compress() {
+	threshold := int64(2 * g.eps * float64(g.n))
+	// Merge adjacent entries whose combined uncertainty stays within
+	// bounds, scanning from the end.
+	for i := len(g.entries) - 2; i >= 1; i-- {
+		e, next := g.entries[i], g.entries[i+1]
+		if e.g+next.g+next.delta <= threshold {
+			g.entries[i+1].g += e.g
+			g.entries = append(g.entries[:i], g.entries[i+1:]...)
+		}
+	}
+}
+
+// Query returns the approximate q-quantile (q in [0,1]).
+func (g *GK) Query(q float64) (float64, bool) {
+	if g.n == 0 || len(g.entries) == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Return the last entry whose maximum possible rank stays within
+	// eps*n of the target rank.
+	target := int64(q * float64(g.n))
+	bound := int64(g.eps * float64(g.n))
+	var rmin int64
+	prev := g.entries[0].v
+	for _, e := range g.entries {
+		rmin += e.g
+		if rmin+e.delta > target+bound {
+			return prev, true
+		}
+		prev = e.v
+	}
+	return prev, true
+}
+
+// N returns the number of observations.
+func (g *GK) N() int64 { return g.n }
+
+// Entries reports the summary size (space used).
+func (g *GK) Entries() int { return len(g.entries) }
+
+// MemSize approximates the bytes held.
+func (g *GK) MemSize() int { return 40 + 24*len(g.entries) }
+
+// SpaceSaving is the Metwally et al. heavy-hitters summary, answering
+// slide 38's "select G, count(*) from S group by G having
+// count(*) > phi*|S|" with bounded memory: any value with true frequency
+// above N/k is guaranteed to be tracked.
+type SpaceSaving struct {
+	k        int
+	n        int64
+	counters map[uint64]*ssCounter
+}
+
+type ssCounter struct {
+	val   tuple.Value
+	count int64
+	err   int64
+}
+
+// NewSpaceSaving builds a summary with k counters.
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k <= 0 {
+		k = 1
+	}
+	return &SpaceSaving{k: k, counters: make(map[uint64]*ssCounter, k)}
+}
+
+// Add observes one occurrence of v.
+func (s *SpaceSaving) Add(v tuple.Value) {
+	s.n++
+	h := v.Hash()
+	if c, ok := s.counters[h]; ok {
+		c.count++
+		return
+	}
+	if len(s.counters) < s.k {
+		s.counters[h] = &ssCounter{val: v, count: 1}
+		return
+	}
+	// Evict the minimum counter and inherit its count as error.
+	var minH uint64
+	var minC *ssCounter
+	for h2, c := range s.counters {
+		if minC == nil || c.count < minC.count {
+			minH, minC = h2, c
+		}
+	}
+	delete(s.counters, minH)
+	s.counters[h] = &ssCounter{val: v, count: minC.count + 1, err: minC.count}
+}
+
+// HeavyHitter is one reported frequent value.
+type HeavyHitter struct {
+	Val   tuple.Value
+	Count int64 // upper bound
+	Err   int64 // overcount bound
+}
+
+// Hitters returns values whose estimated frequency exceeds phi*N,
+// sorted by descending count.
+func (s *SpaceSaving) Hitters(phi float64) []HeavyHitter {
+	threshold := int64(phi * float64(s.n))
+	var out []HeavyHitter
+	for _, c := range s.counters {
+		if c.count > threshold {
+			out = append(out, HeavyHitter{Val: c.val, Count: c.count, Err: c.err})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Val.Compare(out[j].Val) < 0
+	})
+	return out
+}
+
+// N returns the number of observations.
+func (s *SpaceSaving) N() int64 { return s.n }
+
+// MemSize approximates the bytes held.
+func (s *SpaceSaving) MemSize() int { return 48 + 64*len(s.counters) }

@@ -1,0 +1,194 @@
+// Package synopsis implements the summary structures the tutorial's
+// approximation sections rely on (slides 20, 38, 53): reservoir samples,
+// histograms, sketches (Count-Min, AMS), distinct-count estimators
+// (Flajolet-Martin) and quantile summaries (Greenwald-Khanna), plus the
+// DGIM exponential histogram for sliding-window counts.
+//
+// All structures are deterministic given a seed, single-pass, and expose
+// a MemSize so experiments can sweep the memory budget (experiment E9).
+package synopsis
+
+import (
+	"math/rand"
+
+	"streamdb/internal/tuple"
+)
+
+// Reservoir maintains a uniform random sample of fixed capacity over an
+// unbounded stream (Vitter's Algorithm R).
+type Reservoir struct {
+	cap   int
+	seen  int64
+	items []tuple.Value
+	rng   *rand.Rand
+}
+
+// NewReservoir builds a reservoir of the given capacity.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Reservoir{cap: capacity, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add offers one value to the sample.
+func (r *Reservoir) Add(v tuple.Value) {
+	r.seen++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, v)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.items[j] = v
+	}
+}
+
+// Sample returns the current sample (shared slice; do not mutate).
+func (r *Reservoir) Sample() []tuple.Value { return r.items }
+
+// Seen returns how many values have been offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// EstimateMean estimates the stream mean from the sample.
+func (r *Reservoir) EstimateMean() float64 {
+	if len(r.items) == 0 {
+		return 0
+	}
+	sum := 0.0
+	n := 0
+	for _, v := range r.items {
+		if f, ok := v.AsFloat(); ok {
+			sum += f
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// EstimateQuantile estimates the q-quantile (0..1) from the sample.
+func (r *Reservoir) EstimateQuantile(q float64) (tuple.Value, bool) {
+	if len(r.items) == 0 {
+		return tuple.Null, false
+	}
+	sorted := make([]tuple.Value, len(r.items))
+	copy(sorted, r.items)
+	// Insertion sort: reservoirs are small by construction.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Compare(sorted[j-1]) < 0; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx], true
+}
+
+// MemSize approximates the bytes held.
+func (r *Reservoir) MemSize() int {
+	n := 48
+	for _, v := range r.items {
+		n += v.MemSize()
+	}
+	return n
+}
+
+// Histogram is a fixed-range equi-width histogram over float values,
+// supporting selectivity and range-count estimates (the classic
+// synopsis of [BDF+97], slide 20).
+type Histogram struct {
+	lo, hi  float64
+	buckets []int64
+	total   int64
+	under   int64
+	over    int64
+}
+
+// NewHistogram builds an equi-width histogram over [lo, hi) with n
+// buckets.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// EstimateRange estimates how many observations fall in [a, b) assuming
+// uniform spread within buckets.
+func (h *Histogram) EstimateRange(a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	w := (h.hi - h.lo) / float64(len(h.buckets))
+	est := 0.0
+	for i, c := range h.buckets {
+		blo := h.lo + float64(i)*w
+		bhi := blo + w
+		ovl := minf(b, bhi) - maxf(a, blo)
+		if ovl > 0 {
+			est += float64(c) * ovl / w
+		}
+	}
+	if a < h.lo {
+		est += float64(h.under)
+	}
+	if b > h.hi {
+		est += float64(h.over)
+	}
+	return est
+}
+
+// Selectivity estimates the fraction of observations in [a, b).
+func (h *Histogram) Selectivity(a, b float64) float64 {
+	if h.total == 0 {
+		return 1
+	}
+	return h.EstimateRange(a, b) / float64(h.total)
+}
+
+// MemSize approximates the bytes held.
+func (h *Histogram) MemSize() int { return 64 + 8*len(h.buckets) }
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

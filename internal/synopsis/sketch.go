@@ -1,0 +1,276 @@
+package synopsis
+
+import (
+	"math"
+	"math/bits"
+
+	"streamdb/internal/tuple"
+)
+
+// hashWith applies a seeded 64-bit mix to a value hash, giving the
+// independent hash families sketches require.
+func hashWith(seed uint64, v tuple.Value) uint64 {
+	h := v.Hash() ^ (seed * 0x9e3779b97f4a7c15)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// CountMin is the Count-Min sketch of Cormode & Muthukrishnan: point
+// frequency estimates with one-sided error eps at confidence 1-delta in
+// O(log(1/delta)/eps) space. Muthukrishnan is the tutorial's companion
+// reference [M03] (slide 63).
+type CountMin struct {
+	width int
+	rows  [][]uint64
+	total uint64
+}
+
+// NewCountMin builds a sketch with error eps and failure probability
+// delta.
+func NewCountMin(eps, delta float64) *CountMin {
+	width := int(math.Ceil(math.E / eps))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	if width < 1 {
+		width = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	rows := make([][]uint64, depth)
+	for i := range rows {
+		rows[i] = make([]uint64, width)
+	}
+	return &CountMin{width: width, rows: rows}
+}
+
+// NewCountMinBytes builds the widest depth-4 sketch that fits in the
+// given memory budget; experiment E9 sweeps this.
+func NewCountMinBytes(budget int) *CountMin {
+	const depth = 4
+	width := budget / (8 * depth)
+	if width < 1 {
+		width = 1
+	}
+	rows := make([][]uint64, depth)
+	for i := range rows {
+		rows[i] = make([]uint64, width)
+	}
+	return &CountMin{width: width, rows: rows}
+}
+
+// Add increments v's count by c.
+func (cm *CountMin) Add(v tuple.Value, c uint64) {
+	cm.total += c
+	for i := range cm.rows {
+		cm.rows[i][hashWith(uint64(i+1), v)%uint64(cm.width)] += c
+	}
+}
+
+// Estimate returns an upper-bounded estimate of v's count.
+func (cm *CountMin) Estimate(v tuple.Value) uint64 {
+	est := uint64(math.MaxUint64)
+	for i := range cm.rows {
+		c := cm.rows[i][hashWith(uint64(i+1), v)%uint64(cm.width)]
+		if c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// Total returns the stream length seen.
+func (cm *CountMin) Total() uint64 { return cm.total }
+
+// MemSize approximates the bytes held.
+func (cm *CountMin) MemSize() int { return 32 + 8*cm.width*len(cm.rows) }
+
+// AMS is the Alon-Matias-Szegedy F2 sketch: an unbiased estimator of the
+// second frequency moment, which equals the self-join size — the
+// join-size estimation tool of slide 20's synopsis toolkit.
+type AMS struct {
+	counters []int64
+	total    int64
+}
+
+// NewAMS builds a sketch with n independent counters (variance falls as
+// 1/n by averaging groups and taking medians at estimate time).
+func NewAMS(n int) *AMS {
+	if n <= 0 {
+		n = 1
+	}
+	return &AMS{counters: make([]int64, n)}
+}
+
+// Add folds one occurrence of v into every counter with a ±1 hash.
+func (a *AMS) Add(v tuple.Value) {
+	a.total++
+	for i := range a.counters {
+		if hashWith(uint64(i+101), v)&1 == 0 {
+			a.counters[i]++
+		} else {
+			a.counters[i]--
+		}
+	}
+}
+
+// EstimateF2 estimates the second frequency moment (self-join size) by
+// the median of means over counter groups.
+func (a *AMS) EstimateF2() float64 {
+	const groups = 5
+	n := len(a.counters)
+	per := n / groups
+	if per == 0 {
+		per = 1
+	}
+	var means []float64
+	for g := 0; g*per < n; g++ {
+		sum := 0.0
+		cnt := 0
+		for i := g * per; i < (g+1)*per && i < n; i++ {
+			c := float64(a.counters[i])
+			sum += c * c
+			cnt++
+		}
+		if cnt > 0 {
+			means = append(means, sum/float64(cnt))
+		}
+	}
+	// Median of the group means.
+	for i := 1; i < len(means); i++ {
+		for j := i; j > 0 && means[j] < means[j-1]; j-- {
+			means[j], means[j-1] = means[j-1], means[j]
+		}
+	}
+	if len(means) == 0 {
+		return 0
+	}
+	return means[len(means)/2]
+}
+
+// MemSize approximates the bytes held.
+func (a *AMS) MemSize() int { return 24 + 8*len(a.counters) }
+
+// FM is a Flajolet-Martin (PCSA-style) distinct-count estimator: the
+// approximate COUNT DISTINCT of slide 38.
+type FM struct {
+	bitmaps []uint64
+}
+
+// NewFM builds an estimator with m bitmaps (standard error ~0.78/sqrt(m)).
+func NewFM(m int) *FM {
+	if m <= 0 {
+		m = 1
+	}
+	return &FM{bitmaps: make([]uint64, m)}
+}
+
+// Add observes a value.
+func (f *FM) Add(v tuple.Value) {
+	h := hashWith(7777, v)
+	i := h % uint64(len(f.bitmaps))
+	rest := h / uint64(len(f.bitmaps))
+	r := bits.TrailingZeros64(rest | (1 << 63))
+	f.bitmaps[i] |= 1 << uint(r)
+}
+
+// Estimate returns the approximate number of distinct values seen.
+func (f *FM) Estimate() float64 {
+	const phi = 0.77351
+	sum := 0
+	for _, b := range f.bitmaps {
+		r := 0
+		for b&(1<<uint(r)) != 0 {
+			r++
+		}
+		sum += r
+	}
+	m := float64(len(f.bitmaps))
+	mean := float64(sum) / m
+	return m / phi * math.Pow(2, mean)
+}
+
+// MemSize approximates the bytes held.
+func (f *FM) MemSize() int { return 16 + 8*len(f.bitmaps) }
+
+// ExpHistogram is the DGIM exponential histogram: approximate count of
+// 1-events in a sliding window of length W using O(log^2 W) space, the
+// canonical sliding-window synopsis.
+type ExpHistogram struct {
+	windowLen int64
+	k         int // max buckets per size before merging (error ~ 1/k)
+	buckets   []ehBucket
+	total     int64 // sum of live bucket sizes
+}
+
+type ehBucket struct {
+	ts   int64 // most recent event in the bucket
+	size int64
+}
+
+// NewExpHistogram builds a DGIM histogram over a window of windowLen
+// timestamp units with relative error about 1/k.
+func NewExpHistogram(windowLen int64, k int) *ExpHistogram {
+	if k < 1 {
+		k = 1
+	}
+	return &ExpHistogram{windowLen: windowLen, k: k}
+}
+
+// Add records an event at time ts (non-decreasing).
+func (e *ExpHistogram) Add(ts int64) {
+	e.expire(ts)
+	e.buckets = append(e.buckets, ehBucket{ts: ts, size: 1})
+	e.total++
+	// Merge oldest pairs when more than k buckets share a size.
+	for size := int64(1); ; size *= 2 {
+		cnt := 0
+		first, second := -1, -1
+		for i := len(e.buckets) - 1; i >= 0; i-- {
+			if e.buckets[i].size == size {
+				cnt++
+				if cnt == e.k+1 {
+					second = i
+				}
+				if cnt == e.k+2 {
+					first = i
+				}
+			}
+		}
+		if cnt <= e.k+1 || first < 0 {
+			return
+		}
+		// Merge the two oldest buckets of this size (first is older).
+		e.buckets[first].size *= 2
+		e.buckets[first].ts = e.buckets[second].ts
+		e.buckets = append(e.buckets[:second], e.buckets[second+1:]...)
+	}
+}
+
+func (e *ExpHistogram) expire(now int64) {
+	cutoff := now - e.windowLen
+	for len(e.buckets) > 0 && e.buckets[0].ts <= cutoff {
+		e.total -= e.buckets[0].size
+		e.buckets = e.buckets[1:]
+	}
+}
+
+// Estimate returns the approximate number of events in (now-W, now].
+func (e *ExpHistogram) Estimate(now int64) int64 {
+	e.expire(now)
+	if len(e.buckets) == 0 {
+		return 0
+	}
+	// All buckets except the oldest are exact; the oldest contributes
+	// half its size on average.
+	return e.total - e.buckets[0].size/2
+}
+
+// Buckets reports the number of live buckets (space used).
+func (e *ExpHistogram) Buckets() int { return len(e.buckets) }
+
+// MemSize approximates the bytes held.
+func (e *ExpHistogram) MemSize() int { return 40 + 16*len(e.buckets) }

@@ -1,0 +1,346 @@
+package synopsis
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"streamdb/internal/tuple"
+)
+
+func TestReservoirUniformity(t *testing.T) {
+	// Feed 0..9999; sample mean should approximate the stream mean.
+	r := NewReservoir(500, 1)
+	for i := 0; i < 10000; i++ {
+		r.Add(tuple.Float(float64(i)))
+	}
+	if r.Seen() != 10000 {
+		t.Fatalf("Seen = %d", r.Seen())
+	}
+	if len(r.Sample()) != 500 {
+		t.Fatalf("sample size = %d", len(r.Sample()))
+	}
+	mean := r.EstimateMean()
+	if math.Abs(mean-4999.5) > 400 {
+		t.Errorf("sample mean = %.1f, want ~4999.5", mean)
+	}
+	q, ok := r.EstimateQuantile(0.5)
+	if !ok {
+		t.Fatal("quantile failed")
+	}
+	med, _ := q.AsFloat()
+	if math.Abs(med-5000) > 700 {
+		t.Errorf("sample median = %.1f, want ~5000", med)
+	}
+}
+
+func TestReservoirSmallStream(t *testing.T) {
+	r := NewReservoir(10, 1)
+	r.Add(tuple.Float(3))
+	if len(r.Sample()) != 1 {
+		t.Errorf("sample = %v", r.Sample())
+	}
+	if _, ok := NewReservoir(5, 1).EstimateQuantile(0.5); ok {
+		t.Error("empty reservoir returned a quantile")
+	}
+	if NewReservoir(0, 1).cap != 1 {
+		t.Error("capacity not clamped")
+	}
+}
+
+func TestHistogramRangeEstimates(t *testing.T) {
+	h := NewHistogram(0, 100, 20)
+	for i := 0; i < 10000; i++ {
+		h.Add(float64(i % 100))
+	}
+	if h.Total() != 10000 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// Uniform data: [0,50) holds half.
+	est := h.EstimateRange(0, 50)
+	if math.Abs(est-5000) > 100 {
+		t.Errorf("EstimateRange(0,50) = %.0f, want ~5000", est)
+	}
+	if s := h.Selectivity(25, 75); math.Abs(s-0.5) > 0.02 {
+		t.Errorf("Selectivity(25,75) = %.3f, want ~0.5", s)
+	}
+	if h.EstimateRange(10, 10) != 0 {
+		t.Error("empty range nonzero")
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-5)
+	h.Add(15)
+	h.Add(5)
+	if est := h.EstimateRange(-10, 20); math.Abs(est-3) > 0.01 {
+		t.Errorf("full range = %.2f, want 3", est)
+	}
+	if NewHistogram(0, 0, 0) == nil {
+		t.Error("degenerate histogram nil")
+	}
+	if NewHistogram(5, 5, 3).hi <= 5 {
+		t.Error("degenerate bounds not fixed")
+	}
+	var empty Histogram
+	if (&empty).Total() != 0 {
+		t.Error("empty total")
+	}
+	if s := NewHistogram(0, 1, 1).Selectivity(0, 1); s != 1 {
+		t.Errorf("empty histogram selectivity = %v, want 1", s)
+	}
+}
+
+func TestCountMinPointQueries(t *testing.T) {
+	cm := NewCountMin(0.005, 0.01)
+	rng := rand.New(rand.NewSource(2))
+	truth := map[int64]uint64{}
+	z := rand.NewZipf(rng, 1.3, 1, 9999)
+	for i := 0; i < 100000; i++ {
+		v := int64(z.Uint64())
+		truth[v]++
+		cm.Add(tuple.Int(v), 1)
+	}
+	if cm.Total() != 100000 {
+		t.Fatalf("Total = %d", cm.Total())
+	}
+	// CM never underestimates, and overestimates by at most eps*N whp.
+	slack := uint64(0.005 * 100000 * 2)
+	for v, c := range truth {
+		est := cm.Estimate(tuple.Int(v))
+		if est < c {
+			t.Fatalf("CM underestimated %d: %d < %d", v, est, c)
+		}
+		if est > c+slack {
+			t.Errorf("CM overestimated %d: %d > %d+%d", v, est, c, slack)
+		}
+	}
+}
+
+func TestCountMinBytesBudget(t *testing.T) {
+	cm := NewCountMinBytes(4096)
+	if cm.MemSize() > 4096+64 {
+		t.Errorf("MemSize %d exceeds budget", cm.MemSize())
+	}
+	tiny := NewCountMinBytes(1)
+	tiny.Add(tuple.Int(1), 1)
+	if tiny.Estimate(tuple.Int(1)) < 1 {
+		t.Error("tiny sketch lost its count")
+	}
+}
+
+func TestAMSSelfJoinSize(t *testing.T) {
+	a := NewAMS(400)
+	// 100 distinct values, 100 occurrences each: F2 = 100 * 100^2 = 1e6.
+	for rep := 0; rep < 100; rep++ {
+		for v := int64(0); v < 100; v++ {
+			a.Add(tuple.Int(v))
+		}
+	}
+	est := a.EstimateF2()
+	if est < 0.5e6 || est > 1.5e6 {
+		t.Errorf("F2 estimate = %.0f, want ~1e6", est)
+	}
+	if NewAMS(0).MemSize() <= 0 {
+		t.Error("clamped AMS has no memory")
+	}
+}
+
+func TestFMDistinctCount(t *testing.T) {
+	f := NewFM(64)
+	for i := int64(0); i < 50000; i++ {
+		f.Add(tuple.Int(i % 5000)) // 5000 distinct
+	}
+	est := f.Estimate()
+	if est < 3200 || est > 7500 {
+		t.Errorf("FM estimate = %.0f, want ~5000", est)
+	}
+}
+
+func TestFMMonotoneInDistincts(t *testing.T) {
+	small, large := NewFM(64), NewFM(64)
+	for i := int64(0); i < 100; i++ {
+		small.Add(tuple.Int(i))
+	}
+	for i := int64(0); i < 100000; i++ {
+		large.Add(tuple.Int(i))
+	}
+	if small.Estimate() >= large.Estimate() {
+		t.Errorf("FM not increasing: %f >= %f", small.Estimate(), large.Estimate())
+	}
+}
+
+func TestExpHistogramSlidingCount(t *testing.T) {
+	const window = 1000
+	e := NewExpHistogram(window, 8)
+	// One event per tick for 10000 ticks: window always holds ~1000.
+	for ts := int64(0); ts < 10000; ts++ {
+		e.Add(ts)
+	}
+	est := e.Estimate(9999)
+	if math.Abs(float64(est-window)) > window/8+1 {
+		t.Errorf("DGIM estimate = %d, want ~%d", est, window)
+	}
+	// Space must be logarithmic-ish, far below the window size.
+	if e.Buckets() > 200 {
+		t.Errorf("DGIM uses %d buckets", e.Buckets())
+	}
+	// After a long silence the estimate must fall to 0.
+	if got := e.Estimate(1_000_000); got != 0 {
+		t.Errorf("estimate after expiry = %d", got)
+	}
+}
+
+func TestExpHistogramErrorBoundProperty(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		e := NewExpHistogram(500, 4)
+		var ts int64
+		var events []int64
+		for _, g := range gaps {
+			ts += int64(g%17) + 1
+			e.Add(ts)
+			events = append(events, ts)
+		}
+		if len(events) == 0 {
+			return true
+		}
+		now := ts
+		truth := int64(0)
+		for _, et := range events {
+			if et > now-500 {
+				truth++
+			}
+		}
+		est := e.Estimate(now)
+		diff := est - truth
+		if diff < 0 {
+			diff = -diff
+		}
+		// DGIM error bound: half the oldest bucket ~ truth/k.
+		return float64(diff) <= float64(truth)/4+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGKQuantiles(t *testing.T) {
+	g := NewGK(0.01)
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+		g.Add(vals[i])
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		got, ok := g.Query(q)
+		if !ok {
+			t.Fatalf("Query(%v) failed", q)
+		}
+		// Verify rank error <= 2*eps*n (allowing both sides of the bound).
+		rank := sort.SearchFloat64s(vals, got)
+		wantRank := q * float64(n)
+		if math.Abs(float64(rank)-wantRank) > 2*0.01*float64(n)+1 {
+			t.Errorf("q=%v: rank %d, want %.0f±%.0f", q, rank, wantRank, 2*0.01*float64(n))
+		}
+	}
+	// Space must be far below n.
+	if g.Entries() > n/10 {
+		t.Errorf("GK kept %d entries for %d items", g.Entries(), n)
+	}
+	if g.N() != int64(n) {
+		t.Errorf("N = %d", g.N())
+	}
+}
+
+func TestGKEdgeCases(t *testing.T) {
+	g := NewGK(0.05)
+	if _, ok := g.Query(0.5); ok {
+		t.Error("empty GK returned a value")
+	}
+	g.Add(42)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v, ok := g.Query(q); !ok || v != 42 {
+			t.Errorf("Query(%v) = %v, %v", q, v, ok)
+		}
+	}
+	if NewGK(0).eps <= 0 {
+		t.Error("eps not clamped")
+	}
+}
+
+func TestSpaceSavingGuarantee(t *testing.T) {
+	ss := NewSpaceSaving(20)
+	// Two genuinely heavy values among uniform noise.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		switch {
+		case i%4 == 0:
+			ss.Add(tuple.Int(1))
+		case i%4 == 1:
+			ss.Add(tuple.Int(2))
+		default:
+			ss.Add(tuple.Int(100 + rng.Int63n(5000)))
+		}
+	}
+	hh := ss.Hitters(0.2)
+	if len(hh) < 2 {
+		t.Fatalf("hitters = %v", hh)
+	}
+	top := map[int64]bool{}
+	for _, h := range hh[:2] {
+		v, _ := h.Val.AsInt()
+		top[v] = true
+	}
+	if !top[1] || !top[2] {
+		t.Errorf("true heavy hitters missing: %v", hh)
+	}
+	if ss.N() != 10000 {
+		t.Errorf("N = %d", ss.N())
+	}
+	// Counts are upper bounds: estimate >= truth for tracked heavies.
+	for _, h := range hh[:2] {
+		if h.Count < 2500 {
+			t.Errorf("heavy hitter underestimated: %v", h)
+		}
+	}
+}
+
+func TestSpaceSavingEviction(t *testing.T) {
+	ss := NewSpaceSaving(2)
+	ss.Add(tuple.Int(1))
+	ss.Add(tuple.Int(2))
+	ss.Add(tuple.Int(3)) // evicts the min, inherits count 1 -> count 2, err 1
+	if len(ss.counters) != 2 {
+		t.Fatalf("counters = %d", len(ss.counters))
+	}
+	found := false
+	for _, c := range ss.counters {
+		if v, _ := c.val.AsInt(); v == 3 {
+			found = true
+			if c.count != 2 || c.err != 1 {
+				t.Errorf("evict-insert counter = %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Error("new value not tracked after eviction")
+	}
+}
+
+func TestMemSizesPositive(t *testing.T) {
+	structs := []interface{ MemSize() int }{
+		NewReservoir(8, 1), NewHistogram(0, 1, 8), NewCountMin(0.1, 0.1),
+		NewAMS(8), NewFM(8), NewExpHistogram(100, 4), NewGK(0.1), NewSpaceSaving(8),
+	}
+	for i, s := range structs {
+		if s.MemSize() <= 0 {
+			t.Errorf("struct %d MemSize = %d", i, s.MemSize())
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package tuple
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestValueAccessorFailures(t *testing.T) {
+	if _, ok := Null.AsInt(); ok {
+		t.Error("Null.AsInt ok")
+	}
+	if _, ok := String("x").AsUint(); ok {
+		t.Error("String.AsUint ok")
+	}
+	if _, ok := Float(-1).AsUint(); ok {
+		t.Error("negative Float.AsUint ok")
+	}
+	if u, ok := Float(3.9).AsUint(); !ok || u != 3 {
+		t.Errorf("Float(3.9).AsUint = %d, %v", u, ok)
+	}
+	if _, ok := String("x").AsFloat(); ok {
+		t.Error("String.AsFloat ok")
+	}
+	if _, ok := Int(1).AsString(); ok {
+		t.Error("Int.AsString ok")
+	}
+	if _, ok := Int(1).AsBool(); ok {
+		t.Error("Int.AsBool ok")
+	}
+	if f, ok := Bool(true).AsFloat(); !ok || f != 1 {
+		t.Errorf("Bool.AsFloat = %v, %v", f, ok)
+	}
+	if u, ok := Int(5).AsUint(); !ok || u != 5 {
+		t.Errorf("Int(5).AsUint = %d, %v", u, ok)
+	}
+	if n, ok := Bool(true).AsInt(); !ok || n != 1 {
+		t.Errorf("Bool.AsInt = %d, %v", n, ok)
+	}
+}
+
+func TestRawStrFlTimeOf(t *testing.T) {
+	v := Uint(42)
+	if v.Raw() != 42 {
+		t.Error("Raw broken")
+	}
+	if String("hi").Str() != "hi" {
+		t.Error("Str broken")
+	}
+	if Float(2.5).Fl() != 2.5 {
+		t.Error("Fl broken")
+	}
+	now := time.Unix(100, 5)
+	tv := TimeOf(now)
+	if ns, _ := tv.AsTime(); ns != now.UnixNano() {
+		t.Error("TimeOf broken")
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull broken")
+	}
+}
+
+func TestValueStringAllKinds(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":    Null,
+		"-3":      Int(-3),
+		"7":       Uint(7),
+		"1.25":    Float(1.25),
+		"s":       String("s"),
+		"true":    Bool(true),
+		"false":   Bool(false),
+		"1.2.3.4": IP(0x01020304),
+		"99":      Time(99),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", v.Kind, got, want)
+		}
+	}
+	if got := (Value{Kind: Kind(200)}).String(); got != "?" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+	if got := Kind(200).String(); got != "Kind(200)" {
+		t.Errorf("unknown Kind.String = %q", got)
+	}
+}
+
+func TestCompareMixedKindsTotalOrder(t *testing.T) {
+	// Non-numeric different kinds order by kind for a stable total order.
+	s, b := String("z"), Bool(true)
+	if s.Compare(b) != -s.Compare(b)*-1 { // trivially true; ensure no panic
+		t.Error("unreachable")
+	}
+	if s.Compare(b) == 0 || s.Compare(b) != -b.Compare(s) {
+		t.Errorf("cross-kind compare not antisymmetric: %d vs %d", s.Compare(b), b.Compare(s))
+	}
+	// NaN-free float/int mixed comparisons.
+	if Float(1.5).Compare(Int(1)) != 1 || Int(1).Compare(Float(1.5)) != -1 {
+		t.Error("mixed numeric compare broken")
+	}
+	if Float(2).Compare(Int(2)) != 0 {
+		t.Error("equal mixed compare broken")
+	}
+	// Equal same-kind strings and bools.
+	if String("a").Compare(String("a")) != 0 || Bool(true).Compare(Bool(true)) != 0 {
+		t.Error("same-kind equality compare broken")
+	}
+}
+
+func TestHashKinds(t *testing.T) {
+	// Distinct values should (overwhelmingly) hash distinctly.
+	vals := []Value{
+		Null, Int(1), Int(2), Uint(3), Float(1.5), Float(2.5),
+		String("a"), String("b"), Bool(true), Bool(false), IP(1), Time(2),
+	}
+	seen := map[uint64][]Value{}
+	for _, v := range vals {
+		seen[v.Hash()] = append(seen[v.Hash()], v)
+	}
+	for h, group := range seen {
+		distinct := false
+		for _, v := range group[1:] {
+			if !v.Equal(group[0]) {
+				distinct = true
+			}
+		}
+		// Int(1)/Time... Time(2) vs Int(2) hash identically by design
+		// (numeric equality), so only flag non-numeric collisions.
+		if distinct && group[0].Kind == KindString {
+			t.Errorf("string hash collision at %d: %v", h, group)
+		}
+	}
+	// Huge float does not panic and hashes by bits.
+	_ = Float(math.MaxFloat64).Hash()
+	_ = Float(math.Inf(1)).Hash()
+	_ = Float(1.5).Hash()
+}
+
+func TestSchemaStringAndOrderingAbsent(t *testing.T) {
+	s := NewSchema("S", Field{Name: "a", Kind: KindInt})
+	if s.OrderingIndex() != -1 {
+		t.Error("phantom ordering attribute")
+	}
+	if s.String() != "S(a INT)" {
+		t.Errorf("String = %q", s.String())
+	}
+	tp := New(5, Int(1))
+	if tp.String() != "(1)@5" {
+		t.Errorf("tuple String = %q", tp.String())
+	}
+}
+
+func TestSchemaPanicsOnTwoOrderings(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("two ordering attributes did not panic")
+		}
+	}()
+	NewSchema("S",
+		Field{Name: "a", Kind: KindTime, Ordering: true},
+		Field{Name: "b", Kind: KindTime, Ordering: true},
+	)
+}

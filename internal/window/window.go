@@ -1,0 +1,273 @@
+// Package window implements the window mechanisms of slides 26-28: the
+// device that "extracts a finite relation from an infinite stream".
+//
+// Three families are provided:
+//
+//   - Spec: the declarative description attached to a stream in a query
+//     ("Traffic [RANGE 60 SECONDS SLIDE 10 SECONDS]").
+//   - Buffer: the physical tuple store used by window joins — insertion
+//     at the tail, invalidation of expired tuples (slide 32).
+//   - Assigner: the mapping tuple -> window instances used by windowed
+//     group-by aggregation; covers sliding, shifting (tumbling) and
+//     agglomerative (landmark) windows (slide 27).
+//
+// Punctuation-based windows (slide 28) are data-dependent and handled by
+// PunctBuffer.
+package window
+
+import (
+	"fmt"
+
+	"streamdb/internal/tuple"
+)
+
+// Kind selects the window family.
+type Kind uint8
+
+// Window kinds. KindTime windows are defined on the ordering attribute;
+// KindRows on tuple counts; KindPunct on punctuation marks (slide 26:
+// "windows based on ordering attributes, on tuple counts, on explicit
+// markers").
+const (
+	KindNone Kind = iota
+	KindTime
+	KindRows
+	KindPunct
+)
+
+// Spec declares a window over a stream.
+type Spec struct {
+	Kind Kind
+	// Range is the window length: timestamp units for KindTime, tuple
+	// count for KindRows.
+	Range int64
+	// Slide is the emission period. Slide == Range gives a shifting
+	// (tumbling) window; Slide < Range a sliding window. Ignored for
+	// KindRows buffers used by joins.
+	Slide int64
+	// Landmark marks an agglomerative window: it grows from the stream
+	// start (or last reset) and Range is ignored (slide 27).
+	Landmark bool
+	// PartitionBy optionally partitions the window by key attributes
+	// before applying Range/Slide ("variants: partitioning tuples in a
+	// window", slide 26).
+	PartitionBy []string
+}
+
+// Time returns a sliding time window spec.
+func Time(rng, slide int64) Spec { return Spec{Kind: KindTime, Range: rng, Slide: slide} }
+
+// Tumbling returns a shifting (tumbling) time window spec.
+func Tumbling(rng int64) Spec { return Spec{Kind: KindTime, Range: rng, Slide: rng} }
+
+// Rows returns a tuple-count window spec.
+func Rows(n int64) Spec { return Spec{Kind: KindRows, Range: n, Slide: 1} }
+
+// Landmark returns an agglomerative window spec that emits every slide.
+func Landmark(slide int64) Spec { return Spec{Kind: KindTime, Slide: slide, Landmark: true} }
+
+// Punctuated returns a punctuation-based window spec.
+func Punctuated() Spec { return Spec{Kind: KindPunct} }
+
+// Validate checks internal consistency.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindNone, KindPunct:
+		return nil
+	case KindTime:
+		if s.Landmark {
+			if s.Slide <= 0 {
+				return fmt.Errorf("window: landmark window needs positive slide")
+			}
+			return nil
+		}
+		if s.Range <= 0 || s.Slide <= 0 {
+			return fmt.Errorf("window: time window needs positive range and slide")
+		}
+		if s.Slide > s.Range {
+			return fmt.Errorf("window: slide %d exceeds range %d (tuples would be dropped)", s.Slide, s.Range)
+		}
+	case KindRows:
+		if s.Range <= 0 {
+			return fmt.Errorf("window: row window needs positive count")
+		}
+	}
+	return nil
+}
+
+// String renders the spec in query syntax.
+func (s Spec) String() string {
+	switch {
+	case s.Kind == KindNone:
+		return "[UNBOUNDED]"
+	case s.Kind == KindPunct:
+		return "[PUNCTUATED]"
+	case s.Kind == KindRows:
+		return fmt.Sprintf("[ROWS %d]", s.Range)
+	case s.Landmark:
+		return fmt.Sprintf("[LANDMARK SLIDE %d]", s.Slide)
+	case s.Slide == s.Range:
+		return fmt.Sprintf("[RANGE %d]", s.Range)
+	default:
+		return fmt.Sprintf("[RANGE %d SLIDE %d]", s.Range, s.Slide)
+	}
+}
+
+// Buffer is the physical window state used by join operators: tuples
+// enter at the tail and are invalidated when out of scope [KNV03]
+// (slide 32: "invalidate all expired tuples in A's window").
+type Buffer interface {
+	// Insert appends a tuple (timestamps must be non-decreasing).
+	Insert(t *tuple.Tuple)
+	// Invalidate drops tuples no longer in scope at time now and
+	// returns how many were dropped.
+	Invalidate(now int64) int
+	// Each visits live tuples oldest-first; return false to stop.
+	Each(f func(*tuple.Tuple) bool)
+	// Len reports the number of live tuples.
+	Len() int
+	// MemSize reports the approximate bytes held.
+	MemSize() int
+}
+
+// NewBuffer builds the buffer matching a spec. Landmark and punctuated
+// specs keep everything until explicitly reset; KindNone is unbounded.
+func NewBuffer(s Spec) Buffer {
+	switch s.Kind {
+	case KindRows:
+		return NewRowBuffer(int(s.Range))
+	case KindTime:
+		if s.Landmark {
+			return NewTimeBuffer(0)
+		}
+		return NewTimeBuffer(s.Range)
+	default:
+		return NewTimeBuffer(0)
+	}
+}
+
+// TimeBuffer holds tuples within Range of the current time. Range 0
+// means unbounded (landmark). Implementation: a growable ring so that
+// both Insert and Invalidate are amortized O(1) — the "lazy
+// invalidation" design the DESIGN.md ablation refers to.
+type TimeBuffer struct {
+	rng   int64
+	ring  []*tuple.Tuple
+	head  int // index of oldest
+	count int
+	bytes int
+}
+
+// NewTimeBuffer builds a time-range buffer.
+func NewTimeBuffer(rng int64) *TimeBuffer {
+	return &TimeBuffer{rng: rng, ring: make([]*tuple.Tuple, 16)}
+}
+
+// Insert implements Buffer.
+func (b *TimeBuffer) Insert(t *tuple.Tuple) {
+	if b.count == len(b.ring) {
+		grown := make([]*tuple.Tuple, 2*len(b.ring))
+		for i := 0; i < b.count; i++ {
+			grown[i] = b.ring[(b.head+i)%len(b.ring)]
+		}
+		b.ring = grown
+		b.head = 0
+	}
+	b.ring[(b.head+b.count)%len(b.ring)] = t
+	b.count++
+	b.bytes += t.MemSize()
+}
+
+// Invalidate implements Buffer: drops tuples with Ts <= now - Range.
+func (b *TimeBuffer) Invalidate(now int64) int {
+	if b.rng <= 0 {
+		return 0
+	}
+	cutoff := now - b.rng
+	dropped := 0
+	for b.count > 0 {
+		old := b.ring[b.head]
+		if old.Ts > cutoff {
+			break
+		}
+		b.bytes -= old.MemSize()
+		b.ring[b.head] = nil
+		b.head = (b.head + 1) % len(b.ring)
+		b.count--
+		dropped++
+	}
+	return dropped
+}
+
+// Each implements Buffer.
+func (b *TimeBuffer) Each(f func(*tuple.Tuple) bool) {
+	for i := 0; i < b.count; i++ {
+		if !f(b.ring[(b.head+i)%len(b.ring)]) {
+			return
+		}
+	}
+}
+
+// Len implements Buffer.
+func (b *TimeBuffer) Len() int { return b.count }
+
+// MemSize implements Buffer.
+func (b *TimeBuffer) MemSize() int { return b.bytes }
+
+// Reset empties the buffer (landmark window reset).
+func (b *TimeBuffer) Reset() {
+	for i := range b.ring {
+		b.ring[i] = nil
+	}
+	b.head, b.count, b.bytes = 0, 0, 0
+}
+
+// RowBuffer keeps the most recent N tuples (count-based window).
+type RowBuffer struct {
+	ring  []*tuple.Tuple
+	head  int
+	count int
+	bytes int
+}
+
+// NewRowBuffer builds an N-row buffer.
+func NewRowBuffer(n int) *RowBuffer {
+	if n <= 0 {
+		n = 1
+	}
+	return &RowBuffer{ring: make([]*tuple.Tuple, n)}
+}
+
+// Insert implements Buffer; inserting into a full buffer evicts the
+// oldest tuple.
+func (b *RowBuffer) Insert(t *tuple.Tuple) {
+	if b.count == len(b.ring) {
+		old := b.ring[b.head]
+		b.bytes -= old.MemSize()
+		b.ring[b.head] = t
+		b.head = (b.head + 1) % len(b.ring)
+	} else {
+		b.ring[(b.head+b.count)%len(b.ring)] = t
+		b.count++
+	}
+	b.bytes += t.MemSize()
+}
+
+// Invalidate implements Buffer; row windows expire only by arrival, so
+// this is a no-op returning 0.
+func (b *RowBuffer) Invalidate(int64) int { return 0 }
+
+// Each implements Buffer.
+func (b *RowBuffer) Each(f func(*tuple.Tuple) bool) {
+	for i := 0; i < b.count; i++ {
+		if !f(b.ring[(b.head+i)%len(b.ring)]) {
+			return
+		}
+	}
+}
+
+// Len implements Buffer.
+func (b *RowBuffer) Len() int { return b.count }
+
+// MemSize implements Buffer.
+func (b *RowBuffer) MemSize() int { return b.bytes }

@@ -1,0 +1,335 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+func tup(ts int64) *tuple.Tuple { return tuple.New(ts, tuple.Time(ts), tuple.Int(ts)) }
+
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{
+		Time(60, 10), Tumbling(60), Rows(100), Landmark(5), Punctuated(), {},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+	}
+	bad := []Spec{
+		Time(0, 10), Time(60, 0), Time(10, 60), Rows(0),
+		{Kind: KindTime, Landmark: true, Slide: 0},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%v validated", s)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	cases := map[string]Spec{
+		"[UNBOUNDED]":         {},
+		"[PUNCTUATED]":        Punctuated(),
+		"[ROWS 5]":            Rows(5),
+		"[RANGE 60]":          Tumbling(60),
+		"[RANGE 60 SLIDE 10]": Time(60, 10),
+		"[LANDMARK SLIDE 9]":  Landmark(9),
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String(%+v) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestTimeBufferExpiry(t *testing.T) {
+	b := NewTimeBuffer(10)
+	for _, ts := range []int64{1, 5, 9, 12} {
+		b.Insert(tup(ts))
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	// At now=12, cutoff is 2: the tuple at ts=1 expires.
+	if d := b.Invalidate(12); d != 1 {
+		t.Errorf("Invalidate(12) dropped %d, want 1", d)
+	}
+	if d := b.Invalidate(22); d != 3 {
+		t.Errorf("Invalidate(22) dropped %d, want 3", d)
+	}
+	if b.Len() != 0 || b.MemSize() != 0 {
+		t.Errorf("Len=%d MemSize=%d after full expiry", b.Len(), b.MemSize())
+	}
+}
+
+func TestTimeBufferUnboundedAndReset(t *testing.T) {
+	b := NewTimeBuffer(0)
+	for i := int64(0); i < 100; i++ {
+		b.Insert(tup(i))
+	}
+	if d := b.Invalidate(1 << 40); d != 0 {
+		t.Errorf("unbounded buffer expired %d tuples", d)
+	}
+	b.Reset()
+	if b.Len() != 0 || b.MemSize() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestTimeBufferRingGrowth(t *testing.T) {
+	b := NewTimeBuffer(1000)
+	// Interleave inserts and expiry so head wraps before growth.
+	for i := int64(0); i < 500; i++ {
+		b.Insert(tup(i))
+		if i%3 == 0 {
+			b.Invalidate(i)
+		}
+	}
+	var prev int64 = -1
+	n := 0
+	b.Each(func(tp *tuple.Tuple) bool {
+		if tp.Ts <= prev {
+			t.Fatalf("out of order after growth: %d <= %d", tp.Ts, prev)
+		}
+		prev = tp.Ts
+		n++
+		return true
+	})
+	if n != b.Len() {
+		t.Errorf("Each visited %d, Len = %d", n, b.Len())
+	}
+}
+
+func TestTimeBufferEachStops(t *testing.T) {
+	b := NewTimeBuffer(0)
+	for i := int64(0); i < 10; i++ {
+		b.Insert(tup(i))
+	}
+	n := 0
+	b.Each(func(*tuple.Tuple) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("Each visited %d after stop", n)
+	}
+}
+
+func TestRowBufferEviction(t *testing.T) {
+	b := NewRowBuffer(3)
+	for i := int64(1); i <= 5; i++ {
+		b.Insert(tup(i))
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	var got []int64
+	b.Each(func(tp *tuple.Tuple) bool { got = append(got, tp.Ts); return true })
+	if len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Errorf("contents = %v, want [3 4 5]", got)
+	}
+	if b.Invalidate(999) != 0 {
+		t.Error("row buffer expired by time")
+	}
+}
+
+func TestRowBufferZeroSize(t *testing.T) {
+	b := NewRowBuffer(0) // clamps to 1
+	b.Insert(tup(1))
+	b.Insert(tup(2))
+	if b.Len() != 1 {
+		t.Errorf("Len = %d, want 1", b.Len())
+	}
+}
+
+func TestBufferInvariantProperty(t *testing.T) {
+	// Property: after any sequence of inserts with monotone timestamps
+	// and an Invalidate(now), every remaining tuple satisfies
+	// ts > now - range, and the dropped count is exact.
+	f := func(raw []uint8, rng uint8) bool {
+		r := int64(rng%50) + 1
+		b := NewTimeBuffer(r)
+		ts := int64(0)
+		for _, d := range raw {
+			ts += int64(d % 7)
+			b.Insert(tup(ts))
+		}
+		total := b.Len()
+		dropped := b.Invalidate(ts)
+		ok := true
+		live := 0
+		b.Each(func(tp *tuple.Tuple) bool {
+			if tp.Ts <= ts-r {
+				ok = false
+			}
+			live++
+			return true
+		})
+		return ok && dropped+live == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignerTumbling(t *testing.T) {
+	a := NewAssigner(Tumbling(60))
+	ids := a.Assign(125)
+	if len(ids) != 1 || ids[0] != (ID{Start: 120, End: 180}) {
+		t.Errorf("Assign(125) = %v", ids)
+	}
+	if c := a.Closed(180); c != 180 {
+		t.Errorf("Closed(180) = %d", c)
+	}
+}
+
+func TestAssignerSliding(t *testing.T) {
+	a := NewAssigner(Time(60, 20))
+	ids := a.Assign(70)
+	// Windows covering 70: [60,120), [40,100), [20,80).
+	want := []ID{{60, 120}, {40, 100}, {20, 80}}
+	if len(ids) != len(want) {
+		t.Fatalf("Assign(70) = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("ids[%d] = %v, want %v", i, ids[i], want[i])
+		}
+	}
+	// Early tuples must not be assigned to negative-start windows.
+	ids = a.Assign(10)
+	for _, id := range ids {
+		if id.Start < 0 {
+			t.Errorf("negative window start %v", id)
+		}
+	}
+}
+
+func TestAssignerLandmark(t *testing.T) {
+	a := NewAssigner(Landmark(30))
+	ids := a.Assign(95)
+	if len(ids) != 1 || ids[0].Start != 0 || ids[0].End != 120 {
+		t.Errorf("Assign(95) = %v", ids)
+	}
+}
+
+func TestAssignerSlidingCoverageProperty(t *testing.T) {
+	// Every assigned window contains ts; the count is ceil(range/slide)
+	// except near stream start.
+	f := func(tsRaw uint32, rngRaw, slideRaw uint8) bool {
+		slide := int64(slideRaw%20) + 1
+		rng := slide * (int64(rngRaw%5) + 1)
+		ts := int64(tsRaw % 100000)
+		a := NewAssigner(Time(rng, slide))
+		ids := a.Assign(ts)
+		if len(ids) == 0 {
+			return false
+		}
+		for _, id := range ids {
+			if ts < id.Start || ts >= id.End || id.Start < 0 || id.End-id.Start != rng {
+				return false
+			}
+		}
+		if ts >= rng && int64(len(ids)) != rng/slide {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPunctBuffer(t *testing.T) {
+	p := NewPunctBuffer()
+	mk := func(ts, auction int64) *tuple.Tuple {
+		return tuple.New(ts, tuple.Time(ts), tuple.Int(auction))
+	}
+	p.Insert(mk(1, 7))
+	p.Insert(mk(2, 8))
+	p.Insert(mk(3, 7))
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	closed := p.Close(stream.EndGroupPunct(4, 1, tuple.Int(7)))
+	if len(closed) != 2 {
+		t.Fatalf("closed = %d tuples, want 2", len(closed))
+	}
+	if p.Len() != 1 {
+		t.Errorf("pending = %d, want 1", p.Len())
+	}
+	if p.MemSize() <= 0 {
+		t.Error("MemSize <= 0 with pending tuple")
+	}
+	rest := p.Close(stream.EndGroupPunct(5, 1, tuple.Int(8)))
+	if len(rest) != 1 || p.Len() != 0 || p.MemSize() != 0 {
+		t.Errorf("final close: %d closed, %d pending, %d bytes", len(rest), p.Len(), p.MemSize())
+	}
+}
+
+func TestPartitionedBuffer(t *testing.T) {
+	mk := func(ts, key int64) *tuple.Tuple {
+		return tuple.New(ts, tuple.Time(ts), tuple.Int(key))
+	}
+	p := NewPartitioned([]int{1}, func() Buffer { return NewRowBuffer(2) })
+	// Three keys, enough inserts that per-key eviction kicks in.
+	for i := int64(0); i < 12; i++ {
+		p.Insert(mk(i, i%3))
+	}
+	if p.Partitions() != 3 {
+		t.Fatalf("Partitions = %d", p.Partitions())
+	}
+	if p.Len() != 6 { // 2 rows per key
+		t.Errorf("Len = %d, want 6", p.Len())
+	}
+	n := 0
+	p.EachInPartition(mk(99, 1), func(tp *tuple.Tuple) bool {
+		if v, _ := tp.Vals[1].AsInt(); v != 1 {
+			t.Errorf("foreign tuple in partition: %v", tp)
+		}
+		n++
+		return true
+	})
+	if n != 2 {
+		t.Errorf("partition visit count = %d", n)
+	}
+	total := 0
+	p.Each(func(*tuple.Tuple) bool { total++; return true })
+	if total != 6 {
+		t.Errorf("Each visited %d", total)
+	}
+	if p.MemSize() <= 0 {
+		t.Error("MemSize <= 0")
+	}
+}
+
+func TestPartitionedInvalidatePrunes(t *testing.T) {
+	p := NewPartitioned([]int{1}, func() Buffer { return NewTimeBuffer(10) })
+	mk := func(ts, key int64) *tuple.Tuple {
+		return tuple.New(ts, tuple.Time(ts), tuple.Int(key))
+	}
+	p.Insert(mk(1, 1))
+	p.Insert(mk(2, 2))
+	p.Insert(mk(50, 2))
+	if d := p.Invalidate(50); d != 2 {
+		t.Errorf("Invalidate dropped %d, want 2", d)
+	}
+	if p.Partitions() != 1 {
+		t.Errorf("Partitions = %d after prune, want 1", p.Partitions())
+	}
+}
+
+func TestNewBufferDispatch(t *testing.T) {
+	if _, ok := NewBuffer(Rows(5)).(*RowBuffer); !ok {
+		t.Error("Rows spec did not build RowBuffer")
+	}
+	if _, ok := NewBuffer(Time(60, 60)).(*TimeBuffer); !ok {
+		t.Error("Time spec did not build TimeBuffer")
+	}
+	b := NewBuffer(Spec{Kind: KindTime, Landmark: true, Slide: 10})
+	b.Insert(tup(1))
+	if b.Invalidate(1<<40) != 0 {
+		t.Error("landmark buffer expired tuples")
+	}
+}

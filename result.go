@@ -1,0 +1,49 @@
+package streamdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a result as an ASCII table, the output shape of
+// cmd/gsql and cmd/experiments.
+func (r *Result) Format() string {
+	headers := make([]string, r.Schema.Arity())
+	widths := make([]int, r.Schema.Arity())
+	for i, f := range r.Schema.Fields {
+		headers[i] = f.Name
+		widths[i] = len(f.Name)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row.Vals))
+		for ci, v := range row.Vals {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(r.Rows))
+	return b.String()
+}

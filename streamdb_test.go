@@ -1,0 +1,123 @@
+package streamdb
+
+import (
+	"strings"
+	"testing"
+)
+
+func trafficSchema() *Schema {
+	return NewSchema("Traffic",
+		Field{Name: "time", Kind: KindTime, Ordering: true},
+		Field{Name: "srcIP", Kind: KindIP},
+		Field{Name: "length", Kind: KindUint},
+	)
+}
+
+func engineWithData(t *testing.T) *Engine {
+	t.Helper()
+	eng := New()
+	sch := trafficSchema()
+	eng.RegisterSchema("Traffic", sch)
+	var rows []*Tuple
+	for i := int64(0); i < 100; i++ {
+		rows = append(rows, NewTuple(i*Second,
+			Time(i*Second), IP(uint32(i%4)), Uint(uint64(100+i*10))))
+	}
+	if err := eng.SetSource("Traffic", FromTuples(sch, rows...)); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestEngineSelect(t *testing.T) {
+	eng := engineWithData(t)
+	res, err := eng.Query("select srcIP, length from Traffic where length > 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 { // lengths 1010..1090
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	if res.Schema.Fields[0].Name != "srcIP" {
+		t.Errorf("schema = %s", res.Schema)
+	}
+}
+
+func TestEngineAggregate(t *testing.T) {
+	eng := engineWithData(t)
+	res, err := eng.Query(
+		"select srcIP, count(*) as cnt from Traffic [range 100] group by srcIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if c, _ := r.Vals[1].AsInt(); c != 25 {
+			t.Errorf("count = %d, want 25", c)
+		}
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	eng := New()
+	if err := eng.SetSource("Nope", nil); err == nil {
+		t.Error("unregistered stream accepted")
+	}
+	if _, err := eng.Query("select * from Nowhere"); err == nil {
+		t.Error("unknown stream accepted")
+	}
+	if _, err := eng.Compile("not sql"); err == nil {
+		t.Error("garbage accepted")
+	}
+	eng.RegisterSchema("T", trafficSchema())
+	if _, err := eng.Query("select * from T"); err == nil {
+		t.Error("query without source accepted")
+	}
+}
+
+func TestEngineQueryInto(t *testing.T) {
+	eng := engineWithData(t)
+	n := 0
+	plan, err := eng.QueryInto("select * from Traffic", 10, func(*Tuple) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("sink received %d", n)
+	}
+	if plan == nil || plan.OutSchema == nil {
+		t.Error("plan missing")
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	eng := engineWithData(t)
+	res, err := eng.Query("select srcIP, length from Traffic where length = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Format()
+	if !strings.Contains(out, "srcIP") || !strings.Contains(out, "(1 rows)") {
+		t.Errorf("format output:\n%s", out)
+	}
+	if !strings.Contains(out, "0.0.0.0") {
+		t.Errorf("IP not rendered:\n%s", out)
+	}
+}
+
+func TestCompileExposesAnalysis(t *testing.T) {
+	eng := New()
+	eng.RegisterSchema("Traffic", trafficSchema())
+	plan, err := eng.Compile("select length, count(*) from Traffic [range 60] where length > 512 group by length")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Bounded.OK {
+		t.Error("unbounded grouping judged bounded")
+	}
+	if !strings.Contains(plan.Explain(), "bounded-memory: false") {
+		t.Errorf("explain:\n%s", plan.Explain())
+	}
+}
