@@ -176,6 +176,21 @@ func BenchmarkE16EddyAdaptivity(b *testing.B) {
 	b.ReportMetric(parseMetric(tb, 3, 2), "fixedEvalsPerTuple_phase2")
 }
 
+func BenchmarkE17FaultTolerance(b *testing.B) {
+	var tb *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tb = experiments.E17FaultTolerance(benchScale)
+	}
+	// Recovery latency at the 5% drop-rate row (ms); exactness is
+	// asserted by the chaos tests.
+	row := len(tb.Rows) - 2
+	s := strings.TrimSuffix(tb.Rows[row][5], "ms")
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		b.ReportMetric(f, "recovery_ms_at_5pct")
+	}
+	b.ReportMetric(parseMetric(tb, row, 2), "reconnects_at_5pct")
+}
+
 // Micro-benchmarks for the engine's hot paths.
 
 func BenchmarkQueryFilterThroughput(b *testing.B) {

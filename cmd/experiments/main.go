@@ -53,6 +53,7 @@ func main() {
 		{"E14", func() *experiments.Table { return experiments.E14MultiQuerySharing(s) }},
 		{"E15", func() *experiments.Table { return experiments.E15DistributedFilters(s) }},
 		{"E16", func() *experiments.Table { return experiments.E16EddyAdaptivity(s) }},
+		{"E17", func() *experiments.Table { return experiments.E17FaultTolerance(s) }},
 	}
 
 	want := map[string]bool{}

@@ -5,15 +5,22 @@
 // traffic, runs the decomposed filter + bounded partial aggregation,
 // and ships the reduced stream upward.
 //
+// The uplink is the fault-tolerant session transport (DESIGN.md
+// "Fault tolerance"): low-level nodes ride out connection loss by
+// reconnecting with exponential backoff and resuming from the last
+// acknowledged sequence number, and the high level dedupes, so a
+// dropped TCP connection costs retransmission instead of killing the
+// standing query.
+//
 // Demo (one process per node):
 //
 //	streamd -mode high -listen :7070 -nodes 2
 //	streamd -mode low  -connect localhost:7070 -n 200000 -seed 1
 //	streamd -mode low  -connect localhost:7070 -n 200000 -seed 2
 //
-// Or everything in-process:
+// Or everything in-process, with injected faults to watch recovery:
 //
-//	streamd -mode demo -nodes 3 -n 100000
+//	streamd -mode demo -nodes 3 -n 100000 -faultrate 0.05
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"time"
 
 	"streamdb/internal/dsms"
 	"streamdb/internal/query"
@@ -32,6 +40,10 @@ import (
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "streamd: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+func logf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "streamd: "+format+"\n", args...)
 }
 
 // decomposeSQL is the standing query both levels agree on, decomposed
@@ -50,38 +62,92 @@ func decomposition() *dsms.Decomposition {
 	return d
 }
 
-func runLow(d *dsms.Decomposition, conn net.Conn, n int, seed int64) (raw, partials int64) {
-	w := dsms.NewWriter(conn)
+// lowConfig carries the uplink tuning flags shared by low and demo
+// modes.
+type lowConfig struct {
+	addr      string
+	retry     int           // max attempts per dial / send round
+	timeout   time.Duration // per-frame I/O deadline
+	faultRate float64       // injected drop rate (demo chaos)
+}
+
+// runLow runs one observation point: raw traffic through the
+// decomposed low-level plan, partials shipped over a ReconnectWriter.
+// Transient uplink errors are retried inside the writer; only
+// exhausting every attempt surfaces as an error here.
+func runLow(d *dsms.Decomposition, cfg lowConfig, n int, seed int64) (raw, partials int64, st dsms.ReconnectStats, err error) {
+	dials := 0
+	w, err := dsms.NewReconnectWriter(dsms.ReconnectConfig{
+		StreamID: fmt.Sprintf("low-%d", seed),
+		Dial: func() (net.Conn, error) {
+			c, err := net.Dial("tcp", cfg.addr)
+			if err != nil || cfg.faultRate == 0 {
+				return c, err
+			}
+			dials++
+			return dsms.InjectFaults(c, dsms.FaultConfig{
+				Seed:        seed*10000 + int64(dials),
+				DropRate:    cfg.faultRate,
+				PartialRate: cfg.faultRate / 4,
+				CorruptRate: cfg.faultRate / 4,
+			}), nil
+		},
+		MaxAttempts: cfg.retry,
+		Timeout:     cfg.timeout,
+		Seed:        seed,
+	})
+	if err != nil {
+		return 0, 0, st, err
+	}
 	ll, err := d.NewLowLevel("lfta")
 	if err != nil {
-		fatalf("%v", err)
+		return 0, 0, st, err
 	}
+	var sendErr error
 	emit := func(e stream.Element) {
-		if err := w.Send(e.Tuple); err != nil {
-			fatalf("send: %v", err)
+		if sendErr == nil {
+			sendErr = w.Send(e.Tuple)
 		}
 	}
 	src := stream.Limit(stream.NewTrafficStream(seed, 100000, 5000), n)
 	for {
 		e, ok := src.Next()
-		if !ok {
+		if !ok || sendErr != nil {
 			break
 		}
 		ll.Push(e, emit)
 	}
-	ll.Flush(emit)
-	if err := w.Close(); err != nil {
-		fatalf("close: %v", err)
+	if sendErr == nil {
+		ll.Flush(emit)
 	}
-	return ll.RawIn, ll.PartialsOut
+	if sendErr != nil {
+		w.Close()
+		return ll.RawIn, ll.PartialsOut, w.Stats(), fmt.Errorf("send: %w", sendErr)
+	}
+	if err := w.Close(); err != nil {
+		return ll.RawIn, ll.PartialsOut, w.Stats(), fmt.Errorf("close: %w", err)
+	}
+	return ll.RawIn, ll.PartialsOut, w.Stats(), nil
 }
 
-func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int) {
+func reportLow(seed int64, raw, partials int64, st dsms.ReconnectStats) {
+	fmt.Printf("low-level node %d: %d raw -> %d partials (%.1fx reduction)\n",
+		seed, raw, partials, float64(raw)/float64(partials))
+	if st.Reconnects > 0 {
+		fmt.Printf("low-level node %d: %d reconnects, %d frames resent, mean recovery %.1fms\n",
+			seed, st.Reconnects, st.Resent,
+			float64(st.RecoveryNanos)/float64(st.Reconnects)/1e6)
+	}
+}
+
+// runHigh runs the merge point: a SessionServer that dedupes resumed
+// streams feeds the high-level merge plan. Session churn (connects,
+// resumes, dead peers) is logged to stderr as it happens.
+func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int, idle time.Duration) {
 	high, err := d.NewHighLevel("hfta")
 	if err != nil {
 		fatalf("%v", err)
 	}
-	var mu sync.Mutex
 	var finals int64
 	emit := func(e stream.Element) {
 		finals++
@@ -93,36 +159,27 @@ func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int) {
 		fmt.Printf("minute %4d  src %-15s  pkts %6d  bytes %12.0f\n",
 			bucket/(60*stream.Second), tuple.FormatIPv4(uint32(ip)), pkts, bytes)
 	}
-	var wg sync.WaitGroup
+	srv := dsms.NewSessionServer(ln, d.PartialSchema(), dsms.SessionConfig{
+		IdleTimeout: idle,
+		Logf:        logf,
+	})
+	var mu sync.Mutex
 	var received int64
-	for i := 0; i < nodes; i++ {
-		conn, err := ln.Accept()
-		if err != nil {
-			fatalf("accept: %v", err)
-		}
-		wg.Add(1)
-		go func(conn net.Conn) {
-			defer wg.Done()
-			r := dsms.NewReader(conn, d.PartialSchema())
-			for {
-				e, ok := r.Next()
-				if !ok {
-					if r.Err != nil {
-						fmt.Fprintln(os.Stderr, "streamd: reader:", r.Err)
-					}
-					return
-				}
-				mu.Lock()
-				received++
-				high.Push(0, e, emit)
-				mu.Unlock()
-			}
-		}(conn)
+	err = srv.Serve(nodes, func(_ string, tp *tuple.Tuple) {
+		mu.Lock()
+		received++
+		high.Push(0, stream.Tup(tp), emit)
+		mu.Unlock()
+	})
+	if err != nil {
+		fatalf("serve: %v", err)
 	}
-	wg.Wait()
 	high.Push(0, stream.Punct(&stream.Punctuation{Ts: 1 << 62}), emit)
 	high.Flush(emit)
+	st := srv.Stats()
 	fmt.Printf("high-level: %d partial records merged into %d final rows\n", received, finals)
+	fmt.Printf("high-level: %d sessions, %d resumes, %d duplicate frames discarded, %d corrupt frames rejected\n",
+		st.Sessions, st.Reconnects, st.Dupes, st.Corrupt)
 }
 
 func main() {
@@ -132,6 +189,9 @@ func main() {
 	nodes := flag.Int("nodes", 2, "high/demo: number of low-level nodes")
 	n := flag.Int("n", 100000, "low/demo: packets per low-level node")
 	seed := flag.Int64("seed", 1, "low: generator seed")
+	retry := flag.Int("retry", 8, "low/demo: max reconnect/send attempts before giving up")
+	timeout := flag.Duration("timeout", 5*time.Second, "low/demo: per-frame I/O deadline; high: 2x this is the idle timeout")
+	faultRate := flag.Float64("faultrate", 0, "demo: injected connection-drop rate per write (chaos)")
 	flag.Parse()
 
 	d := decomposition()
@@ -143,15 +203,14 @@ func main() {
 		}
 		defer ln.Close()
 		fmt.Printf("high-level node on %s, awaiting %d low-level nodes\n", ln.Addr(), *nodes)
-		runHigh(d, ln, *nodes)
+		runHigh(d, ln, *nodes, 2**timeout)
 	case "low":
-		conn, err := net.Dial("tcp", *connect)
+		cfg := lowConfig{addr: *connect, retry: *retry, timeout: *timeout}
+		raw, partials, st, err := runLow(d, cfg, *n, *seed)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		raw, partials := runLow(d, conn, *n, *seed)
-		fmt.Printf("low-level node: %d raw -> %d partials (%.1fx reduction)\n",
-			raw, partials, float64(raw)/float64(partials))
+		reportLow(*seed, raw, partials, st)
 	case "demo":
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -163,16 +222,21 @@ func main() {
 			wg.Add(1)
 			go func(seed int64) {
 				defer wg.Done()
-				conn, err := net.Dial("tcp", ln.Addr().String())
-				if err != nil {
-					fatalf("%v", err)
+				cfg := lowConfig{
+					addr:      ln.Addr().String(),
+					retry:     *retry,
+					timeout:   *timeout,
+					faultRate: *faultRate,
 				}
-				raw, partials := runLow(d, conn, *n, seed)
-				fmt.Printf("low-level node %d: %d raw -> %d partials (%.1fx reduction)\n",
-					seed, raw, partials, float64(raw)/float64(partials))
+				raw, partials, st, err := runLow(d, cfg, *n, seed)
+				if err != nil {
+					logf("low-level node %d: %v", seed, err)
+					return
+				}
+				reportLow(seed, raw, partials, st)
 			}(int64(i + 1))
 		}
-		runHigh(d, ln, *nodes)
+		runHigh(d, ln, *nodes, 2**timeout)
 		wg.Wait()
 	default:
 		fatalf("unknown mode %q", *mode)

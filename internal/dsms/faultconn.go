@@ -1,0 +1,107 @@
+package dsms
+
+// Deterministic fault injection for the session protocol. The chaos
+// wrapper sits between the client's framing layer and the real
+// net.Conn, so the retry/resume path is exercised under test instead of
+// trusted. All faults are driven by a seeded PRNG over the write path
+// (the unreliable uplink of the 3-level architecture); the same seed
+// and write sequence reproduces the same fault schedule.
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// FaultConfig selects which faults to inject and how often. Rates are
+// per-Write probabilities in [0, 1]; checks are applied in the order
+// stall, corrupt, partial, drop.
+type FaultConfig struct {
+	Seed int64
+	// DropRate cuts the connection (the write fails, the socket
+	// closes, both directions die).
+	DropRate float64
+	// PartialRate writes a random prefix of the buffer, then cuts the
+	// connection — a mid-frame (even mid-tuple) loss.
+	PartialRate float64
+	// CorruptRate flips one random byte of the written data.
+	CorruptRate float64
+	// StallRate sleeps Stall before the write (a write stall long
+	// enough trips the sender's write deadline).
+	StallRate float64
+	Stall     time.Duration
+}
+
+// FaultStats counts injected faults.
+type FaultStats struct {
+	Writes   int64
+	Drops    int64
+	Partials int64
+	Corrupts int64
+	Stalls   int64
+}
+
+// FaultConn wraps a net.Conn, injecting deterministic faults on Write.
+// Reads pass through (a cut connection fails both directions).
+type FaultConn struct {
+	net.Conn
+	cfg FaultConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	dropped bool
+	stats   FaultStats
+}
+
+// InjectFaults wraps conn with the given fault schedule.
+func InjectFaults(conn net.Conn, cfg FaultConfig) *FaultConn {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &FaultConn{Conn: conn, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *FaultConn) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Write implements net.Conn with fault injection.
+func (f *FaultConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dropped {
+		return 0, syscall.EPIPE
+	}
+	f.stats.Writes++
+	if f.cfg.StallRate > 0 && f.rng.Float64() < f.cfg.StallRate {
+		f.stats.Stalls++
+		time.Sleep(f.cfg.Stall)
+	}
+	if f.cfg.CorruptRate > 0 && f.rng.Float64() < f.cfg.CorruptRate && len(b) > 0 {
+		f.stats.Corrupts++
+		corrupted := make([]byte, len(b))
+		copy(corrupted, b)
+		corrupted[f.rng.Intn(len(corrupted))] ^= 0xA5
+		b = corrupted
+	}
+	if f.cfg.PartialRate > 0 && f.rng.Float64() < f.cfg.PartialRate && len(b) > 1 {
+		f.stats.Partials++
+		n, _ := f.Conn.Write(b[:1+f.rng.Intn(len(b)-1)])
+		f.dropped = true
+		f.Conn.Close()
+		return n, syscall.ECONNRESET
+	}
+	if f.cfg.DropRate > 0 && f.rng.Float64() < f.cfg.DropRate {
+		f.stats.Drops++
+		f.dropped = true
+		f.Conn.Close()
+		return 0, syscall.ECONNRESET
+	}
+	return f.Conn.Write(b)
+}

@@ -1,0 +1,392 @@
+package dsms
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"streamdb/internal/tuple"
+)
+
+// ErrWriterClosed is returned by Send after Close.
+var ErrWriterClosed = errors.New("dsms: writer closed")
+
+// ReconnectConfig tunes the client side of the session protocol.
+type ReconnectConfig struct {
+	// StreamID names this stream to the server; reconnects under the
+	// same ID resume the same session. Required.
+	StreamID string
+	// Dial opens a connection to the high-level node. Required.
+	Dial func() (net.Conn, error)
+	// MaxAttempts bounds consecutive failed connection attempts (and
+	// reconnect-retry rounds per operation) before Send/Flush/Close
+	// give up. 0 = default 8.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay; it doubles per attempt up
+	// to MaxBackoff, with ±50% jitter. Defaults 10ms / 1s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Timeout is the per-operation write/read deadline. 0 = default 5s.
+	Timeout time.Duration
+	// AckEvery is the sync cadence: after this many sends the writer
+	// flushes, heartbeats, and waits for a cumulative ack — which makes
+	// it the bound on the in-memory replay buffer. 0 = default 64.
+	AckEvery int
+	// Seed drives the backoff jitter (deterministic tests). 0 = 1.
+	Seed int64
+}
+
+func (c *ReconnectConfig) fill() ReconnectConfig {
+	out := *c
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 8
+	}
+	if out.BaseBackoff <= 0 {
+		out.BaseBackoff = 10 * time.Millisecond
+	}
+	if out.MaxBackoff <= 0 {
+		out.MaxBackoff = time.Second
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 5 * time.Second
+	}
+	if out.AckEvery <= 0 {
+		out.AckEvery = 64
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// ReconnectStats counts the client's protocol activity.
+type ReconnectStats struct {
+	Sent        int64 // distinct tuples accepted by Send
+	Resent      int64 // replayed frames after reconnects
+	Reconnects  int64 // successful re-dials after a failure
+	Syncs       int64 // heartbeat/ack round trips
+	MaxBuffered int   // high-water mark of the replay buffer
+	// RecoveryNanos accumulates time from a detected connection
+	// failure to the completed resume handshake; divide by Reconnects
+	// for mean recovery latency.
+	RecoveryNanos int64
+}
+
+type pendingFrame struct {
+	seq     uint64
+	payload []byte
+}
+
+// ReconnectWriter is a fault-tolerant replacement for Writer: it ships
+// tuples under the session protocol, rides out connection loss with
+// dial retry + exponential backoff + jitter, bounds every network
+// operation with a deadline, and keeps unacknowledged frames in a
+// bounded replay buffer keyed by sequence number so that after the
+// resume handshake the server sees each tuple exactly once.
+//
+// It is safe for concurrent use; sequence numbers are assigned under
+// the writer's lock in Send order.
+type ReconnectWriter struct {
+	cfg ReconnectConfig
+
+	mu            sync.Mutex
+	rng           *rand.Rand
+	conn          net.Conn
+	bw            *bufio.Writer
+	br            *bufio.Reader
+	nextSeq       uint64
+	buffer        []pendingFrame // unacked frames, ascending seq
+	sinceSync     int
+	closed        bool
+	everConnected bool
+	failedAt      time.Time // when the current outage began (zero = healthy)
+	stats         ReconnectStats
+}
+
+// NewReconnectWriter builds a writer; the first connection is dialed
+// lazily on the first Send.
+func NewReconnectWriter(cfg ReconnectConfig) (*ReconnectWriter, error) {
+	if cfg.StreamID == "" {
+		return nil, errors.New("dsms: ReconnectConfig.StreamID required")
+	}
+	if cfg.Dial == nil {
+		return nil, errors.New("dsms: ReconnectConfig.Dial required")
+	}
+	f := cfg.fill()
+	return &ReconnectWriter{cfg: f, rng: rand.New(rand.NewSource(f.Seed))}, nil
+}
+
+// Stats returns a snapshot of the client counters.
+func (w *ReconnectWriter) Stats() ReconnectStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Buffered reports unacknowledged frames currently held for replay.
+func (w *ReconnectWriter) Buffered() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buffer)
+}
+
+// Send transmits one tuple, transparently reconnecting and replaying on
+// failure. It returns an error only when connection attempts are
+// exhausted (the link is down for good) or the writer is closed.
+func (w *ReconnectWriter) Send(t *tuple.Tuple) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWriterClosed
+	}
+	w.nextSeq++
+	seq := w.nextSeq
+	payload := tuple.AppendEncode(nil, t)
+	w.buffer = append(w.buffer, pendingFrame{seq: seq, payload: payload})
+	if n := len(w.buffer); n > w.stats.MaxBuffered {
+		w.stats.MaxBuffered = n
+	}
+	w.stats.Sent++
+	if w.conn == nil {
+		// connectLocked replays the whole buffer, including this frame.
+		if err := w.connectLocked(); err != nil {
+			return err
+		}
+	} else if err := w.writeDataLocked(seq, payload); err != nil {
+		// The frame stays in the replay buffer; the reconnect replays
+		// it (and everything else unacknowledged) before returning.
+		w.failLocked()
+		if err := w.connectLocked(); err != nil {
+			return err
+		}
+	}
+	w.sinceSync++
+	if w.sinceSync >= w.cfg.AckEvery {
+		return w.withRetryLocked("sync", w.syncOnceLocked)
+	}
+	return nil
+}
+
+// Flush pushes buffered frames to the wire and waits for the server to
+// acknowledge everything sent so far.
+func (w *ReconnectWriter) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWriterClosed
+	}
+	if w.conn == nil && len(w.buffer) == 0 && !w.everConnected {
+		return nil
+	}
+	return w.withRetryLocked("flush", w.syncOnceLocked)
+}
+
+// Close completes the stream: it delivers any unacknowledged frames,
+// performs the EOS handshake (so the server knows the stream is whole),
+// and closes the connection.
+func (w *ReconnectWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWriterClosed
+	}
+	w.closed = true
+	if err := w.withRetryLocked("EOS", w.eosLocked); err != nil {
+		return err
+	}
+	w.conn.Close()
+	w.conn, w.bw, w.br = nil, nil, nil
+	return nil
+}
+
+// withRetryLocked runs op over a healthy connection, reconnecting and
+// retrying on failure. Each round's reconnect is itself bounded by
+// MaxAttempts consecutive dial failures, so a dead link terminates.
+func (w *ReconnectWriter) withRetryLocked(what string, op func() error) error {
+	var lastErr error
+	for round := 0; round < w.cfg.MaxAttempts; round++ {
+		if w.conn == nil {
+			if err := w.connectLocked(); err != nil {
+				return err
+			}
+		}
+		if err := op(); err != nil {
+			lastErr = err
+			w.failLocked()
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("dsms: %s: %s failed after %d rounds: %w",
+		w.cfg.StreamID, what, w.cfg.MaxAttempts, lastErr)
+}
+
+// writeDataLocked writes one DATA frame with a write deadline.
+func (w *ReconnectWriter) writeDataLocked(seq uint64, payload []byte) error {
+	w.conn.SetWriteDeadline(time.Now().Add(w.cfg.Timeout))
+	return writeDataFrame(w.bw, seq, payload)
+}
+
+// syncOnceLocked flushes, heartbeats, and consumes the cumulative ack,
+// trimming the replay buffer.
+func (w *ReconnectWriter) syncOnceLocked() error {
+	w.conn.SetWriteDeadline(time.Now().Add(w.cfg.Timeout))
+	if err := w.bw.WriteByte(frameHeartbeat); err != nil {
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	w.conn.SetReadDeadline(time.Now().Add(w.cfg.Timeout))
+	acked, err := readSeqFrame(w.br, frameAck)
+	if err != nil {
+		return err
+	}
+	w.trimLocked(acked)
+	w.sinceSync = 0
+	w.stats.Syncs++
+	return nil
+}
+
+// eosLocked runs the end-of-stream handshake on the current connection.
+func (w *ReconnectWriter) eosLocked() error {
+	w.conn.SetWriteDeadline(time.Now().Add(w.cfg.Timeout))
+	if err := writeSeqFrame(w.bw, frameEOS, w.nextSeq); err != nil {
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	w.conn.SetReadDeadline(time.Now().Add(w.cfg.Timeout))
+	final, err := readSeqFrame(w.br, frameEOSAck)
+	if err != nil {
+		return err
+	}
+	if final != w.nextSeq {
+		return fmt.Errorf("dsms: EOS acked %d, want %d", final, w.nextSeq)
+	}
+	w.trimLocked(final)
+	return nil
+}
+
+// trimLocked drops replay-buffer frames up to and including seq.
+func (w *ReconnectWriter) trimLocked(seq uint64) {
+	i := 0
+	for i < len(w.buffer) && w.buffer[i].seq <= seq {
+		i++
+	}
+	if i > 0 {
+		w.buffer = append(w.buffer[:0], w.buffer[i:]...)
+	}
+}
+
+// failLocked tears down the current connection and starts the outage
+// clock for recovery-latency accounting.
+func (w *ReconnectWriter) failLocked() {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+	w.bw, w.br = nil, nil
+	if w.failedAt.IsZero() {
+		w.failedAt = time.Now()
+	}
+}
+
+// connectLocked dials with exponential backoff + jitter, performs the
+// HELLO/HELLOACK resume handshake, trims the replay buffer to the
+// server's last applied sequence, and replays the rest.
+func (w *ReconnectWriter) connectLocked() error {
+	resuming := w.everConnected
+	var lastErr error
+	for attempt := 0; attempt < w.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 || !w.failedAt.IsZero() {
+			w.sleepBackoff(attempt)
+		}
+		conn, err := w.cfg.Dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		bw := bufio.NewWriter(conn)
+		br := bufio.NewReader(conn)
+		last, err := handshake(conn, bw, br, w.cfg.StreamID, w.cfg.Timeout)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		w.conn, w.bw, w.br = conn, bw, br
+		w.trimLocked(last)
+		// Replay the unacknowledged tail. A failure here burns the
+		// same attempt budget.
+		if err := w.replayLocked(resuming); err != nil {
+			conn.Close()
+			w.conn, w.bw, w.br = nil, nil, nil
+			lastErr = err
+			continue
+		}
+		if !w.failedAt.IsZero() {
+			w.stats.RecoveryNanos += time.Since(w.failedAt).Nanoseconds()
+			w.failedAt = time.Time{}
+			w.stats.Reconnects++
+		}
+		w.everConnected = true
+		return nil
+	}
+	return fmt.Errorf("dsms: %s: connect failed after %d attempts: %w",
+		w.cfg.StreamID, w.cfg.MaxAttempts, lastErr)
+}
+
+// replayLocked rewrites every buffered frame on the fresh connection.
+func (w *ReconnectWriter) replayLocked(countResent bool) error {
+	for _, f := range w.buffer {
+		if err := w.writeDataLocked(f.seq, f.payload); err != nil {
+			return err
+		}
+		if countResent {
+			w.stats.Resent++
+		}
+	}
+	return nil
+}
+
+// sleepBackoff waits base*2^attempt capped at max, jittered ±50%.
+func (w *ReconnectWriter) sleepBackoff(attempt int) {
+	d := w.cfg.BaseBackoff << uint(attempt)
+	if d > w.cfg.MaxBackoff || d <= 0 {
+		d = w.cfg.MaxBackoff
+	}
+	jitter := 0.5 + w.rng.Float64() // 0.5x .. 1.5x
+	time.Sleep(time.Duration(float64(d) * jitter))
+}
+
+// handshake sends HELLO and returns the server's resume point.
+func handshake(conn net.Conn, bw *bufio.Writer, br *bufio.Reader, id string, timeout time.Duration) (uint64, error) {
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := bw.WriteByte(frameHello); err != nil {
+		return 0, err
+	}
+	if err := writeUvarint(bw, uint64(len(id))); err != nil {
+		return 0, err
+	}
+	if _, err := bw.WriteString(id); err != nil {
+		return 0, err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE([]byte(id)))
+	if _, err := bw.Write(crc[:]); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	return readSeqFrame(br, frameHelloAck)
+}

@@ -1,0 +1,446 @@
+package dsms
+
+// Session protocol (frame format v2) for fault-tolerant distributed
+// evaluation. The v1 transport (transport.go) fail-stops on the first
+// I/O error: one dropped TCP connection kills a standing query. The
+// session layer adds what the 3-level architecture (slides 14, 54-55)
+// needs to survive unreliable links between observation points and the
+// high-level node: per-stream sequence numbers, a resume handshake, and
+// in-band control frames (the punctuation-as-control-signal idea of
+// slide 25 applied to the transport itself).
+//
+// Wire format. Every frame starts with a one-byte type:
+//
+//	client -> server
+//	  'H' HELLO      uvarint len | streamID bytes | crc32(id)  (re)attach stream
+//	  'D' DATA       uvarint seq | uvarint len | payload | crc32(seq,payload)
+//	  'B' HEARTBEAT  (empty)                             liveness + ack request
+//	  'E' EOS        uvarint finalSeq                    end of stream
+//	server -> client
+//	  'h' HELLOACK   uvarint lastSeq                     resume point
+//	  'a' ACK        uvarint lastSeq                     cumulative ack
+//	  'e' EOSACK     uvarint finalSeq                    stream complete
+//
+// The protocol is strictly request/response for control frames (the
+// server only writes when asked), so neither side needs a background
+// reader and socket buffers cannot fill with unread acks. Sequence
+// numbers start at 1 and are contiguous; the server applies frame
+// seq == lastSeq+1, discards seq <= lastSeq as a duplicate (replay
+// after reconnect), and treats a gap or a corrupt frame as a dead
+// connection — the client redials, the HELLOACK tells it the last
+// sequence the server applied, and it resends only the tail. Delivery
+// is exactly-once per stream as long as the client's replay buffer
+// covers the unacknowledged window (it syncs before the bound is hit).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"streamdb/internal/tuple"
+)
+
+// Frame type bytes (v2).
+const (
+	frameHello     = 'H'
+	frameData      = 'D'
+	frameHeartbeat = 'B'
+	frameEOS       = 'E'
+	frameHelloAck  = 'h'
+	frameAck       = 'a'
+	frameEOSAck    = 'e'
+)
+
+// maxStreamID bounds the HELLO identifier so a corrupt length varint
+// cannot trigger a huge allocation.
+const maxStreamID = 256
+
+// maxFramePayload bounds DATA payloads for the same reason.
+const maxFramePayload = 16 << 20
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// dataCRC covers the sequence number and the payload, so corruption
+// anywhere in a DATA frame (type byte aside) is detected.
+func dataCRC(seq uint64, payload []byte) uint32 {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], seq)
+	c := crc32.Update(0, crc32.IEEETable, buf[:n])
+	return crc32.Update(c, crc32.IEEETable, payload)
+}
+
+// writeDataFrame appends one DATA frame to w.
+func writeDataFrame(w *bufio.Writer, seq uint64, payload []byte) error {
+	if err := w.WriteByte(frameData); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, seq); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(len(payload))); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], dataCRC(seq, payload))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// writeSeqFrame writes a control frame carrying one uvarint.
+func writeSeqFrame(w *bufio.Writer, typ byte, seq uint64) error {
+	if err := w.WriteByte(typ); err != nil {
+		return err
+	}
+	return writeUvarint(w, seq)
+}
+
+// readSeqFrame reads the expected control frame type and its uvarint,
+// failing on any other frame.
+func readSeqFrame(r *bufio.Reader, want byte) (uint64, error) {
+	typ, err := r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	if typ != want {
+		return 0, fmt.Errorf("dsms: expected frame %q, got %q", want, typ)
+	}
+	return binary.ReadUvarint(r)
+}
+
+// SessionConfig tunes the server side of the session protocol.
+type SessionConfig struct {
+	// IdleTimeout closes a connection that delivers no frame for this
+	// long (dead-peer detection); the session itself survives for the
+	// client to resume. 0 = default 30s, negative = disabled.
+	IdleTimeout time.Duration
+	// Logf, when non-nil, receives session churn events (attach,
+	// resume, complete, connection errors).
+	Logf func(format string, args ...interface{})
+}
+
+func (c *SessionConfig) idle() time.Duration {
+	switch {
+	case c.IdleTimeout < 0:
+		return 0
+	case c.IdleTimeout == 0:
+		return 30 * time.Second
+	default:
+		return c.IdleTimeout
+	}
+}
+
+// SessionStats aggregates server-side protocol counters.
+type SessionStats struct {
+	Sessions   int64 // distinct streams attached
+	Reconnects int64 // HELLOs for an already-known stream
+	Frames     int64 // DATA frames applied
+	Dupes      int64 // DATA frames discarded as replays
+	Corrupt    int64 // frames rejected by CRC or parse failure
+	Completed  int64 // streams that reached EOS
+}
+
+// session is the durable per-stream state that outlives connections.
+type session struct {
+	mu        sync.Mutex
+	id        string
+	lastSeq   uint64
+	dupes     int64
+	completed bool
+}
+
+// SessionServer accepts reconnecting tuple streams and delivers each
+// stream's tuples exactly once, in order.
+type SessionServer struct {
+	ln     net.Listener
+	schema *tuple.Schema
+	cfg    SessionConfig
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	stats    SessionStats
+	done     chan struct{}
+	target   int
+	emit     func(streamID string, t *tuple.Tuple)
+}
+
+// NewSessionServer wraps a listener; schema describes the tuples every
+// stream carries.
+func NewSessionServer(ln net.Listener, schema *tuple.Schema, cfg SessionConfig) *SessionServer {
+	return &SessionServer{
+		ln: ln, schema: schema, cfg: cfg,
+		sessions: make(map[string]*session),
+		done:     make(chan struct{}),
+	}
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (s *SessionServer) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *SessionServer) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections until `streams` distinct streams have
+// completed (EOS acknowledged), then returns. emit is called once per
+// delivered tuple, in per-stream sequence order; calls for different
+// streams may be concurrent.
+func (s *SessionServer) Serve(streams int, emit func(streamID string, t *tuple.Tuple)) error {
+	s.mu.Lock()
+	s.target = streams
+	s.emit = emit
+	s.mu.Unlock()
+	go func() {
+		<-s.done
+		s.ln.Close()
+	}()
+	var wg sync.WaitGroup
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handle(conn)
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-s.done:
+		return nil
+	default:
+		return fmt.Errorf("dsms: listener closed before %d streams completed", streams)
+	}
+}
+
+// attach resolves (or creates) the session for a HELLO.
+func (s *SessionServer) attach(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		sess = &session{id: id}
+		s.sessions[id] = sess
+		s.stats.Sessions++
+		s.logf("dsms: session %q attached", id)
+	} else {
+		s.stats.Reconnects++
+		s.logf("dsms: session %q resumed at seq %d", id, sess.lastSeq)
+	}
+	return sess
+}
+
+// complete records a finished stream, releasing Serve when the target
+// count is reached.
+func (s *SessionServer) complete(sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Completed++
+	s.logf("dsms: session %q complete at seq %d", sess.id, sess.lastSeq)
+	if s.target > 0 && s.stats.Completed == int64(s.target) {
+		close(s.done)
+	}
+}
+
+func (s *SessionServer) countCorrupt() {
+	s.mu.Lock()
+	s.stats.Corrupt++
+	s.mu.Unlock()
+}
+
+// handle runs one connection's frame loop. Any protocol violation,
+// corrupt frame, or I/O error simply drops the connection: the session
+// state survives and the client resumes on its next dial.
+func (s *SessionServer) handle(conn net.Conn) {
+	defer conn.Close()
+	idle := s.cfg.idle()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var sess *session
+	var payload []byte
+	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		typ, err := br.ReadByte()
+		if err != nil {
+			if sess != nil && err != io.EOF {
+				s.logf("dsms: session %q connection lost: %v", sess.id, err)
+			}
+			return
+		}
+		switch typ {
+		case frameHello:
+			n, err := binary.ReadUvarint(br)
+			if err != nil || n == 0 || n > maxStreamID {
+				s.countCorrupt()
+				return
+			}
+			idb := make([]byte, n)
+			if _, err := io.ReadFull(br, idb); err != nil {
+				s.countCorrupt()
+				return
+			}
+			// The CRC keeps a corrupted HELLO from attaching a ghost
+			// session: a flipped streamID byte would otherwise answer
+			// HELLOACK 0 and accept replayed frames as fresh,
+			// double-counting them into the merge.
+			var crc [4]byte
+			if _, err := io.ReadFull(br, crc[:]); err != nil ||
+				binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(idb) {
+				s.countCorrupt()
+				return
+			}
+			sess = s.attach(string(idb))
+			sess.mu.Lock()
+			last := sess.lastSeq
+			sess.mu.Unlock()
+			if err := writeSeqFrame(bw, frameHelloAck, last); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+
+		case frameData:
+			if sess == nil {
+				s.countCorrupt()
+				return
+			}
+			seq, err := binary.ReadUvarint(br)
+			if err != nil {
+				s.countCorrupt()
+				return
+			}
+			ln, err := binary.ReadUvarint(br)
+			if err != nil || ln > maxFramePayload {
+				s.countCorrupt()
+				return
+			}
+			if uint64(cap(payload)) < ln {
+				payload = make([]byte, ln)
+			}
+			payload = payload[:ln]
+			if _, err := io.ReadFull(br, payload); err != nil {
+				s.countCorrupt()
+				return
+			}
+			var crc [4]byte
+			if _, err := io.ReadFull(br, crc[:]); err != nil {
+				s.countCorrupt()
+				return
+			}
+			if binary.LittleEndian.Uint32(crc[:]) != dataCRC(seq, payload) {
+				s.countCorrupt()
+				return
+			}
+			if !s.apply(sess, seq, payload) {
+				return
+			}
+
+		case frameHeartbeat:
+			if sess == nil {
+				s.countCorrupt()
+				return
+			}
+			sess.mu.Lock()
+			last := sess.lastSeq
+			sess.mu.Unlock()
+			if err := writeSeqFrame(bw, frameAck, last); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+
+		case frameEOS:
+			final, err := binary.ReadUvarint(br)
+			if err != nil || sess == nil {
+				s.countCorrupt()
+				return
+			}
+			sess.mu.Lock()
+			complete := sess.lastSeq == final
+			already := sess.completed
+			if complete {
+				sess.completed = true
+			}
+			sess.mu.Unlock()
+			if !complete {
+				// Frames are missing (lost to corruption on the old
+				// connection): drop the connection so the client's
+				// resume handshake triggers the resend.
+				return
+			}
+			if err := writeSeqFrame(bw, frameEOSAck, final); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			if !already {
+				s.complete(sess)
+			}
+			return
+
+		default:
+			s.countCorrupt()
+			return
+		}
+	}
+}
+
+// apply delivers one DATA frame into the session: exactly-once by
+// sequence number. Returns false when the connection must drop (gap or
+// undecodable tuple).
+func (s *SessionServer) apply(sess *session, seq uint64, payload []byte) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	switch {
+	case seq == sess.lastSeq+1:
+		t, _, err := tuple.DecodeChecked(payload, s.schema)
+		if err != nil {
+			s.countCorrupt()
+			return false
+		}
+		sess.lastSeq = seq
+		s.mu.Lock()
+		s.stats.Frames++
+		emit := s.emit
+		s.mu.Unlock()
+		if emit != nil {
+			emit(sess.id, t)
+		}
+		return true
+	case seq <= sess.lastSeq:
+		sess.dupes++
+		s.mu.Lock()
+		s.stats.Dupes++
+		s.mu.Unlock()
+		return true
+	default:
+		// A gap means this connection lost frames; force a resume.
+		s.countCorrupt()
+		return false
+	}
+}

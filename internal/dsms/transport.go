@@ -77,7 +77,11 @@ func (w *Writer) Flush() error {
 }
 
 // Reader receives tuples from a connection and implements
-// stream.Source.
+// stream.Source. Only an explicit zero-length frame is a clean
+// end-of-stream: a connection that dies mid-stream (bare EOF, truncated
+// frame, decode failure) sets Err, which callers must check via Close
+// (or Err directly) after Next returns false — otherwise a dropped peer
+// is indistinguishable from completion.
 type Reader struct {
 	r        *bufio.Reader
 	c        io.Closer
@@ -103,12 +107,17 @@ func (r *Reader) Next() (stream.Element, bool) {
 		return stream.Element{}, false
 	}
 	ln, err := binary.ReadUvarint(r.r)
-	if err != nil || ln == 0 {
+	if err != nil {
+		// EOF before the end-of-stream frame means the peer died
+		// mid-stream; never report it as clean completion.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return stream.Element{}, r.fail(fmt.Errorf("dsms: read frame header: %w", err))
+	}
+	if ln == 0 { // explicit end-of-stream frame
 		r.done = true
 		r.c.Close()
-		if err != nil && err != io.EOF {
-			r.Err = err
-		}
 		return stream.Element{}, false
 	}
 	if uint64(cap(r.buf)) < ln {
@@ -116,18 +125,34 @@ func (r *Reader) Next() (stream.Element, bool) {
 	}
 	buf := r.buf[:ln]
 	if _, err := io.ReadFull(r.r, buf); err != nil {
-		r.done = true
-		r.c.Close()
-		r.Err = err
-		return stream.Element{}, false
+		return stream.Element{}, r.fail(fmt.Errorf("dsms: read frame body: %w", err))
 	}
 	t, _, err := tuple.DecodeChecked(buf, r.schema)
 	if err != nil {
-		r.done = true
-		r.c.Close()
-		r.Err = fmt.Errorf("dsms: %w", err)
-		return stream.Element{}, false
+		return stream.Element{}, r.fail(fmt.Errorf("dsms: %w", err))
 	}
 	r.Received++
 	return stream.Tup(t), true
+}
+
+// fail records the first transport error and ends the stream; it
+// returns false for use in Next's return.
+func (r *Reader) fail(err error) bool {
+	r.done = true
+	r.c.Close()
+	if r.Err == nil {
+		r.Err = err
+	}
+	return false
+}
+
+// Close releases the connection and reports the first transport error,
+// distinguishing a dropped peer from a clean end-of-stream. Safe to
+// call after draining.
+func (r *Reader) Close() error {
+	if !r.done {
+		r.done = true
+		r.c.Close()
+	}
+	return r.Err
 }

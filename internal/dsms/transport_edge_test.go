@@ -1,0 +1,187 @@
+package dsms
+
+// Edge-case coverage for the v1 transport: the failure modes that used
+// to be indistinguishable from clean end-of-stream.
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// pipeConn returns both ends of an in-process TCP connection.
+func pipeConn(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server = <-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	return client, server
+}
+
+func TestReaderCleanEOSHasNoError(t *testing.T) {
+	client, server := pipeConn(t)
+	w := NewWriter(client)
+	if err := w.Send(tuple.New(1, tuple.Time(1), tuple.Int(2), tuple.Float(3))); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // sends the zero-length EOS frame
+		t.Fatal(err)
+	}
+	r := NewReader(server, sch)
+	if got := stream.DrainTuples(r); len(got) != 1 {
+		t.Fatalf("got %d tuples", len(got))
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("clean EOS reported error: %v", err)
+	}
+}
+
+func TestReaderBareEOFIsTruncation(t *testing.T) {
+	client, server := pipeConn(t)
+	w := NewWriter(client)
+	w.Send(tuple.New(1, tuple.Time(1), tuple.Int(2), tuple.Float(3)))
+	w.Flush()
+	client.Close() // die without the EOS frame
+
+	r := NewReader(server, sch)
+	if got := stream.DrainTuples(r); len(got) != 1 {
+		t.Fatalf("got %d tuples", len(got))
+	}
+	if err := r.Close(); err == nil {
+		t.Error("mid-stream connection loss reported as clean EOS")
+	}
+}
+
+func TestReaderTruncatedFrameBody(t *testing.T) {
+	client, server := pipeConn(t)
+	// Header promises 100 bytes; deliver 3 and cut the connection
+	// (mid-tuple connection cut).
+	client.Write([]byte{100, 1, 2, 3})
+	client.Close()
+
+	r := NewReader(server, sch)
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated frame yielded a tuple")
+	}
+	if r.Err == nil {
+		t.Error("truncated frame body reported as clean EOS")
+	}
+}
+
+func TestReaderCorruptVarintHeader(t *testing.T) {
+	client, server := pipeConn(t)
+	// An over-long uvarint (11 continuation bytes) is invalid.
+	client.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80})
+	client.Close()
+
+	r := NewReader(server, sch)
+	if _, ok := r.Next(); ok {
+		t.Fatal("corrupt header yielded a tuple")
+	}
+	if r.Err == nil {
+		t.Error("corrupt varint header reported as clean EOS")
+	}
+}
+
+func TestReaderSchemaMismatchSurfacesThroughClose(t *testing.T) {
+	client, server := pipeConn(t)
+	w := NewWriter(client)
+	w.Send(tuple.New(1, tuple.Int(1))) // wrong arity for sch
+	w.Close()
+
+	r := NewReader(server, sch)
+	stream.DrainTuples(r)
+	if err := r.Close(); err == nil {
+		t.Error("schema mismatch not surfaced via Close")
+	}
+}
+
+func TestWriterConcurrentSendClose(t *testing.T) {
+	// Concurrent Send and Close must be race-free; late Sends may error
+	// (connection closed) but must not corrupt or panic. Run with -race.
+	client, server := pipeConn(t)
+	w := NewWriter(client)
+	go func() { // drain the server side so writes don't block
+		buf := make([]byte, 4096)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := w.Send(tuple.New(int64(i), tuple.Time(int64(i)), tuple.Int(int64(g)), tuple.Float(0))); err != nil {
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.Close()
+	}()
+	wg.Wait()
+}
+
+func TestReconnectWriterConcurrentSend(t *testing.T) {
+	// The session writer must serialize concurrent Sends correctly:
+	// every tuple delivered exactly once (in some order). Run with -race.
+	addr, _, wait := testServer(t, 1, SessionConfig{})
+	w, err := NewReconnectWriter(ReconnectConfig{
+		StreamID: "s1",
+		Dial:     func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		AckEvery: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, per = 4, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := w.Send(tuple.New(int64(i), tuple.Time(int64(i)), tuple.Int(int64(g)), tuple.Float(float64(i)))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := wait()["s1"]; len(got) != goroutines*per {
+		t.Errorf("delivered %d, want %d", len(got), goroutines*per)
+	}
+}

@@ -11,7 +11,9 @@ package exec
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"streamdb/internal/ops"
 	"streamdb/internal/stream"
@@ -29,9 +31,10 @@ type edge struct {
 }
 
 type node struct {
-	op    ops.Operator
-	out   []edge
-	stats NodeStats
+	op       ops.Operator
+	out      []edge
+	stats    NodeStats
+	detached bool // true after a panic: the node no longer processes input
 }
 
 // NodeStats is per-operator introspection (Aurora-style, slide 47).
@@ -39,6 +42,37 @@ type NodeStats struct {
 	In, Out   int64
 	MaxQueue  int
 	MaxMemory int
+	// Panics counts operator panics converted into node failures by the
+	// execution layer's isolation boundary.
+	Panics int64
+}
+
+// FailurePolicy selects what the engine does when an operator panics.
+type FailurePolicy int
+
+const (
+	// FailFast (the default) stops the run at the first node failure;
+	// Err reports it. In concurrent mode sources stop feeding and the
+	// pipeline drains so the run still terminates cleanly.
+	FailFast FailurePolicy = iota
+	// Degrade detaches the failed node (its input is discarded from
+	// then on) and keeps the rest of the graph running to completion —
+	// graceful degradation for standing queries where partial results
+	// beat no results. Err still reports the failure.
+	Degrade
+)
+
+// NodeFailure describes one operator panic caught by the engine.
+type NodeFailure struct {
+	Node  NodeID
+	Op    string
+	Panic interface{}
+	Stack string
+}
+
+// Error implements error.
+func (f *NodeFailure) Error() string {
+	return fmt.Sprintf("exec: node %d (%s) panicked: %v", f.Node, f.Op, f.Panic)
 }
 
 type sourceNode struct {
@@ -59,6 +93,13 @@ type Graph struct {
 	// dropped (tail-drop under overload) and counted.
 	workCap int
 	dropped int64
+
+	// Panic isolation: operator panics become recorded node failures
+	// instead of crashing (or deadlocking) the whole run.
+	policy FailurePolicy
+	halted atomic.Bool // FailFast tripped: stop admitting/feeding work
+	failMu sync.Mutex
+	failed []NodeFailure
 }
 
 // NewGraph builds an empty graph writing outputs to sink (may be nil).
@@ -74,6 +115,44 @@ func (g *Graph) SetWorkCap(n int) { g.workCap = n }
 
 // Dropped reports elements discarded by the work cap.
 func (g *Graph) Dropped() int64 { return g.dropped }
+
+// SetFailurePolicy selects fail-fast (default) or degrade handling of
+// operator panics.
+func (g *Graph) SetFailurePolicy(p FailurePolicy) { g.policy = p }
+
+// Err reports the first node failure of the run, or nil.
+func (g *Graph) Err() error {
+	g.failMu.Lock()
+	defer g.failMu.Unlock()
+	if len(g.failed) == 0 {
+		return nil
+	}
+	f := g.failed[0]
+	return &f
+}
+
+// Failures returns every node failure recorded so far.
+func (g *Graph) Failures() []NodeFailure {
+	g.failMu.Lock()
+	defer g.failMu.Unlock()
+	out := make([]NodeFailure, len(g.failed))
+	copy(out, g.failed)
+	return out
+}
+
+// recordPanic converts an operator panic into a counted node failure.
+// The node is detached (it processes no further input); under FailFast
+// the whole run is flagged to halt.
+func (g *Graph) recordPanic(id NodeID, n *node, r interface{}) {
+	n.stats.Panics++
+	n.detached = true
+	g.failMu.Lock()
+	g.failed = append(g.failed, NodeFailure{Node: id, Op: n.op.Name(), Panic: r, Stack: string(debug.Stack())})
+	g.failMu.Unlock()
+	if g.policy == FailFast {
+		g.halted.Store(true)
+	}
+}
 
 // AddSource registers a stream source; connect it with ConnectSource.
 func (g *Graph) AddSource(src stream.Source) int {
@@ -186,6 +265,9 @@ func (g *Graph) Pump(maxElements int64) int64 {
 	var consumed int64
 	var queue []work
 	for maxElements < 0 || consumed < maxElements {
+		if g.halted.Load() {
+			break
+		}
 		// Pick the earliest pending arrival.
 		best := -1
 		var bestTs int64
@@ -221,6 +303,11 @@ func (g *Graph) Finish() {
 // drain processes pending work FIFO until empty.
 func (g *Graph) drain(queue *[]work) {
 	for len(*queue) > 0 {
+		if g.halted.Load() {
+			// Fail-fast: abandon pending work; Err carries the cause.
+			*queue = (*queue)[:0]
+			return
+		}
 		if g.workCap > 0 && len(*queue) > g.workCap {
 			// Overload: tail-drop the oldest pending tuple.
 			*queue = (*queue)[1:]
@@ -239,19 +326,34 @@ func (g *Graph) dispatch(w work, queue *[]work) {
 		return
 	}
 	n := g.nodes[w.to]
+	if n.detached {
+		return // degraded node: input is discarded
+	}
 	n.stats.In++
 	if l := len(*queue); l > n.stats.MaxQueue {
 		n.stats.MaxQueue = l
 	}
-	n.op.Push(w.port, w.e, func(out stream.Element) {
+	g.safePush(w.to, n, w.port, w.e, queue)
+	if !n.detached {
+		if m := n.op.MemSize(); m > n.stats.MaxMemory {
+			n.stats.MaxMemory = m
+		}
+	}
+}
+
+// safePush is the panic-isolation boundary around one operator push.
+func (g *Graph) safePush(id NodeID, n *node, port int, e stream.Element, queue *[]work) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.recordPanic(id, n, r)
+		}
+	}()
+	n.op.Push(port, e, func(out stream.Element) {
 		n.stats.Out++
 		for _, ed := range n.out {
 			*queue = append(*queue, work{to: ed.to, port: ed.port, e: out})
 		}
 	})
-	if m := n.op.MemSize(); m > n.stats.MaxMemory {
-		n.stats.MaxMemory = m
-	}
 }
 
 // flush finalizes operators in insertion order (sources feed nodes in
@@ -259,15 +361,31 @@ func (g *Graph) dispatch(w work, queue *[]work) {
 // order for graphs built front-to-back).
 func (g *Graph) flush(queue *[]work) {
 	for id := range g.nodes {
+		if g.halted.Load() {
+			return
+		}
 		n := g.nodes[id]
-		n.op.Flush(func(out stream.Element) {
-			n.stats.Out++
-			for _, ed := range n.out {
-				*queue = append(*queue, work{to: ed.to, port: ed.port, e: out})
-			}
-		})
+		if n.detached {
+			continue
+		}
+		g.safeFlush(NodeID(id), n, queue)
 		g.drain(queue)
 	}
+}
+
+// safeFlush is the panic-isolation boundary around one operator flush.
+func (g *Graph) safeFlush(id NodeID, n *node, queue *[]work) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.recordPanic(id, n, r)
+		}
+	}()
+	n.op.Flush(func(out stream.Element) {
+		n.stats.Out++
+		for _, ed := range n.out {
+			*queue = append(*queue, work{to: ed.to, port: ed.port, e: out})
+		}
+	})
 }
 
 // RunConcurrent executes the graph with one goroutine per operator and
@@ -333,17 +451,46 @@ func (g *Graph) RunConcurrent(maxElements int64, chanCap int) {
 		go func(id NodeID, n *node) {
 			defer wg.Done()
 			emit := emitFor(n)
-			for m := range chans[id] {
-				n.stats.In++
+			// Panic isolation: a crashed operator keeps draining its
+			// input channel (so upstream writers never block on a dead
+			// consumer) and still closes its downstream edges — the
+			// graph terminates instead of deadlocking in wg.Wait.
+			crashed := n.detached
+			push := func(m msg) (ok bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						g.recordPanic(id, n, r)
+						ok = false
+					}
+				}()
 				n.op.Push(m.port, m.e, func(out stream.Element) {
 					n.stats.Out++
 					emit(out)
 				})
+				return true
 			}
-			n.op.Flush(func(out stream.Element) {
-				n.stats.Out++
-				emit(out)
-			})
+			for m := range chans[id] {
+				if crashed {
+					continue // discard: node is detached
+				}
+				n.stats.In++
+				if !push(m) {
+					crashed = true
+				}
+			}
+			if !crashed {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							g.recordPanic(id, n, r)
+						}
+					}()
+					n.op.Flush(func(out stream.Element) {
+						n.stats.Out++
+						emit(out)
+					})
+				}()
+			}
 			for _, ed := range n.out {
 				if ed.to >= 0 {
 					closeOne(ed.to)
@@ -357,6 +504,9 @@ func (g *Graph) RunConcurrent(maxElements int64, chanCap int) {
 			defer wg.Done()
 			var sent int64
 			for maxElements < 0 || sent < maxElements {
+				if g.halted.Load() {
+					break // fail-fast: stop feeding, let the pipeline drain
+				}
 				e, ok := s.src.Next()
 				if !ok {
 					break

@@ -280,6 +280,22 @@ func TestE16Shape(t *testing.T) {
 	}
 }
 
+func TestE17Shape(t *testing.T) {
+	tb := E17FaultTolerance(testScale)
+	// Every row — fault-free and faulty alike — must report results
+	// byte-identical to the zero-fault baseline (exactly-once).
+	for row := range tb.Rows {
+		if got := cell(t, tb, row, 6); got != "true" {
+			t.Errorf("row %s: exact = %s (exactly-once violated)", cell(t, tb, row, 0), got)
+		}
+	}
+	// Faults actually happened at the highest drop rate.
+	last := len(tb.Rows) - 1
+	if num(t, tb, last, 2) == 0 {
+		t.Errorf("no reconnects at %s drop rate", cell(t, tb, last, 0))
+	}
+}
+
 func TestE5ControllerShape(t *testing.T) {
 	tb := E5Controller()
 	// Final steps: offered 500 under capacity 1000 -> rate decays toward 0.
