@@ -6,6 +6,7 @@ package streamdb
 // for quantiles.
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -63,6 +64,115 @@ func BenchmarkAblationEngineConcurrent(b *testing.B) {
 	if b.N > 1000 && atomic.LoadInt64(&n) == 0 {
 		b.Fatal("no output")
 	}
+}
+
+// replayElems materializes a traffic stream once so the benchmarks
+// below measure engine overhead, not tuple generation (the generator
+// alone costs ~340 ns/element — more than the batched engine itself).
+func replayElems(b *testing.B, n int) (*tuple.Schema, []stream.Element) {
+	b.Helper()
+	sch := stream.TrafficSchema("Traffic")
+	elems := stream.Drain(stream.Limit(stream.NewTrafficStream(1, 1e6, 1000), n), -1)
+	if len(elems) != n {
+		b.Fatalf("generated %d elements, want %d", len(elems), n)
+	}
+	return sch, elems
+}
+
+func replayFilterGraph(b *testing.B, sch *tuple.Schema, elems []stream.Element, sink exec.Sink) *exec.Graph {
+	b.Helper()
+	g := exec.NewGraph(sink)
+	src := g.AddSource(stream.FromElements(sch, elems...))
+	pred, err := expr.NewBin(expr.OpGt, expr.MustColumn(sch, "length"), expr.Constant(tuple.Int(512)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel, err := ops.NewSelect("sel", sch, pred, -1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := g.AddOp(sel)
+	if err := g.ConnectSource(src, id, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := g.ConnectOut(id); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkAblationBatchSize isolates the micro-batching win: the same
+// source -> select -> sink pipeline at batch sizes 1 (element-at-a-time
+// semantics) through 256. Throughput is reported as elems/s over the
+// replayed input.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	const nElems = 200000
+	sch, elems := replayElems(b, nElems)
+	for _, bs := range []int{1, 8, 64, 256} {
+		b.Run(fmtBatch("batch", bs), func(b *testing.B) {
+			var n int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := replayFilterGraph(b, sch, elems, func(stream.Element) { n++ })
+				g.RunWith(-1, exec.RunOptions{BatchSize: bs})
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(nElems)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+			if n == 0 {
+				b.Fatal("no output")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelSelect replicates the selection operator
+// N-ways (order-restoring merge included). On a single-core host this
+// measures the replication machinery's overhead rather than a speedup;
+// the predicate is made deliberately costly so the split/merge tax is
+// amortized the way a real deployment would see it.
+func BenchmarkAblationParallelSelect(b *testing.B) {
+	const nElems = 100000
+	sch, elems := replayElems(b, nElems)
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmtBatch("replicas", par), func(b *testing.B) {
+			var n int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := exec.NewGraph(func(stream.Element) { n++ })
+				src := g.AddSource(stream.FromElements(sch, elems...))
+				// protocol = 6 AND length > 512 AND length <= 1200:
+				// three compiled comparisons per tuple.
+				p1, _ := expr.NewBin(expr.OpEq, expr.MustColumn(sch, "protocol"), expr.Constant(tuple.Uint(6)))
+				p2, _ := expr.NewBin(expr.OpGt, expr.MustColumn(sch, "length"), expr.Constant(tuple.Int(512)))
+				p3, _ := expr.NewBin(expr.OpLe, expr.MustColumn(sch, "length"), expr.Constant(tuple.Int(1200)))
+				p12, _ := expr.NewBin(expr.OpAnd, p1, p2)
+				pred, _ := expr.NewBin(expr.OpAnd, p12, p3)
+				sel, err := ops.NewSelect("sel", sch, pred, -1, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				id := g.AddOp(sel)
+				if err := g.ConnectSource(src, id, 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := g.ConnectOut(id); err != nil {
+					b.Fatal(err)
+				}
+				g.RunWith(-1, exec.RunOptions{BatchSize: 64, Parallelism: par})
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(nElems)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+			if n == 0 {
+				b.Fatal("no output")
+			}
+		})
+	}
+}
+
+func fmtBatch(prefix string, n int) string {
+	return fmt.Sprintf("%s%d", prefix, n)
 }
 
 // BenchmarkAblationJoinInvalidation compares the lazy ring-buffer

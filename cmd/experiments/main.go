@@ -1,5 +1,5 @@
 // Command experiments regenerates every figure, table and worked
-// example of the tutorial (the E1-E16 index in DESIGN.md) and prints
+// example of the tutorial (the E1-E18 index in DESIGN.md) and prints
 // them in paper shape.
 //
 // Usage:
@@ -54,6 +54,7 @@ func main() {
 		{"E15", func() *experiments.Table { return experiments.E15DistributedFilters(s) }},
 		{"E16", func() *experiments.Table { return experiments.E16EddyAdaptivity(s) }},
 		{"E17", func() *experiments.Table { return experiments.E17FaultTolerance(s) }},
+		{"E18", func() *experiments.Table { return experiments.E18BatchedExecution(s) }},
 	}
 
 	want := map[string]bool{}

@@ -143,7 +143,14 @@ func reportLow(seed int64, raw, partials int64, st dsms.ReconnectStats) {
 // runHigh runs the merge point: a SessionServer that dedupes resumed
 // streams feeds the high-level merge plan. Session churn (connects,
 // resumes, dead peers) is logged to stderr as it happens.
-func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int, idle time.Duration) {
+//
+// Ingest is micro-batched per stream: partials accumulate in a
+// per-stream buffer and enter the merge plan `batch` at a time, so the
+// plan's global mutex is taken once per batch instead of once per
+// tuple. Buffering is bounded and flushed completely before the final
+// punctuation, and the merge plan advances on watermarks, so batching
+// only adds bounded ingest latency — final results are unchanged.
+func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int, idle time.Duration, batch int) {
 	high, err := d.NewHighLevel("hfta")
 	if err != nil {
 		fatalf("%v", err)
@@ -165,15 +172,47 @@ func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int, idle time.Durati
 	})
 	var mu sync.Mutex
 	var received int64
-	err = srv.Serve(nodes, func(_ string, tp *tuple.Tuple) {
+	if batch < 1 {
+		batch = 1
+	}
+	var bufMu sync.Mutex
+	bufs := map[string][]*tuple.Tuple{}
+	push := func(tps []*tuple.Tuple) {
 		mu.Lock()
-		received++
-		high.Push(0, stream.Tup(tp), emit)
+		received += int64(len(tps))
+		for _, tp := range tps {
+			high.Push(0, stream.Tup(tp), emit)
+		}
 		mu.Unlock()
+	}
+	err = srv.Serve(nodes, func(id string, tp *tuple.Tuple) {
+		if batch == 1 {
+			push([]*tuple.Tuple{tp})
+			return
+		}
+		bufMu.Lock()
+		bufs[id] = append(bufs[id], tp)
+		var full []*tuple.Tuple
+		if len(bufs[id]) >= batch {
+			full = bufs[id]
+			bufs[id] = make([]*tuple.Tuple, 0, batch)
+		}
+		bufMu.Unlock()
+		if full != nil {
+			push(full)
+		}
 	})
 	if err != nil {
 		fatalf("serve: %v", err)
 	}
+	// All sessions are done: drain every open ingest buffer before the
+	// closing punctuation so no partial is left behind.
+	bufMu.Lock()
+	for _, b := range bufs {
+		push(b)
+	}
+	bufs = nil
+	bufMu.Unlock()
 	high.Push(0, stream.Punct(&stream.Punctuation{Ts: 1 << 62}), emit)
 	high.Flush(emit)
 	st := srv.Stats()
@@ -192,6 +231,7 @@ func main() {
 	retry := flag.Int("retry", 8, "low/demo: max reconnect/send attempts before giving up")
 	timeout := flag.Duration("timeout", 5*time.Second, "low/demo: per-frame I/O deadline; high: 2x this is the idle timeout")
 	faultRate := flag.Float64("faultrate", 0, "demo: injected connection-drop rate per write (chaos)")
+	ingestBatch := flag.Int("ingestbatch", 64, "high/demo: partial records buffered per stream before entering the merge plan (1 = per-tuple)")
 	flag.Parse()
 
 	d := decomposition()
@@ -203,7 +243,7 @@ func main() {
 		}
 		defer ln.Close()
 		fmt.Printf("high-level node on %s, awaiting %d low-level nodes\n", ln.Addr(), *nodes)
-		runHigh(d, ln, *nodes, 2**timeout)
+		runHigh(d, ln, *nodes, 2**timeout, *ingestBatch)
 	case "low":
 		cfg := lowConfig{addr: *connect, retry: *retry, timeout: *timeout}
 		raw, partials, st, err := runLow(d, cfg, *n, *seed)
@@ -236,7 +276,7 @@ func main() {
 				reportLow(seed, raw, partials, st)
 			}(int64(i + 1))
 		}
-		runHigh(d, ln, *nodes, 2**timeout)
+		runHigh(d, ln, *nodes, 2**timeout, *ingestBatch)
 		wg.Wait()
 	default:
 		fatalf("unknown mode %q", *mode)

@@ -1,0 +1,515 @@
+// Batched concurrent execution: the throughput-oriented engine mode.
+//
+// Edges between operators carry micro-batches ([]stream.Element) instead
+// of single elements, so the per-element cost of a channel transfer, a
+// message copy and a sink handoff is amortized over BatchSize elements
+// (the standard cure in modern stream engines; cf. arXiv:2008.00842).
+// Three rules keep batching semantically invisible:
+//
+//   - order within an edge is preserved (a batch is a contiguous run of
+//     the element stream),
+//   - a punctuation is never held back: appending one to an open batch
+//     flushes it immediately, so a downstream window flush can never
+//     observe a punctuation that overtook data (or wait on data parked
+//     in an upstream buffer),
+//   - end-of-stream flushes every open buffer before edges close.
+//
+// Operators still see one element at a time through ops.Operator.Push —
+// all existing operators work unmodified. Stateless operators that
+// implement ops.Replicable can additionally be replicated N-ways: a
+// splitter round-robins input batches (tagged with sequence numbers)
+// across N clones and a merger re-emits their outputs in sequence-number
+// order, which restores exactly the arrival order — and therefore the
+// ordering-attribute order — of the unreplicated run.
+//
+// Graph outputs are merged through a single consumer goroutine fed by
+// per-writer batches (no global lock on the emit path), so the Sink
+// callback is always invoked serially. RunOptions.SinkPerWriter opts
+// into sharded sinks instead: each output-writing node gets its own
+// sink, called only from that node's output goroutine.
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"streamdb/internal/ops"
+	"streamdb/internal/stream"
+)
+
+// Engine tuning defaults for RunWith.
+const (
+	// DefaultBatchSize is the target elements per edge batch.
+	DefaultBatchSize = 64
+	// DefaultChanCap is the per-edge channel capacity in batches.
+	DefaultChanCap = 16
+)
+
+// RunOptions tunes the concurrent engine.
+type RunOptions struct {
+	// BatchSize is the target number of elements per edge batch;
+	// 1 reproduces element-at-a-time execution, <= 0 uses
+	// DefaultBatchSize.
+	BatchSize int
+	// Parallelism replicates each single-input ops.Replicable operator
+	// this many ways with an order-restoring merge; <= 1 disables
+	// replication.
+	Parallelism int
+	// ChanCap is the per-edge channel capacity in batches; <= 0 uses
+	// DefaultChanCap.
+	ChanCap int
+	// SinkPerWriter, when set, shards graph output: every node with an
+	// edge to the graph output gets its own sink from this factory,
+	// invoked serially from that node's output goroutine, and the
+	// graph-level sink is bypassed. When nil, all output is merged
+	// through one consumer goroutine into the graph sink (which
+	// therefore needs no internal locking either).
+	SinkPerWriter func(NodeID) Sink
+}
+
+type batchMsg struct {
+	port  int
+	elems []stream.Element
+}
+
+// concRun carries the shared state of one RunWith invocation.
+type concRun struct {
+	g       *Graph
+	opts    RunOptions
+	pool    *stream.BatchPool
+	chans   []chan batchMsg
+	pending []int64 // queued elements per node, for MaxQueue sampling
+	maxQ    []int64
+	maxMem  []int64
+	writers []int
+	closeMu sync.Mutex
+	sinkCh  chan []stream.Element // nil when SinkPerWriter is set
+}
+
+func atomicMax(addr *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if v <= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
+			return
+		}
+	}
+}
+
+// RunWith executes the graph concurrently — one goroutine per operator
+// (plus replicas), batched channels between them — with the given
+// options. Returns when all sources are exhausted and the pipeline has
+// flushed. maxElements bounds the elements drawn per source (< 0 =
+// unbounded). Results are element-for-element identical to
+// RunConcurrent at any batch size; only interleaving across independent
+// branches varies, as it already does between concurrent runs.
+func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.ChanCap <= 0 {
+		opts.ChanCap = DefaultChanCap
+	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
+	r := &concRun{
+		g:       g,
+		opts:    opts,
+		pool:    stream.NewBatchPool(opts.BatchSize),
+		chans:   make([]chan batchMsg, len(g.nodes)),
+		pending: make([]int64, len(g.nodes)),
+		maxQ:    make([]int64, len(g.nodes)),
+		maxMem:  make([]int64, len(g.nodes)),
+		writers: make([]int, len(g.nodes)),
+	}
+	for i := range r.chans {
+		r.chans[i] = make(chan batchMsg, opts.ChanCap)
+	}
+	// Count writers per node so channels close exactly once.
+	for _, s := range g.sources {
+		for _, ed := range s.out {
+			r.writers[ed.to]++
+		}
+	}
+	for _, n := range g.nodes {
+		for _, ed := range n.out {
+			if ed.to >= 0 {
+				r.writers[ed.to]++
+			}
+		}
+	}
+
+	var sinkWG sync.WaitGroup
+	if opts.SinkPerWriter == nil {
+		r.sinkCh = make(chan []stream.Element, 2*len(g.nodes)+4)
+		sinkWG.Add(1)
+		go func() {
+			defer sinkWG.Done()
+			for b := range r.sinkCh {
+				for _, e := range b {
+					g.sink(e)
+				}
+				r.pool.Put(b)
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for id := range g.nodes {
+		n := g.nodes[id]
+		wg.Add(1)
+		if rep, ok := n.op.(ops.Replicable); ok && opts.Parallelism > 1 && n.op.NumInputs() == 1 && !n.detached {
+			go r.runReplicated(NodeID(id), n, rep, &wg)
+		} else {
+			go r.runNode(NodeID(id), n, &wg)
+		}
+	}
+	for _, s := range g.sources {
+		wg.Add(1)
+		go r.runSource(s, maxElements, &wg)
+	}
+	wg.Wait()
+	if r.sinkCh != nil {
+		close(r.sinkCh)
+		sinkWG.Wait()
+	}
+	// Fold the sampled per-run maxima into the persistent node stats.
+	for i, n := range g.nodes {
+		if q := int(r.maxQ[i]); q > n.stats.MaxQueue {
+			n.stats.MaxQueue = q
+		}
+		if m := int(r.maxMem[i]); m > n.stats.MaxMemory {
+			n.stats.MaxMemory = m
+		}
+	}
+}
+
+// sendTo delivers one batch to a node's input channel, sampling the
+// queue depth (in elements) for MaxQueue.
+func (r *concRun) sendTo(to NodeID, port int, b []stream.Element) {
+	q := atomic.AddInt64(&r.pending[to], int64(len(b)))
+	atomicMax(&r.maxQ[to], q)
+	r.chans[to] <- batchMsg{port: port, elems: b}
+}
+
+func (r *concRun) closeOne(id NodeID) {
+	r.closeMu.Lock()
+	r.writers[id]--
+	if r.writers[id] == 0 {
+		close(r.chans[id])
+	}
+	r.closeMu.Unlock()
+}
+
+func (r *concRun) closeDownstream(edges []edge) {
+	for _, ed := range edges {
+		if ed.to >= 0 {
+			r.closeOne(ed.to)
+		}
+	}
+}
+
+func (r *concRun) sampleMem(id NodeID, op ops.Operator) {
+	atomicMax(&r.maxMem[id], int64(op.MemSize()))
+}
+
+// edgeWriter accumulates one producer's output into pooled batches and
+// fans completed batches out to the producer's edges. It is owned by a
+// single goroutine.
+type edgeWriter struct {
+	r     *concRun
+	edges []edge
+	sink  Sink // per-writer sink for ed.to < 0; nil = merged sink channel
+	buf   []stream.Element
+	size  int
+}
+
+func (r *concRun) newEdgeWriter(edges []edge, owner NodeID) *edgeWriter {
+	w := &edgeWriter{r: r, edges: edges, size: r.opts.BatchSize, buf: r.pool.Get()}
+	if r.opts.SinkPerWriter != nil {
+		for _, ed := range edges {
+			if ed.to < 0 {
+				w.sink = r.opts.SinkPerWriter(owner)
+				break
+			}
+		}
+	}
+	return w
+}
+
+// add appends one element, flushing on a full batch and immediately on
+// punctuation (a punctuation must never wait in a buffer: liveness of
+// downstream windows depends on its progress promise arriving).
+func (w *edgeWriter) add(e stream.Element) {
+	if len(w.edges) == 0 {
+		return // unconnected output: discard, as the unbatched engine did
+	}
+	w.buf = append(w.buf, e)
+	if e.IsPunct() || len(w.buf) >= w.size {
+		w.flush()
+	}
+}
+
+// flush hands the open batch to every edge. All but the last edge
+// receive a copy; the last takes ownership (consumers recycle batches).
+func (w *edgeWriter) flush() {
+	if len(w.buf) == 0 {
+		return
+	}
+	b := w.buf
+	w.buf = w.r.pool.Get()
+	last := len(w.edges) - 1
+	for i, ed := range w.edges {
+		out := b
+		if i < last {
+			out = append(w.r.pool.Get(), b...)
+		}
+		if ed.to < 0 {
+			if w.sink != nil {
+				for _, e := range out {
+					w.sink(e)
+				}
+				w.r.pool.Put(out)
+			} else {
+				w.r.sinkCh <- out
+			}
+		} else {
+			w.r.sendTo(ed.to, ed.port, out)
+		}
+	}
+}
+
+// runNode is the per-operator goroutine: drain input batches, push
+// element-wise through the operator, re-batch outputs. Panic isolation
+// matches the unbatched engine: a crashed operator keeps draining its
+// input (so upstream writers never block on a dead consumer) and still
+// closes its downstream edges.
+func (r *concRun) runNode(id NodeID, n *node, wg *sync.WaitGroup) {
+	defer wg.Done()
+	w := r.newEdgeWriter(n.out, id)
+	emit := func(out stream.Element) {
+		n.stats.Out++
+		w.add(out)
+	}
+	crashed := n.detached
+	pushBatch := func(m batchMsg) (ok bool) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				r.g.recordPanic(id, n, rec)
+				ok = false
+			}
+		}()
+		for _, e := range m.elems {
+			n.op.Push(m.port, e, emit)
+		}
+		return true
+	}
+	for m := range r.chans[id] {
+		atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
+		if crashed {
+			r.pool.Put(m.elems)
+			continue // discard: node is detached
+		}
+		n.stats.In += int64(len(m.elems))
+		if !pushBatch(m) {
+			crashed = true
+		}
+		r.pool.Put(m.elems)
+		r.sampleMem(id, n.op)
+	}
+	if !crashed {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					r.g.recordPanic(id, n, rec)
+				}
+			}()
+			n.op.Flush(emit)
+		}()
+		r.sampleMem(id, n.op)
+	}
+	w.flush()
+	r.closeDownstream(n.out)
+}
+
+// repTask is one sequence-numbered unit of replicated work.
+type repTask struct {
+	seq   uint64
+	port  int
+	elems []stream.Element
+}
+
+// runReplicated executes one Replicable node as P clones with an
+// order-restoring merge: a splitter tags input batches with sequence
+// numbers and round-robins them over P workers; each worker pushes its
+// batches through a private clone; the merger re-emits output batches
+// in sequence order, restoring the exact output order of the
+// unreplicated run. Workers always report a result batch per task (even
+// empty, even after a crash), so the merge sequence never stalls.
+func (r *concRun) runReplicated(id NodeID, n *node, rep ops.Replicable, wg *sync.WaitGroup) {
+	defer wg.Done()
+	p := r.opts.Parallelism
+	workCh := make([]chan repTask, p)
+	for i := range workCh {
+		workCh[i] = make(chan repTask, 2)
+	}
+	mergeCh := make(chan repTask, 2*p)
+	var crashed atomic.Bool
+	var totalSeq atomic.Uint64
+
+	var workWG sync.WaitGroup
+	for k := 0; k < p; k++ {
+		workWG.Add(1)
+		go func(k int) {
+			defer workWG.Done()
+			op := rep.Clone()
+			process := func(t repTask) (out []stream.Element) {
+				out = r.pool.Get()
+				if crashed.Load() {
+					return out // node detached: discard input
+				}
+				defer func() {
+					if rec := recover(); rec != nil {
+						r.g.recordPanic(id, n, rec)
+						crashed.Store(true)
+					}
+				}()
+				atomic.AddInt64(&n.stats.In, int64(len(t.elems)))
+				for _, e := range t.elems {
+					op.Push(t.port, e, func(o stream.Element) {
+						out = append(out, o)
+					})
+				}
+				return out
+			}
+			for t := range workCh[k] {
+				out := process(t)
+				r.pool.Put(t.elems)
+				mergeCh <- repTask{seq: t.seq, elems: out}
+				r.sampleMem(id, op)
+			}
+			// Flush the clone. Replicable operators are stateless, so
+			// this is expected to emit nothing, but any output is still
+			// collected and sequenced after all input batches.
+			fout := r.pool.Get()
+			if !crashed.Load() {
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							r.g.recordPanic(id, n, rec)
+							crashed.Store(true)
+						}
+					}()
+					op.Flush(func(o stream.Element) { fout = append(fout, o) })
+				}()
+			}
+			mergeCh <- repTask{seq: totalSeq.Load() + uint64(k), elems: fout}
+		}(k)
+	}
+	go func() {
+		workWG.Wait()
+		close(mergeCh)
+	}()
+
+	// Splitter: round-robin input batches over the workers.
+	go func() {
+		var seq uint64
+		k := 0
+		for m := range r.chans[id] {
+			atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
+			workCh[k] <- repTask{seq: seq, port: m.port, elems: m.elems}
+			seq++
+			k = (k + 1) % p
+		}
+		totalSeq.Store(seq) // ordered before close: workers read it after range ends
+		for _, c := range workCh {
+			close(c)
+		}
+	}()
+
+	// Merger: restore sequence order and re-batch downstream.
+	w := r.newEdgeWriter(n.out, id)
+	deliver := func(b []stream.Element) {
+		for _, e := range b {
+			n.stats.Out++
+			w.add(e)
+		}
+		r.pool.Put(b)
+	}
+	held := make(map[uint64][]stream.Element)
+	var next uint64
+	for t := range mergeCh {
+		if t.seq != next {
+			held[t.seq] = t.elems
+			continue
+		}
+		deliver(t.elems)
+		next++
+		for {
+			b, ok := held[next]
+			if !ok {
+				break
+			}
+			delete(held, next)
+			deliver(b)
+			next++
+		}
+	}
+	// Every sequence number is reported exactly once, so nothing is
+	// left held; be defensive anyway and drain in order.
+	for len(held) > 0 {
+		b, ok := held[next]
+		if !ok {
+			break
+		}
+		delete(held, next)
+		deliver(b)
+		next++
+	}
+	w.flush()
+	r.closeDownstream(n.out)
+}
+
+// runSource feeds one source's elements into the graph in batches,
+// drawing bulk reads when the source supports them.
+func (r *concRun) runSource(s *sourceNode, maxElements int64, wg *sync.WaitGroup) {
+	defer wg.Done()
+	if len(s.out) == 0 {
+		return
+	}
+	w := r.newEdgeWriter(s.out, -1) // sources cannot write the graph output
+	bulk, isBulk := s.src.(stream.BulkSource)
+	var sent int64
+	for maxElements < 0 || sent < maxElements {
+		if r.g.halted.Load() {
+			break // fail-fast: stop feeding, let the pipeline drain
+		}
+		if isBulk {
+			max := r.opts.BatchSize
+			if maxElements >= 0 && int64(max) > maxElements-sent {
+				max = int(maxElements - sent)
+			}
+			tmp := r.pool.Get()
+			tmp, more := bulk.NextBatch(tmp, max)
+			for _, e := range tmp {
+				w.add(e)
+			}
+			sent += int64(len(tmp))
+			s.count += int64(len(tmp))
+			r.pool.Put(tmp)
+			if !more {
+				break
+			}
+		} else {
+			e, ok := s.src.Next()
+			if !ok {
+				break
+			}
+			sent++
+			s.count++
+			w.add(e)
+		}
+	}
+	w.flush()
+	r.closeDownstream(s.out)
+}

@@ -142,11 +142,12 @@ func (g *Graph) Failures() []NodeFailure {
 
 // recordPanic converts an operator panic into a counted node failure.
 // The node is detached (it processes no further input); under FailFast
-// the whole run is flagged to halt.
+// the whole run is flagged to halt. The node mutations happen under
+// failMu because replicated workers may crash concurrently.
 func (g *Graph) recordPanic(id NodeID, n *node, r interface{}) {
+	g.failMu.Lock()
 	n.stats.Panics++
 	n.detached = true
-	g.failMu.Lock()
 	g.failed = append(g.failed, NodeFailure{Node: id, Op: n.op.Name(), Panic: r, Stack: string(debug.Stack())})
 	g.failMu.Unlock()
 	if g.policy == FailFast {
@@ -389,138 +390,11 @@ func (g *Graph) safeFlush(id NodeID, n *node, queue *[]work) {
 }
 
 // RunConcurrent executes the graph with one goroutine per operator and
-// buffered channels of the given capacity between them. Arrival order
-// across different sources is not deterministic; use Run for
-// experiments that depend on interleaving. Returns when all sources are
-// exhausted and the pipeline has flushed. maxElements < 0 = unbounded.
+// batched channels between them (see RunWith). Arrival order across
+// different sources is not deterministic; use Run for experiments that
+// depend on interleaving. Returns when all sources are exhausted and
+// the pipeline has flushed. maxElements < 0 = unbounded; chanCap is the
+// per-edge channel capacity in batches (<= 0 uses the default).
 func (g *Graph) RunConcurrent(maxElements int64, chanCap int) {
-	if chanCap <= 0 {
-		chanCap = 64
-	}
-	type msg struct {
-		port int
-		e    stream.Element
-	}
-	chans := make([]chan msg, len(g.nodes))
-	for i := range chans {
-		chans[i] = make(chan msg, chanCap)
-	}
-	var sinkMu sync.Mutex
-
-	// Count writers per node so channels close exactly once.
-	writers := make([]int, len(g.nodes))
-	for _, s := range g.sources {
-		for _, ed := range s.out {
-			writers[ed.to]++
-		}
-	}
-	for _, n := range g.nodes {
-		for _, ed := range n.out {
-			if ed.to >= 0 {
-				writers[ed.to]++
-			}
-		}
-	}
-	var closeMu sync.Mutex
-	closeOne := func(id NodeID) {
-		closeMu.Lock()
-		writers[id]--
-		if writers[id] == 0 {
-			close(chans[id])
-		}
-		closeMu.Unlock()
-	}
-
-	var wg sync.WaitGroup
-	emitFor := func(n *node) ops.Emit {
-		return func(out stream.Element) {
-			for _, ed := range n.out {
-				if ed.to < 0 {
-					sinkMu.Lock()
-					g.sink(out)
-					sinkMu.Unlock()
-				} else {
-					chans[ed.to] <- msg{port: ed.port, e: out}
-				}
-			}
-		}
-	}
-	for id := range g.nodes {
-		n := g.nodes[id]
-		wg.Add(1)
-		go func(id NodeID, n *node) {
-			defer wg.Done()
-			emit := emitFor(n)
-			// Panic isolation: a crashed operator keeps draining its
-			// input channel (so upstream writers never block on a dead
-			// consumer) and still closes its downstream edges — the
-			// graph terminates instead of deadlocking in wg.Wait.
-			crashed := n.detached
-			push := func(m msg) (ok bool) {
-				defer func() {
-					if r := recover(); r != nil {
-						g.recordPanic(id, n, r)
-						ok = false
-					}
-				}()
-				n.op.Push(m.port, m.e, func(out stream.Element) {
-					n.stats.Out++
-					emit(out)
-				})
-				return true
-			}
-			for m := range chans[id] {
-				if crashed {
-					continue // discard: node is detached
-				}
-				n.stats.In++
-				if !push(m) {
-					crashed = true
-				}
-			}
-			if !crashed {
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							g.recordPanic(id, n, r)
-						}
-					}()
-					n.op.Flush(func(out stream.Element) {
-						n.stats.Out++
-						emit(out)
-					})
-				}()
-			}
-			for _, ed := range n.out {
-				if ed.to >= 0 {
-					closeOne(ed.to)
-				}
-			}
-		}(NodeID(id), n)
-	}
-	for _, s := range g.sources {
-		wg.Add(1)
-		go func(s *sourceNode) {
-			defer wg.Done()
-			var sent int64
-			for maxElements < 0 || sent < maxElements {
-				if g.halted.Load() {
-					break // fail-fast: stop feeding, let the pipeline drain
-				}
-				e, ok := s.src.Next()
-				if !ok {
-					break
-				}
-				sent++
-				s.count++
-				for _, ed := range s.out {
-					chans[ed.to] <- msg{port: ed.port, e: e}
-				}
-			}
-			for _, ed := range s.out {
-				closeOne(ed.to)
-			}
-		}(s)
-	}
-	wg.Wait()
+	g.RunWith(maxElements, RunOptions{ChanCap: chanCap})
 }

@@ -325,3 +325,20 @@ func TestScaleFloor(t *testing.T) {
 		t.Error("identity scale broken")
 	}
 }
+
+func TestE18Shape(t *testing.T) {
+	tb := E18BatchedExecution(testScale)
+	// Every configuration must be byte-identical to the batch=1 run.
+	for row := range tb.Rows {
+		if got := cell(t, tb, row, 5); got != "true" {
+			t.Errorf("batch=%s replicas=%s: exact = %s (batching changed results)",
+				cell(t, tb, row, 0), cell(t, tb, row, 1), got)
+		}
+	}
+	// Throughput at batch=64 must beat element-at-a-time. The margin is
+	// kept loose here (full margins are asserted by the benchmarks) so
+	// the shape test stays robust on loaded CI hosts.
+	if b1, b64 := num(t, tb, 0, 3), num(t, tb, 2, 3); b64 < b1 {
+		t.Errorf("batch=64 throughput %v below batch=1 %v", b64, b1)
+	}
+}

@@ -1,0 +1,256 @@
+// Fast lane: common predicate shapes compiled into specialized closures.
+//
+// The per-tuple cost of Expr.Eval is dominated by interface dispatch and
+// Value copying, which matters for selections sitting on the hottest
+// path of the engine (every Traffic tuple crosses "protocol = 6 and
+// length > 512"-shaped filters). CompilePredicate recognizes the shapes
+// that appear in practice — Col cmp Lit over the numeric kinds, composed
+// with AND/OR — and returns a closure that reads the column payload
+// directly. Anything it does not recognize (or any tuple whose runtime
+// kind deviates from the schema, e.g. NULLs) falls back to the generic
+// evaluator, so the fast lane is semantically invisible.
+
+package expr
+
+import "streamdb/internal/tuple"
+
+// Pred is a compiled predicate with EvalBool semantics (NULL = false).
+type Pred func(*tuple.Tuple) bool
+
+// CompilePredicate returns a specialized evaluator for e, or nil when
+// the expression's shape has no fast lane. The returned closure is
+// exactly equivalent to EvalBool(e, t) for every tuple.
+func CompilePredicate(e Expr) Pred {
+	switch x := e.(type) {
+	case *Bin:
+		if x.Op == OpAnd || x.Op == OpOr {
+			l, r := CompilePredicate(x.L), CompilePredicate(x.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			// EvalBool three-valued logic degenerates to Go && / ||:
+			// any NULL operand already evaluates to false in the
+			// operand closures, and false AND null = false,
+			// null AND true = null->false, null OR true = true all
+			// agree with the short-circuited two-valued forms.
+			if x.Op == OpAnd {
+				return func(t *tuple.Tuple) bool { return l(t) && r(t) }
+			}
+			return func(t *tuple.Tuple) bool { return l(t) || r(t) }
+		}
+		if !x.Op.Comparison() {
+			return nil
+		}
+		if c, ok := x.L.(*Col); ok {
+			if lit, ok := x.R.(*Lit); ok {
+				return compileCmp(e, c, x.Op, lit.Val)
+			}
+		}
+		if lit, ok := x.L.(*Lit); ok {
+			if c, ok := x.R.(*Col); ok {
+				return compileCmp(e, c, flipCmp(x.Op), lit.Val)
+			}
+		}
+	case *Not:
+		inner := CompilePredicate(x.E)
+		if inner == nil {
+			return nil
+		}
+		// NOT null = null -> false under EvalBool, and inner already
+		// maps null operands to a full-expression fallback, so the
+		// two-valued negation only wraps exact results.
+		full := func(t *tuple.Tuple) bool { return EvalBool(e, t) }
+		fastInner := compileExact(x.E)
+		if fastInner == nil {
+			return nil
+		}
+		return func(t *tuple.Tuple) bool {
+			v, ok := fastInner(t)
+			if !ok {
+				return full(t)
+			}
+			return !v
+		}
+	}
+	return nil
+}
+
+// exactPred evaluates a boolean expression when the fast lane applies;
+// ok=false means "fall back to the generic evaluator" (kind mismatch,
+// NULL, or any shape the compiler skipped).
+type exactPred func(*tuple.Tuple) (val, ok bool)
+
+// compileExact is CompilePredicate for contexts (NOT) that must
+// distinguish "false" from "unknown, use the fallback".
+func compileExact(e Expr) exactPred {
+	b, ok := e.(*Bin)
+	if !ok || !b.Op.Comparison() {
+		return nil
+	}
+	c, ok := b.L.(*Col)
+	if !ok {
+		return nil
+	}
+	lit, ok := b.R.(*Lit)
+	if !ok {
+		return nil
+	}
+	cmp := compileRawCmp(c, b.Op, lit.Val)
+	if cmp == nil {
+		return nil
+	}
+	return cmp
+}
+
+// flipCmp mirrors a comparison so `lit op col` becomes `col op' lit`.
+func flipCmp(op BinOp) BinOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op // Eq, Ne are symmetric
+}
+
+// cmpMask encodes which comparison outcomes (-1, 0, +1) satisfy an
+// operator as a 3-bit mask indexed by sign+1.
+func cmpMask(op BinOp) uint8 {
+	switch op {
+	case OpEq:
+		return 0b010
+	case OpNe:
+		return 0b101
+	case OpLt:
+		return 0b001
+	case OpLe:
+		return 0b011
+	case OpGt:
+		return 0b100
+	default: // OpGe
+		return 0b110
+	}
+}
+
+// compileCmp builds the full fast predicate for `col op lit`, falling
+// back to evaluating whole (the original expression) when the runtime
+// value kind deviates from the schema.
+func compileCmp(whole Expr, c *Col, op BinOp, lit tuple.Value) Pred {
+	raw := compileRawCmp(c, op, lit)
+	if raw == nil {
+		return nil
+	}
+	return func(t *tuple.Tuple) bool {
+		v, ok := raw(t)
+		if !ok {
+			return EvalBool(whole, t)
+		}
+		return v
+	}
+}
+
+// compileRawCmp builds the kind-specialized comparison, or nil when the
+// (column kind, literal kind) pair has no fast lane. The specializations
+// reproduce tuple.Value.compareNumeric exactly for the covered pairs:
+//
+//   - any FLOAT operand compares via AsFloat on both sides, where
+//     INT/TIME convert signed and UINT converts unsigned;
+//   - otherwise raw bits compare unsigned, except that a negative INT
+//     sorts below every non-INT-negative value (TIME and UINT raw bits
+//     are never treated as negative).
+func compileRawCmp(c *Col, op BinOp, lit tuple.Value) exactPred {
+	idx, colKind, mask := c.Index, c.Typ, cmpMask(op)
+	// wrap guards the closure: fall back (ok=false) when the column is
+	// out of range or the runtime kind deviates from the schema.
+	wrap := func(sign func(v tuple.Value) uint8) exactPred {
+		return func(t *tuple.Tuple) (bool, bool) {
+			if idx >= len(t.Vals) {
+				return false, false
+			}
+			v := t.Vals[idx]
+			if v.Kind != colKind {
+				return false, false
+			}
+			return mask>>sign(v)&1 != 0, true
+		}
+	}
+	signedSign := func(x, l int64) uint8 {
+		if x < l {
+			return 0
+		} else if x > l {
+			return 2
+		}
+		return 1
+	}
+	unsignedSign := func(x, l uint64) uint8 {
+		if x < l {
+			return 0
+		} else if x > l {
+			return 2
+		}
+		return 1
+	}
+	floatSign := func(x, l float64) uint8 {
+		// NaN falls through to 1 ("equal"), matching compareNumeric.
+		if x < l {
+			return 0
+		} else if x > l {
+			return 2
+		}
+		return 1
+	}
+	switch colKind {
+	case tuple.KindInt:
+		switch lit.Kind {
+		case tuple.KindInt:
+			li := int64(lit.Raw())
+			return wrap(func(v tuple.Value) uint8 { return signedSign(int64(v.Raw()), li) })
+		case tuple.KindUint, tuple.KindTime:
+			// The literal's raw bits are unsigned; a negative column
+			// value sorts below them unconditionally.
+			lu := lit.Raw()
+			return wrap(func(v tuple.Value) uint8 {
+				x := int64(v.Raw())
+				if x < 0 {
+					return 0
+				}
+				return unsignedSign(uint64(x), lu)
+			})
+		case tuple.KindFloat:
+			lf := lit.Fl()
+			return wrap(func(v tuple.Value) uint8 { return floatSign(float64(int64(v.Raw())), lf) })
+		}
+	case tuple.KindTime, tuple.KindUint:
+		switch lit.Kind {
+		case tuple.KindInt:
+			li := int64(lit.Raw())
+			if li < 0 {
+				// Column raw bits are never Int-negative: always greater.
+				return wrap(func(tuple.Value) uint8 { return 2 })
+			}
+			lu := uint64(li)
+			return wrap(func(v tuple.Value) uint8 { return unsignedSign(v.Raw(), lu) })
+		case tuple.KindUint, tuple.KindTime:
+			lu := lit.Raw()
+			return wrap(func(v tuple.Value) uint8 { return unsignedSign(v.Raw(), lu) })
+		case tuple.KindFloat:
+			lf := lit.Fl()
+			if colKind == tuple.KindTime {
+				// AsFloat converts TIME signed but UINT unsigned.
+				return wrap(func(v tuple.Value) uint8 { return floatSign(float64(int64(v.Raw())), lf) })
+			}
+			return wrap(func(v tuple.Value) uint8 { return floatSign(float64(v.Raw()), lf) })
+		}
+	case tuple.KindFloat:
+		lf, ok := lit.AsFloat()
+		if !ok {
+			return nil
+		}
+		return wrap(func(v tuple.Value) uint8 { return floatSign(v.Fl(), lf) })
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package ops
+
+// Replicable contract: clones must behave identically to the original
+// and be fully independent (observation counters per clone).
+
+import (
+	"testing"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/tuple"
+)
+
+func TestSelectCloneIndependent(t *testing.T) {
+	pred, _ := expr.NewBin(expr.OpGt, expr.MustColumn(trafficSch, "length"), expr.Constant(tuple.Int(512)))
+	sel, err := NewSelect("sel", trafficSch, pred, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ Replicable = sel
+	collect(sel, traffic(1, 1, 100), traffic(2, 2, 600))
+	c := sel.Clone().(*Select)
+	if got := c.Selectivity(); got != 1 {
+		t.Errorf("clone selectivity = %v, want 1 (fresh counters)", got)
+	}
+	out := collect(c, traffic(3, 3, 700), traffic(4, 4, 10))
+	if len(out) != 1 {
+		t.Fatalf("clone filtered wrong: %v", out)
+	}
+	// Driving the clone must not disturb the original's observations.
+	if s := sel.Selectivity(); s != 0.5 {
+		t.Errorf("original selectivity = %v, want 0.5", s)
+	}
+}
+
+func TestProjectCloneIndependent(t *testing.T) {
+	out := tuple.NewSchema("P",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "length", Kind: tuple.KindUint},
+	)
+	p, err := NewProject("p", out, []expr.Expr{
+		expr.MustColumn(trafficSch, "time"), expr.MustColumn(trafficSch, "length"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ Replicable = p
+	c := p.Clone().(*Project)
+	got := collect(c, traffic(1, 9, 42))
+	if len(got) != 1 || got[0].Tuple.Vals[1].Raw() != 42 {
+		t.Fatalf("clone projected wrong: %v", got)
+	}
+	if c.OutSchema() != p.OutSchema() {
+		t.Error("clone must share the immutable schema")
+	}
+}

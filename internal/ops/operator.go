@@ -50,12 +50,23 @@ type Costs interface {
 	UnitCost() float64
 }
 
+// Replicable marks stateless operators the concurrent engine may
+// transparently replicate N-ways for operator parallelism: per-tuple
+// output depends only on that tuple, and Flush emits nothing. Clone
+// returns an independent instance safe to drive from another goroutine
+// (observation counters are per-clone).
+type Replicable interface {
+	Operator
+	Clone() Operator
+}
+
 // Select filters tuples by a predicate: a local per-element operator
 // (slide 29). Punctuations pass through unchanged — a punctuation's
 // promise survives filtering.
 type Select struct {
 	name string
 	pred expr.Expr
+	fast expr.Pred // compiled fast lane; nil when the shape has no specialization
 	sch  *tuple.Schema
 	in   int64
 	out  int64
@@ -72,7 +83,7 @@ func NewSelect(name string, sch *tuple.Schema, pred expr.Expr, sel, cost float64
 	if cost <= 0 {
 		cost = 1
 	}
-	return &Select{name: name, sch: sch, pred: pred, sel: sel, cost: cost}, nil
+	return &Select{name: name, sch: sch, pred: pred, fast: expr.CompilePredicate(pred), sel: sel, cost: cost}, nil
 }
 
 // Name implements Operator.
@@ -91,7 +102,13 @@ func (s *Select) Push(_ int, e stream.Element, emit Emit) {
 		return
 	}
 	s.in++
-	if expr.EvalBool(s.pred, e.Tuple) {
+	var pass bool
+	if s.fast != nil {
+		pass = s.fast(e.Tuple)
+	} else {
+		pass = expr.EvalBool(s.pred, e.Tuple)
+	}
+	if pass {
 		s.out++
 		emit(e)
 	}
@@ -119,6 +136,14 @@ func (s *Select) UnitCost() float64 { return s.cost }
 
 // Predicate returns the selection predicate (plan introspection).
 func (s *Select) Predicate() expr.Expr { return s.pred }
+
+// Clone implements Replicable: selection is stateless apart from its
+// observation counters, which start fresh on the clone.
+func (s *Select) Clone() Operator {
+	c := *s
+	c.in, c.out = 0, 0
+	return &c
+}
 
 // Project evaluates one expression per output field (slide 29,
 // duplicate-preserving). The planner is responsible for including the
@@ -179,6 +204,12 @@ func (p *Project) Selectivity() float64 { return 1 }
 
 // UnitCost implements Costs.
 func (p *Project) UnitCost() float64 { return float64(len(p.exprs)) }
+
+// Clone implements Replicable: projection holds no per-tuple state.
+func (p *Project) Clone() Operator {
+	c := *p
+	return &c
+}
 
 // DupElim is duplicate-eliminating projection, "like grouping"
 // (slide 29): it tracks the keys seen in the current tumbling window and
