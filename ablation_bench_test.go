@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"streamdb/internal/agg"
 	"streamdb/internal/exec"
 	"streamdb/internal/expr"
 	"streamdb/internal/ops"
@@ -208,6 +209,77 @@ func BenchmarkAblationJoinInvalidation(b *testing.B) {
 				t := tuple.New(ts, tuple.Time(ts), tuple.Int(int64(i%1000)))
 				j.Push(i&1, stream.Tup(t), emit)
 			}
+		})
+	}
+}
+
+// BenchmarkAblationPanes compares pane-based sliding-window aggregation
+// against the legacy per-window path on a range = 64·slide sliding
+// sum/count/avg (DESIGN.md §8). Legacy folds every tuple into all 64
+// covering windows; panes fold it into exactly one slide-aligned pane
+// and merge fixed-arity partials at window close, so both per-tuple
+// time and allocations should drop by more than an order of magnitude.
+func BenchmarkAblationPanes(b *testing.B) {
+	const groups = 64
+	sch := tuple.NewSchema("B",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "g", Kind: tuple.KindInt},
+		tuple.Field{Name: "v", Kind: tuple.KindFloat},
+	)
+	mk := func(b *testing.B, panes bool) *agg.GroupBy {
+		b.Helper()
+		var aggs []agg.Spec
+		for _, name := range []string{"sum", "count", "avg"} {
+			f, err := agg.Lookup(name, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := agg.Spec{Fn: f, Name: name}
+			if name != "count" {
+				s.Arg = expr.MustColumn(sch, "v")
+			}
+			aggs = append(aggs, s)
+		}
+		gb, err := agg.NewGroupBy("q", sch,
+			[]expr.Expr{expr.MustColumn(sch, "g")}, []string{"g"},
+			aggs, window.Time(640, 10), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !panes {
+			gb.DisablePanes()
+		} else if !gb.UsesPanes() {
+			b.Fatal("pane path not selected")
+		}
+		return gb
+	}
+	// Pre-built stream so the measurement is operator cost, not tuple
+	// construction: 64 tuples per time tick (packet-rate density), so
+	// each slide-10 pane aggregates 640 tuples — the regime pane
+	// sharing is built for.
+	const nElems = 1 << 19
+	elems := make([]stream.Element, nElems)
+	for i := range elems {
+		ts := int64(i) / 64
+		elems[i] = stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(int64(i%groups)), tuple.Float(float64(i%64)/4)))
+	}
+	for _, panes := range []bool{true, false} {
+		name := "legacy"
+		if panes {
+			name = "panes"
+		}
+		b.Run(name, func(b *testing.B) {
+			emit := func(stream.Element) {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gb := mk(b, panes)
+				for _, e := range elems {
+					gb.Push(0, e, emit)
+				}
+				gb.Flush(emit)
+			}
+			b.ReportMetric(float64(nElems)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
 		})
 	}
 }

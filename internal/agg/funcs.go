@@ -123,6 +123,7 @@ func (s *countState) Merge(o State) error {
 }
 func (s *countState) Result() tuple.Value { return tuple.Int(s.n) }
 func (s *countState) MemSize() int        { return 8 }
+func (s *countState) reset()              { s.n = 0 }
 
 type sumState struct {
 	sum float64
@@ -148,6 +149,7 @@ func (s *sumState) Result() tuple.Value {
 	return tuple.Float(s.sum)
 }
 func (s *sumState) MemSize() int { return 16 }
+func (s *sumState) reset()       { s.sum, s.any = 0, false }
 
 type minmaxState struct {
 	min  bool
@@ -173,6 +175,7 @@ func (s *minmaxState) Merge(o State) error {
 }
 func (s *minmaxState) Result() tuple.Value { return s.best }
 func (s *minmaxState) MemSize() int        { return 8 + s.best.MemSize() }
+func (s *minmaxState) reset()              { s.best = tuple.Null }
 
 type avgState struct {
 	sum float64
@@ -198,6 +201,7 @@ func (s *avgState) Result() tuple.Value {
 	return tuple.Float(s.sum / float64(s.n))
 }
 func (s *avgState) MemSize() int { return 16 }
+func (s *avgState) reset()       { s.sum, s.n = 0, 0 }
 
 type stddevState struct {
 	sum, sq float64
@@ -230,6 +234,7 @@ func (s *stddevState) Result() tuple.Value {
 	return tuple.Float(math.Sqrt(variance))
 }
 func (s *stddevState) MemSize() int { return 24 }
+func (s *stddevState) reset()       { s.sum, s.sq, s.n = 0, 0, 0 }
 
 // distinctState is exact count-distinct: memory grows with cardinality,
 // exactly the unbounded-memory hazard of slide 36.

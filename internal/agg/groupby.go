@@ -2,6 +2,7 @@ package agg
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"streamdb/internal/expr"
@@ -33,17 +34,45 @@ type GroupBy struct {
 	name      string
 	groupBy   []expr.Expr
 	groupName []string
+	keyCols   []int // fast lane: group-by is all bare columns; nil = generic
 	aggs      []Spec
 	having    expr.Expr // evaluated over the output schema; may be nil
 	spec      window.Spec
 	assigner  *window.Assigner
 	out       *tuple.Schema
-	// windows maps window start -> group table.
+	// windows maps window start -> group table (legacy per-window path).
 	windows   map[int64]*groupTable
 	unbounded *groupTable
 	watermark int64
 	emitted   int64
-	maxGroups int // high-water mark of concurrent group states
+	maxGroups int           // high-water mark of concurrent group states
+	scratch   []tuple.Value // reusable key buffer for fold
+
+	// Pane path (see pane.go): active when paneAsn != nil. Each tuple
+	// updates exactly one slide-aligned pane; windows are folded from
+	// pane partials at close time.
+	paneAsn  *window.PaneAssigner
+	panes    map[int64]*paneTable
+	paneWins map[int64]int64 // window start -> end, registered by panes
+	lastPane *paneTable      // fast path for in-order arrivals
+	paneNext int64           // earliest open window end; advance fast exit
+
+	// Recycling (see pane.go): pane lifetime is bounded and partial
+	// arity fixed, so retired pane tables and their groups are reused
+	// instead of reallocated. groupFree holds groups with owned key
+	// slices (overwritten in place); combFree holds combine out-groups
+	// whose keys alias pane groups (only ever replaced by assignment).
+	paneFree  []*paneTable
+	groupFree []*group
+	combFree  []*group
+	combTbl   *groupTable // reusable combine output table
+	dueBuf    []int64     // reusable due-window scratch
+
+	// Partial-replica mode (engine-internal; see ClonePartial): emit
+	// fixed-arity partial records plus progress punctuations instead of
+	// final rows, for a downstream PaneCombiner.
+	partial     bool
+	partialMark int64
 }
 
 type groupTable struct {
@@ -88,9 +117,26 @@ func NewGroupBy(name string, in *tuple.Schema, groupBy []expr.Expr, groupNames [
 	g := &GroupBy{
 		name: name, groupBy: groupBy, groupName: groupNames, aggs: aggs,
 		spec: spec, out: out, windows: make(map[int64]*groupTable),
+		keyCols: expr.CompileCols(groupBy),
+		scratch: make([]tuple.Value, 0, len(groupBy)),
 	}
 	if spec.Kind == window.KindTime {
-		g.assigner = window.NewAssigner(spec)
+		if window.PaneCompatible(spec) && allPartializable(aggs) {
+			// Pane path: O(1) state updates per tuple, windows folded
+			// from shared sub-aggregates (see pane.go). Holistic
+			// aggregates (median, ...) cannot merge fixed-arity partials
+			// and keep the legacy per-window path.
+			pa, err := window.NewPaneAssigner(spec)
+			if err != nil {
+				return nil, err
+			}
+			g.paneAsn = pa
+			g.panes = make(map[int64]*paneTable)
+			g.paneWins = make(map[int64]int64)
+			g.paneNext = math.MaxInt64
+		} else {
+			g.assigner = window.NewAssigner(spec)
+		}
 	} else {
 		g.unbounded = &groupTable{groups: make(map[uint64][]*group)}
 	}
@@ -121,38 +167,75 @@ func (g *GroupBy) Push(_ int, e stream.Element, emit ops.Emit) {
 	if e.IsPunct() {
 		g.advance(e.Punct.Ts, emit)
 		g.closeGroups(e.Punct, emit)
+		if g.partial && e.Punct.Ts > g.partialMark {
+			// Forward the time advance so the downstream combiner can
+			// finalize windows (and punctuation-closed groups) we have
+			// already accounted for.
+			g.partialMark = e.Punct.Ts
+			emit(stream.Punct(&stream.Punctuation{Ts: g.partialMark}))
+		}
 		return
 	}
 	t := e.Tuple
 	if t.Ts > g.watermark {
 		g.advance(t.Ts, emit)
 	}
-	if g.assigner == nil {
+	switch {
+	case g.paneAsn != nil:
+		g.foldPane(t)
+		g.emitProgress(emit)
+	case g.assigner == nil:
 		g.fold(g.unbounded, t)
 		return
-	}
-	for _, id := range g.assigner.Assign(t.Ts) {
-		tbl, ok := g.windows[id.Start]
-		if !ok {
-			tbl = &groupTable{end: id.End, groups: make(map[uint64][]*group)}
-			g.windows[id.Start] = tbl
+	default:
+		for _, id := range g.assigner.Assign(t.Ts) {
+			tbl, ok := g.windows[id.Start]
+			if !ok {
+				tbl = &groupTable{end: id.End, groups: make(map[uint64][]*group)}
+				g.windows[id.Start] = tbl
+			}
+			g.fold(tbl, t)
 		}
-		g.fold(tbl, t)
 	}
+}
+
+// trackGroups samples the live-group high-water mark. Group counts only
+// grow between removal events (advance, closeGroups, Flush), so sampling
+// at those boundaries observes the exact maximum without paying an
+// O(windows) scan per tuple.
+func (g *GroupBy) trackGroups() {
 	if n := g.liveGroups(); n > g.maxGroups {
 		g.maxGroups = n
 	}
 }
 
-func (g *GroupBy) fold(tbl *groupTable, t *tuple.Tuple) {
-	keys := make([]tuple.Value, len(g.groupBy))
+// evalKeys extracts the tuple's grouping-key values into the reusable
+// scratch buffer and returns them with their chain hash. Bare-column
+// groupings take the compiled fast lane (no interface dispatch).
+func (g *GroupBy) evalKeys(t *tuple.Tuple) ([]tuple.Value, uint64) {
+	keys := g.scratch[:0]
 	h := uint64(1469598103934665603)
-	for i, ge := range g.groupBy {
-		keys[i] = ge.Eval(t)
-		vh := keys[i].Hash()
-		h ^= vh
-		h *= 1099511628211
+	if g.keyCols != nil {
+		for _, idx := range g.keyCols {
+			v := t.Vals[idx]
+			keys = append(keys, v)
+			h ^= v.Hash()
+			h *= 1099511628211
+		}
+	} else {
+		for _, ge := range g.groupBy {
+			v := ge.Eval(t)
+			keys = append(keys, v)
+			h ^= v.Hash()
+			h *= 1099511628211
+		}
 	}
+	g.scratch = keys
+	return keys, h
+}
+
+func (g *GroupBy) fold(tbl *groupTable, t *tuple.Tuple) {
+	keys, h := g.evalKeys(t)
 	var grp *group
 	for _, cand := range tbl.groups[h] {
 		if keysEqual(cand.keys, keys) {
@@ -161,11 +244,23 @@ func (g *GroupBy) fold(tbl *groupTable, t *tuple.Tuple) {
 		}
 	}
 	if grp == nil {
-		states := make([]State, len(g.aggs))
-		for i, a := range g.aggs {
-			states[i] = a.Fn.New()
+		if n := len(g.groupFree); n > 0 {
+			// Recycled group (states already reset): overwrite the owned
+			// key slice in place.
+			grp = g.groupFree[n-1]
+			g.groupFree = g.groupFree[:n-1]
+			grp.keys = append(grp.keys[:0], keys...)
+		} else {
+			// Keys live as long as the group: copy them out of the
+			// scratch buffer.
+			kc := make([]tuple.Value, len(keys))
+			copy(kc, keys)
+			states := make([]State, len(g.aggs))
+			for i, a := range g.aggs {
+				states[i] = a.Fn.New()
+			}
+			grp = &group{keys: kc, states: states}
 		}
-		grp = &group{keys: keys, states: states}
 		tbl.groups[h] = append(tbl.groups[h], grp)
 		tbl.n++
 	}
@@ -184,7 +279,12 @@ func (g *GroupBy) advance(now int64, emit ops.Emit) {
 	if now <= g.watermark {
 		return
 	}
+	g.trackGroups()
 	g.watermark = now
+	if g.paneAsn != nil {
+		g.advancePanes(now, emit)
+		return
+	}
 	if g.assigner == nil {
 		return
 	}
@@ -216,11 +316,42 @@ func (g *GroupBy) advance(now int64, emit ops.Emit) {
 }
 
 func (g *GroupBy) emitTable(tbl *groupTable, emit ops.Emit) {
+	if tbl.n == 0 {
+		return
+	}
 	// Deterministic group order: sort by key values.
 	grps := make([]*group, 0, tbl.n)
 	for _, chain := range tbl.groups {
 		grps = append(grps, chain...)
 	}
+	sortGroups(grps)
+	// One backing array for the whole table: emission allocates O(1)
+	// slices regardless of group count. Rows escape downstream and are
+	// never reused.
+	arity := 1 + len(g.groupBy) + len(g.aggs)
+	rows := make([]tuple.Tuple, len(grps))
+	buf := make([]tuple.Value, 0, len(grps)*arity)
+	for i, grp := range grps {
+		start := len(buf)
+		buf = append(buf, tuple.Time(tbl.end))
+		buf = append(buf, grp.keys...)
+		for _, st := range grp.states {
+			buf = append(buf, st.Result())
+		}
+		rows[i] = tuple.Tuple{Ts: tbl.end, Vals: buf[start:len(buf):len(buf)]}
+	}
+	for i := range rows {
+		out := &rows[i]
+		if g.having != nil && !expr.EvalBool(g.having, out) {
+			continue
+		}
+		g.emitted++
+		emit(stream.Tup(out))
+	}
+}
+
+// sortGroups orders groups by key values for deterministic output.
+func sortGroups(grps []*group) {
 	sort.Slice(grps, func(i, j int) bool {
 		a, b := grps[i], grps[j]
 		for k := range a.keys {
@@ -230,20 +361,23 @@ func (g *GroupBy) emitTable(tbl *groupTable, emit ops.Emit) {
 		}
 		return false
 	})
-	for _, grp := range grps {
-		vals := make([]tuple.Value, 0, 1+len(grp.keys)+len(grp.states))
-		vals = append(vals, tuple.Time(tbl.end))
-		vals = append(vals, grp.keys...)
-		for _, st := range grp.states {
-			vals = append(vals, st.Result())
-		}
-		out := tuple.New(tbl.end, vals...)
-		if g.having != nil && !expr.EvalBool(g.having, out) {
-			continue
-		}
-		g.emitted++
-		emit(stream.Tup(out))
+}
+
+// emitGroup produces one result row for a finished group, honoring
+// HAVING.
+func (g *GroupBy) emitGroup(end int64, grp *group, emit ops.Emit) {
+	vals := make([]tuple.Value, 0, 1+len(grp.keys)+len(grp.states))
+	vals = append(vals, tuple.Time(end))
+	vals = append(vals, grp.keys...)
+	for _, st := range grp.states {
+		vals = append(vals, st.Result())
 	}
+	out := tuple.New(end, vals...)
+	if g.having != nil && !expr.EvalBool(g.having, out) {
+		return
+	}
+	g.emitted++
+	emit(stream.Tup(out))
 }
 
 // closeGroups applies data-dependent punctuations [TMSF03] (slide 28's
@@ -256,72 +390,20 @@ func (g *GroupBy) closeGroups(p *stream.Punctuation, emit ops.Emit) {
 	if len(p.Fields) == 0 || len(g.groupBy) == 0 {
 		return
 	}
-	// Map each punctuation pattern to a group-by position; bail out if
-	// any pattern is on a column the grouping does not preserve.
-	type bound struct {
-		groupIdx int
-		pat      stream.Pattern
+	g.trackGroups()
+	bounds, ok := g.punctBounds(p)
+	if !ok {
+		return
 	}
-	var bounds []bound
-	for col, pat := range p.Fields {
-		matched := false
-		for gi, ge := range g.groupBy {
-			if c, ok := ge.(*expr.Col); ok && c.Index == col {
-				bounds = append(bounds, bound{groupIdx: gi, pat: pat})
-				matched = true
-				break
-			}
-		}
-		if !matched {
-			return
-		}
+	if g.paneAsn != nil {
+		g.closeGroupsPanes(p.Ts, bounds, emit)
+		return
 	}
 	closeIn := func(tbl *groupTable, end int64) {
-		var done []*group
-		for h, chain := range tbl.groups {
-			keep := chain[:0]
-			for _, grp := range chain {
-				match := true
-				for _, b := range bounds {
-					if !b.pat.Matches(grp.keys[b.groupIdx]) {
-						match = false
-						break
-					}
-				}
-				if match {
-					done = append(done, grp)
-					tbl.n--
-				} else {
-					keep = append(keep, grp)
-				}
-			}
-			if len(keep) == 0 {
-				delete(tbl.groups, h)
-			} else {
-				tbl.groups[h] = keep
-			}
-		}
-		sort.Slice(done, func(i, j int) bool {
-			for k := range done[i].keys {
-				if c := done[i].keys[k].Compare(done[j].keys[k]); c != 0 {
-					return c < 0
-				}
-			}
-			return false
-		})
+		done := tbl.removeMatching(bounds)
+		sortGroups(done)
 		for _, grp := range done {
-			vals := make([]tuple.Value, 0, 1+len(grp.keys)+len(grp.states))
-			vals = append(vals, tuple.Time(end))
-			vals = append(vals, grp.keys...)
-			for _, st := range grp.states {
-				vals = append(vals, st.Result())
-			}
-			out := tuple.New(end, vals...)
-			if g.having != nil && !expr.EvalBool(g.having, out) {
-				continue
-			}
-			g.emitted++
-			emit(stream.Tup(out))
+			g.emitGroup(end, grp, emit)
 		}
 	}
 	if g.unbounded != nil {
@@ -332,9 +414,74 @@ func (g *GroupBy) closeGroups(p *stream.Punctuation, emit ops.Emit) {
 	}
 }
 
+// keyBound binds one punctuation pattern to a group-by key position.
+type keyBound struct {
+	groupIdx int
+	pat      stream.Pattern
+}
+
+// punctBounds maps each punctuation pattern to a group-by position;
+// ok=false when any pattern is on a column the grouping does not
+// preserve (computed groupings are conservatively left open).
+func (g *GroupBy) punctBounds(p *stream.Punctuation) ([]keyBound, bool) {
+	var bounds []keyBound
+	for col, pat := range p.Fields {
+		matched := false
+		for gi, ge := range g.groupBy {
+			if c, ok := ge.(*expr.Col); ok && c.Index == col {
+				bounds = append(bounds, keyBound{groupIdx: gi, pat: pat})
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, false
+		}
+	}
+	return bounds, true
+}
+
+// matchBounds reports whether a group's keys satisfy every bound.
+func matchBounds(keys []tuple.Value, bounds []keyBound) bool {
+	for _, b := range bounds {
+		if !b.pat.Matches(keys[b.groupIdx]) {
+			return false
+		}
+	}
+	return true
+}
+
+// removeMatching extracts (and removes) every group whose keys satisfy
+// the bounds.
+func (tbl *groupTable) removeMatching(bounds []keyBound) []*group {
+	var done []*group
+	for h, chain := range tbl.groups {
+		keep := chain[:0]
+		for _, grp := range chain {
+			if matchBounds(grp.keys, bounds) {
+				done = append(done, grp)
+				tbl.n--
+			} else {
+				keep = append(keep, grp)
+			}
+		}
+		if len(keep) == 0 {
+			delete(tbl.groups, h)
+		} else {
+			tbl.groups[h] = keep
+		}
+	}
+	return done
+}
+
 // Flush implements ops.Operator: emits all open windows (or the
 // unbounded table).
 func (g *GroupBy) Flush(emit ops.Emit) {
+	g.trackGroups()
+	if g.paneAsn != nil {
+		g.flushPanes(emit)
+		return
+	}
 	if g.assigner == nil {
 		if g.unbounded != nil && g.unbounded.n > 0 {
 			g.unbounded.end = g.watermark
@@ -359,6 +506,9 @@ func (g *GroupBy) MemSize() int {
 	n := 128
 	count := func(tbl *groupTable) {
 		for _, chain := range tbl.groups {
+			if len(chain) == 0 {
+				continue // recycled table: warm but empty hash chain
+			}
 			grp := chain[0]
 			n += 32 * len(chain)
 			for _, k := range grp.keys {
@@ -372,6 +522,10 @@ func (g *GroupBy) MemSize() int {
 	for _, tbl := range g.windows {
 		count(tbl)
 	}
+	for _, p := range g.panes {
+		count(&p.groupTable)
+	}
+	n += 16 * len(g.paneWins)
 	if g.unbounded != nil {
 		count(g.unbounded)
 	}
@@ -385,6 +539,9 @@ func (g *GroupBy) liveGroups() int {
 	for _, tbl := range g.windows {
 		n += tbl.n
 	}
+	for _, p := range g.panes {
+		n += p.n
+	}
 	if g.unbounded != nil {
 		n += g.unbounded.n
 	}
@@ -392,7 +549,10 @@ func (g *GroupBy) liveGroups() int {
 }
 
 // MaxGroups reports the high-water mark of concurrent group states.
-func (g *GroupBy) MaxGroups() int { return g.maxGroups }
+func (g *GroupBy) MaxGroups() int {
+	g.trackGroups() // fold in groups created since the last boundary
+	return g.maxGroups
+}
 
 // Emitted reports the number of result rows produced.
 func (g *GroupBy) Emitted() int64 { return g.emitted }

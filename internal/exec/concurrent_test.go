@@ -71,8 +71,8 @@ func TestBatchedMatchesUnbatchedExactOrder(t *testing.T) {
 		{BatchSize: 7},
 		{BatchSize: 64},
 		{BatchSize: 256},
-		{BatchSize: 64, Parallelism: 4},
-		{BatchSize: 1, Parallelism: 2},
+		{BatchSize: 64, Parallelism: 4, ForceParallelism: true},
+		{BatchSize: 1, Parallelism: 2, ForceParallelism: true},
 	} {
 		got := pipelineOutputs(t, elems, cfg)
 		if len(got) != len(base) {
@@ -236,7 +236,7 @@ func TestReplicationSkipsStatefulOperators(t *testing.T) {
 		return n
 	}
 	base := run(RunOptions{BatchSize: 1})
-	repl := run(RunOptions{BatchSize: 64, Parallelism: 4})
+	repl := run(RunOptions{BatchSize: 64, Parallelism: 4, ForceParallelism: true})
 	if base == 0 || base != repl {
 		t.Errorf("join results: unbatched %d, batched+replicated %d", base, repl)
 	}
@@ -284,7 +284,7 @@ func TestReplicatedStatsCounted(t *testing.T) {
 	if err := g.ConnectOut(sel); err != nil {
 		t.Fatal(err)
 	}
-	g.RunWith(-1, RunOptions{BatchSize: 32, Parallelism: 4})
+	g.RunWith(-1, RunOptions{BatchSize: 32, Parallelism: 4, ForceParallelism: true})
 	st := g.Stats(sel)
 	if st.In != 2000 {
 		t.Errorf("In = %d, want 2000", st.In)
@@ -392,7 +392,7 @@ func TestBatchedDegradeIsolatesPanic(t *testing.T) {
 		}
 		done := make(chan struct{})
 		go func() {
-			g.RunWith(-1, RunOptions{BatchSize: 64, Parallelism: par})
+			g.RunWith(-1, RunOptions{BatchSize: 64, Parallelism: par, ForceParallelism: true})
 			close(done)
 		}()
 		select {
@@ -459,7 +459,7 @@ func TestReplicatedDegradePanic(t *testing.T) {
 	}
 	done := make(chan struct{})
 	go func() {
-		g.RunWith(-1, RunOptions{BatchSize: 16, Parallelism: 4})
+		g.RunWith(-1, RunOptions{BatchSize: 16, Parallelism: 4, ForceParallelism: true})
 		close(done)
 	}()
 	select {

@@ -42,6 +42,10 @@ type NodeStats struct {
 	In, Out   int64
 	MaxQueue  int
 	MaxMemory int
+	// Replicas records the effective replication width the concurrent
+	// engine chose for this node on its last run: RunOptions.Parallelism
+	// after the GOMAXPROCS cap, or 1 for unreplicated nodes.
+	Replicas int
 	// Panics counts operator panics converted into node failures by the
 	// execution layer's isolation boundary.
 	Panics int64

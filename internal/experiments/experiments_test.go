@@ -342,3 +342,24 @@ func TestE18Shape(t *testing.T) {
 		t.Errorf("batch=64 throughput %v below batch=1 %v", b64, b1)
 	}
 }
+
+func TestE19Shape(t *testing.T) {
+	tb := E19PaneAggregation(testScale)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("E19 rows = %d, want 5", len(tb.Rows))
+	}
+	// Every path — panes under Run, batched, and partial-replicated —
+	// must be byte-identical to the legacy deterministic run.
+	for row := range tb.Rows {
+		if got := cell(t, tb, row, 6); got != "true" {
+			t.Errorf("path=%s batch=%s replicas=%s: exact = %s (pane path changed results)",
+				cell(t, tb, row, 0), cell(t, tb, row, 1), cell(t, tb, row, 2), got)
+		}
+	}
+	// The pane path must not be slower than legacy on a range = 64·slide
+	// window; the full >= 5x margin is asserted by BenchmarkAblationPanes,
+	// the shape test stays loose for noisy CI hosts.
+	if legacy, panes := num(t, tb, 1, 4), num(t, tb, 3, 4); panes < legacy {
+		t.Errorf("pane throughput %v below legacy %v at batch=64", panes, legacy)
+	}
+}

@@ -17,6 +17,27 @@ import "streamdb/internal/tuple"
 // Pred is a compiled predicate with EvalBool semantics (NULL = false).
 type Pred func(*tuple.Tuple) bool
 
+// CompileCols is the grouping-key analogue of CompilePredicate: when
+// every expression is a bare column reference it returns the column
+// indices, letting group-by operators read key values straight out of
+// the tuple instead of paying an interface dispatch per key per tuple.
+// Any computed expression disables the fast lane (nil). The indices
+// reproduce Col.Eval exactly: key i of tuple t is t.Vals[idx[i]].
+func CompileCols(exprs []Expr) []int {
+	if len(exprs) == 0 {
+		return nil
+	}
+	idx := make([]int, len(exprs))
+	for i, e := range exprs {
+		c, ok := e.(*Col)
+		if !ok {
+			return nil
+		}
+		idx[i] = c.Index
+	}
+	return idx
+}
+
 // CompilePredicate returns a specialized evaluator for e, or nil when
 // the expression's shape has no fast lane. The returned closure is
 // exactly equivalent to EvalBool(e, t) for every tuple.

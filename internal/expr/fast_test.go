@@ -187,6 +187,34 @@ func TestCompilePredicateNegativeLitAgainstUint(t *testing.T) {
 	}
 }
 
+// CompileCols must return exactly the Col indices for all-column key
+// lists (reproducing Col.Eval as t.Vals[idx[i]]) and refuse the fast
+// lane the moment any key is computed.
+func TestCompileCols(t *testing.T) {
+	cols := []Expr{MustColumn(fastSch, "i"), MustColumn(fastSch, "f"), MustColumn(fastSch, "time")}
+	idx := CompileCols(cols)
+	if len(idx) != len(cols) {
+		t.Fatalf("CompileCols returned %d indices, want %d", len(idx), len(cols))
+	}
+	tp := tuple.New(0, tuple.Time(5), tuple.Int(7), tuple.Uint(9), tuple.Float(2.5))
+	for i, e := range cols {
+		want := e.Eval(tp)
+		if got := tp.Vals[idx[i]]; got != want {
+			t.Errorf("key %d: t.Vals[%d] = %v, Eval = %v", i, idx[i], got, want)
+		}
+	}
+	arith, err := NewBin(OpAdd, MustColumn(fastSch, "i"), Constant(tuple.Int(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CompileCols([]Expr{MustColumn(fastSch, "i"), arith}) != nil {
+		t.Error("computed key expression must disable the fast lane")
+	}
+	if CompileCols(nil) != nil || CompileCols([]Expr{}) != nil {
+		t.Error("empty key list has no fast lane")
+	}
+}
+
 func BenchmarkPredicateFastVsGeneric(b *testing.B) {
 	gt, err := NewBin(OpGt, MustColumn(fastSch, "u"), Constant(tuple.Uint(512)))
 	if err != nil {

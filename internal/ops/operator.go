@@ -60,6 +60,22 @@ type Replicable interface {
 	Clone() Operator
 }
 
+// PartialAggregable marks stateful aggregation operators the concurrent
+// engine may run as N partial-emitting replicas feeding one combiner
+// node — the two-level (partial/final) aggregation split applied to
+// intra-operator parallelism. CanPartial gates the capability at the
+// value level: an operator type may implement the interface yet decline
+// for configurations whose aggregates cannot ship fixed-arity partials.
+// ClonePartial returns an independent replica emitting partial records
+// plus progress punctuations; Combiner returns the node that merges the
+// replicas' outputs into the exact single-copy result stream.
+type PartialAggregable interface {
+	Operator
+	CanPartial() bool
+	ClonePartial() Operator
+	Combiner() Operator
+}
+
 // Select filters tuples by a predicate: a local per-element operator
 // (slide 29). Punctuations pass through unchanged — a punctuation's
 // promise survives filtering.

@@ -98,6 +98,11 @@ func TestValueCompare(t *testing.T) {
 		{String("a"), String("b"), -1},
 		{Bool(false), Bool(true), -1},
 		{Uint(math.MaxUint64), Int(math.MaxInt64), 1},
+		// IPs order by address: group tables sorted on an IP key must
+		// not degrade to map iteration order.
+		{IP(0x0a000001), IP(0x0a000002), -1},
+		{IP(0x0a000002), IP(0x0a000001), 1},
+		{IP(0x0a000001), IP(0x0a000001), 0},
 	}
 	for _, c := range cases {
 		if got := c.a.Compare(c.b); got != c.want {

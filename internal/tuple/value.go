@@ -303,6 +303,15 @@ func (v Value) Compare(o Value) int {
 		return strings.Compare(v.s, o.s)
 	case KindBool:
 		return int(v.num) - int(o.num)
+	case KindIP:
+		// Address order. Without this, sorting result rows by an IP
+		// group key degrades to map iteration order.
+		switch {
+		case v.num < o.num:
+			return -1
+		case v.num > o.num:
+			return 1
+		}
 	}
 	return 0
 }

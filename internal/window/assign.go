@@ -51,13 +51,21 @@ func (a *Assigner) Assign(ts int64) []ID {
 
 // Closed returns the largest window end boundary <= now: all window
 // instances with End <= that boundary can be finalized once time has
-// advanced to now.
+// advanced to now. Returns 0 when no instance has closed yet.
 func (a *Assigner) Closed(now int64) int64 {
 	s := a.spec
 	if s.Landmark {
+		// Landmark windows close (emit a snapshot) at every landmark
+		// emission boundary: multiples of the slide.
 		return (now / s.Slide) * s.Slide
 	}
-	return (now / s.Slide) * s.Slide
+	// Non-landmark ends are of the form k*Slide + Range, which lies on
+	// slide multiples only when Range is a multiple of Slide. The largest
+	// end <= now is floor((now-Range)/Slide)*Slide + Range.
+	if now < s.Range {
+		return 0
+	}
+	return ((now-s.Range)/s.Slide)*s.Slide + s.Range
 }
 
 // Spec returns the assigner's window spec.

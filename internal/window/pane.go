@@ -1,0 +1,80 @@
+package window
+
+import "fmt"
+
+// PaneAssigner implements pane-based (sub-aggregate sharing) window
+// assignment: instead of mapping a tuple into every overlapping window
+// instance, each tuple maps into exactly one slide-aligned *pane*
+// [k*Slide, (k+1)*Slide), and a window instance is the disjoint union
+// of Range/Slide consecutive panes. Distributive and algebraic
+// aggregates accumulate one partial per pane (O(1) state updates per
+// tuple) and a window's result is the fold of its panes' partials —
+// the low-level/high-level split of Gigascope's two-level architecture
+// (slides 34-37) applied inside a single operator.
+//
+// The decomposition is sound only when every window boundary is a pane
+// boundary, i.e. Range is a multiple of Slide; PaneCompatible gates it.
+type PaneAssigner struct {
+	spec Spec
+}
+
+// PaneCompatible reports whether the spec's windows decompose into
+// slide-aligned panes: a non-landmark time window whose range is a
+// positive multiple of its slide. (Landmark windows are already O(1)
+// per tuple — a single growing instance — and gain nothing from panes.
+// A range that is not a multiple of the slide yields windows whose
+// edges cut through panes, so pane partials cannot be shared.)
+func PaneCompatible(spec Spec) bool {
+	return spec.Kind == KindTime && !spec.Landmark &&
+		spec.Slide > 0 && spec.Range > 0 && spec.Range%spec.Slide == 0
+}
+
+// NewPaneAssigner builds a pane assigner; the spec must be
+// PaneCompatible.
+func NewPaneAssigner(spec Spec) (*PaneAssigner, error) {
+	if !PaneCompatible(spec) {
+		return nil, fmt.Errorf("window: spec %s does not decompose into panes", spec)
+	}
+	return &PaneAssigner{spec: spec}, nil
+}
+
+// Spec returns the assigner's window spec.
+func (p *PaneAssigner) Spec() Spec { return p.spec }
+
+// Pane returns the single pane containing ts.
+func (p *PaneAssigner) Pane(ts int64) ID {
+	start := (ts / p.spec.Slide) * p.spec.Slide
+	return ID{Start: start, End: start + p.spec.Slide}
+}
+
+// Windows visits the window instances that cover the pane starting at
+// paneStart, newest first (matching Assigner.Assign's order), skipping
+// instances that would start before the stream origin. Return false to
+// stop.
+func (p *PaneAssigner) Windows(paneStart int64, f func(ID) bool) {
+	for start := paneStart; start > paneStart-p.spec.Range; start -= p.spec.Slide {
+		if start < 0 {
+			return
+		}
+		if !f(ID{Start: start, End: start + p.spec.Range}) {
+			return
+		}
+	}
+}
+
+// Panes visits the pane start offsets constituting window w, oldest
+// first — the deterministic fold order for combining partials.
+func (p *PaneAssigner) Panes(w ID, f func(paneStart int64) bool) {
+	for ps := w.Start; ps < w.End; ps += p.spec.Slide {
+		if !f(ps) {
+			return
+		}
+	}
+}
+
+// Retired reports whether the pane starting at paneStart can be
+// dropped once time has advanced to watermark: its youngest covering
+// window [paneStart, paneStart+Range) has closed.
+func (p *PaneAssigner) Retired(paneStart, watermark int64) bool {
+	return paneStart+p.spec.Range <= watermark
+}

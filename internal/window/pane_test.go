@@ -1,0 +1,164 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Regression for the Closed fix: when Range is not a multiple of Slide,
+// window ends do not lie on slide multiples.
+func TestAssignerClosedNonMultipleRange(t *testing.T) {
+	a := NewAssigner(Time(25, 10))
+	// Ends are 25, 35, 45, ... Closed(40) must be 35, not 40.
+	if c := a.Closed(40); c != 35 {
+		t.Errorf("Closed(40) = %d, want 35", c)
+	}
+	if c := a.Closed(35); c != 35 {
+		t.Errorf("Closed(35) = %d, want 35", c)
+	}
+	// Before the first end, nothing has closed.
+	if c := a.Closed(24); c != 0 {
+		t.Errorf("Closed(24) = %d, want 0", c)
+	}
+	if c := a.Closed(3); c != 0 {
+		t.Errorf("Closed(3) = %d, want 0", c)
+	}
+}
+
+// Regression: landmark windows close at landmark emission boundaries
+// (multiples of the slide), independent of any range.
+func TestAssignerClosedLandmark(t *testing.T) {
+	a := NewAssigner(Landmark(30))
+	if c := a.Closed(95); c != 90 {
+		t.Errorf("Closed(95) = %d, want 90", c)
+	}
+	if c := a.Closed(30); c != 30 {
+		t.Errorf("Closed(30) = %d, want 30", c)
+	}
+	if c := a.Closed(29); c != 0 {
+		t.Errorf("Closed(29) = %d, want 0", c)
+	}
+}
+
+// Property: Closed(now) is the largest assignable window end <= now.
+func TestAssignerClosedProperty(t *testing.T) {
+	f := func(nowRaw uint16, rngRaw, slideRaw uint8) bool {
+		slide := int64(slideRaw%17) + 1
+		rng := slide + int64(rngRaw%40) // any rng >= slide, not only multiples
+		now := int64(nowRaw % 5000)
+		a := NewAssigner(Time(rng, slide))
+		c := a.Closed(now)
+		if c > now {
+			return false
+		}
+		if c == 0 {
+			return now < rng
+		}
+		// c must be a real end (k*slide + rng) and the next end exceeds now.
+		return (c-rng)%slide == 0 && c-rng >= 0 && c+slide > now
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaneCompatible(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want bool
+	}{
+		{Time(60, 20), true},
+		{Tumbling(60), true},
+		{Time(25, 10), false}, // range not a multiple of slide
+		{Landmark(10), false}, // landmark: already O(1) per tuple
+		{Rows(5), false},
+		{Punctuated(), false},
+		{Spec{}, false},
+	}
+	for _, c := range cases {
+		if got := PaneCompatible(c.spec); got != c.want {
+			t.Errorf("PaneCompatible(%s) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+	if _, err := NewPaneAssigner(Time(25, 10)); err == nil {
+		t.Error("incompatible spec accepted")
+	}
+}
+
+func TestPaneAssignerSingle(t *testing.T) {
+	p, err := NewPaneAssigner(Time(60, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Pane(70); got != (ID{Start: 60, End: 80}) {
+		t.Errorf("Pane(70) = %v", got)
+	}
+	if got := p.Pane(0); got != (ID{Start: 0, End: 20}) {
+		t.Errorf("Pane(0) = %v", got)
+	}
+}
+
+// The pane→window coverage must agree with the per-tuple Assigner: for
+// any ts, the windows covering ts's pane are exactly Assign(ts).
+func TestPaneWindowsMatchAssigner(t *testing.T) {
+	f := func(tsRaw uint32, rngRaw, slideRaw uint8) bool {
+		slide := int64(slideRaw%20) + 1
+		rng := slide * (int64(rngRaw%6) + 1)
+		ts := int64(tsRaw % 100000)
+		a := NewAssigner(Time(rng, slide))
+		p, err := NewPaneAssigner(Time(rng, slide))
+		if err != nil {
+			return false
+		}
+		want := append([]ID(nil), a.Assign(ts)...)
+		var got []ID
+		p.Windows(p.Pane(ts).Start, func(w ID) bool {
+			got = append(got, w)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A window is the disjoint union of its panes, and a pane retires
+// exactly when its last covering window has closed.
+func TestPanePartitionAndRetirement(t *testing.T) {
+	p, err := NewPaneAssigner(Time(80, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ID{Start: 40, End: 120}
+	var panes []int64
+	p.Panes(w, func(ps int64) bool {
+		panes = append(panes, ps)
+		return true
+	})
+	want := []int64{40, 60, 80, 100}
+	if len(panes) != len(want) {
+		t.Fatalf("Panes(%v) = %v", w, panes)
+	}
+	for i := range want {
+		if panes[i] != want[i] {
+			t.Errorf("pane %d = %d, want %d", i, panes[i], want[i])
+		}
+	}
+	// Pane [40,60) is covered last by window [40,120): it retires only
+	// once the watermark reaches 120.
+	if p.Retired(40, 119) {
+		t.Error("pane retired while its last window was open")
+	}
+	if !p.Retired(40, 120) {
+		t.Error("pane not retired after its last window closed")
+	}
+}
