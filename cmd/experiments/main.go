@@ -1,5 +1,5 @@
 // Command experiments regenerates every figure, table and worked
-// example of the tutorial (the E1-E19 index in DESIGN.md) and prints
+// example of the tutorial (the E1-E20 index in DESIGN.md) and prints
 // them in paper shape.
 //
 // Usage:
@@ -56,6 +56,7 @@ func main() {
 		{"E17", func() *experiments.Table { return experiments.E17FaultTolerance(s) }},
 		{"E18", func() *experiments.Table { return experiments.E18BatchedExecution(s) }},
 		{"E19", func() *experiments.Table { return experiments.E19PaneAggregation(s) }},
+		{"E20", func() *experiments.Table { return experiments.E20PartitionedJoins(s) }},
 	}
 
 	want := map[string]bool{}

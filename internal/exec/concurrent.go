@@ -66,6 +66,12 @@ type RunOptions struct {
 	// tests and experiments that must exercise real replication
 	// regardless of the host's core count.
 	ForceParallelism bool
+	// PartitionJoins routes eligible two-input ops.KeyPartitionable
+	// nodes (joins) through the hash-split router even at Parallelism 1.
+	// At Parallelism > 1 the router engages automatically; forcing it at
+	// width 1 exists for determinism tests that compare the routed path
+	// against the serial engine without replication in play.
+	PartitionJoins bool
 	// ChanCap is the per-edge channel capacity in batches; <= 0 uses
 	// DefaultChanCap.
 	ChanCap int
@@ -175,6 +181,15 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 		n := g.nodes[id]
 		wg.Add(1)
 		n.stats.Replicas = 1
+		n.stats.Routed = nil
+		if (opts.Parallelism > 1 || opts.PartitionJoins) && n.op.NumInputs() == 2 && !n.detached {
+			if kp, ok := n.op.(ops.KeyPartitionable); ok && kp.CanPartition() {
+				n.stats.Replicas = opts.Parallelism
+				n.stats.Routed = make([]int64, opts.Parallelism)
+				go r.runKeyPartitioned(NodeID(id), n, kp, &wg)
+				continue
+			}
+		}
 		if opts.Parallelism > 1 && n.op.NumInputs() == 1 && !n.detached {
 			if pa, ok := n.op.(ops.PartialAggregable); ok && pa.CanPartial() {
 				n.stats.Replicas = opts.Parallelism
@@ -687,6 +702,339 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 		}()
 	}
 	r.sampleMem(id, comb)
+	w.flush()
+	r.closeDownstream(n.out)
+}
+
+// noSeq marks task elements (broadcast punctuations) that produce no
+// output and therefore occupy no slot in the output merge.
+const noSeq = ^uint64(0)
+
+// partTask is one routed run of the merged input destined for a single
+// join replica: parallel arrays of elements, their input ports and
+// their global data sequence numbers.
+type partTask struct {
+	elems []stream.Element
+	ports []uint8
+	seqs  []uint64
+}
+
+// partReply carries one task's outputs back to the merger:
+// outs[ends[i-1]:ends[i]] is the output span of data element seqs[i].
+// A reply with flush set carries a replica's end-of-stream flush output
+// instead.
+type partReply struct {
+	worker int
+	flush  bool
+	seqs   []uint64
+	ends   []int
+	outs   []stream.Element
+	left   int // spans not yet delivered; outs recycles at zero
+}
+
+// runKeyPartitioned executes one two-input KeyPartitionable node (a
+// join) as P replicas behind a hash-split router — the third scale-out
+// lane, for equality-keyed stateful operators that neither Replicable
+// (stateless) nor PartialAggregable (single-input aggregation) covers.
+//
+// Three pieces make the routed run byte-identical to the serial engine:
+//
+//   - A timestamp-aware port merge. The serial engine interleaves
+//     sources by (head timestamp, source index); concurrent channels
+//     destroy that order across the two ports. The splitter therefore
+//     queues each port and re-derives the serial order: with both
+//     queues non-empty it releases the smaller head timestamp (ties to
+//     port 0, matching the source-index tie-break when port i is fed by
+//     source i); with one queue empty it may release only elements at
+//     or below the other port's punctuation watermark — the promise
+//     that nothing earlier is still in flight. A port that stays silent
+//     without punctuating buffers the other port until end-of-stream;
+//     the lane trades that latency for exactness.
+//
+//   - Key-hash routing with broadcast progress. Data elements go to
+//     replica hash(key) % P — both ports hash through the operator's
+//     own PartitionHash, so matching tuples meet — while punctuations
+//     are broadcast to every replica. When a late element is released
+//     below its port's running maximum timestamp, the splitter first
+//     broadcasts a synthesized punctuation at that maximum: replicas
+//     that missed the higher-timestamped elements (routed elsewhere)
+//     would otherwise under-expire the opposite window relative to the
+//     serial run, which derives its watermark from every arrival.
+//
+//   - A sequence-restoring output merge. Each released data element
+//     carries a global sequence number; workers report, per task, the
+//     output span of every data element, and the merger releases spans
+//     in sequence order. Punctuations produce no output by the
+//     KeyPartitionable contract, so they need no merge slot. Flush
+//     outputs (XJoin's cleanup phase) follow in replica order.
+//
+// Every data sequence number is reported exactly once — crashed
+// replicas still account for their assigned spans with empty output —
+// so the merge never stalls on a failed replica.
+func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable, wg *sync.WaitGroup) {
+	defer wg.Done()
+	p := r.opts.Parallelism
+	workCh := make([]chan partTask, p)
+	for i := range workCh {
+		workCh[i] = make(chan partTask, 2)
+	}
+	mergeCh := make(chan partReply, 2*p)
+	var crashed atomic.Bool
+
+	var workWG sync.WaitGroup
+	for k := 0; k < p; k++ {
+		workWG.Add(1)
+		go func(k int) {
+			defer workWG.Done()
+			op := kp.ClonePartition()
+			for t := range workCh[k] {
+				outs := r.pool.Get()
+				seqs := make([]uint64, 0, len(t.elems))
+				ends := make([]int, 0, len(t.elems))
+				i := 0
+				if !crashed.Load() {
+					func() {
+						defer func() {
+							if rec := recover(); rec != nil {
+								r.g.recordPanic(id, n, rec)
+								crashed.Store(true)
+							}
+						}()
+						for ; i < len(t.elems); i++ {
+							op.Push(int(t.ports[i]), t.elems[i], func(o stream.Element) {
+								outs = append(outs, o)
+							})
+							if t.seqs[i] != noSeq {
+								seqs = append(seqs, t.seqs[i])
+								ends = append(ends, len(outs))
+							}
+						}
+					}()
+				}
+				// After a crash (here or earlier) the remaining sequence
+				// numbers still need empty spans: the merge must not stall.
+				for ; i < len(t.elems); i++ {
+					if t.seqs[i] != noSeq {
+						seqs = append(seqs, t.seqs[i])
+						ends = append(ends, len(outs))
+					}
+				}
+				r.pool.Put(t.elems)
+				mergeCh <- partReply{worker: k, seqs: seqs, ends: ends, outs: outs}
+				r.sampleMem(id, op)
+			}
+			fout := r.pool.Get()
+			if !crashed.Load() {
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							r.g.recordPanic(id, n, rec)
+							crashed.Store(true)
+						}
+					}()
+					op.Flush(func(o stream.Element) { fout = append(fout, o) })
+				}()
+			}
+			r.sampleMem(id, op)
+			mergeCh <- partReply{worker: k, flush: true, outs: fout}
+		}(k)
+	}
+	go func() {
+		workWG.Wait()
+		close(mergeCh)
+	}()
+
+	// Splitter: timestamp-aware port merge, then hash routing.
+	go func() {
+		type portQueue struct {
+			q    []stream.Element
+			head int
+		}
+		var qs [2]portQueue
+		pop := func(pt int) stream.Element {
+			pq := &qs[pt]
+			e := pq.q[pq.head]
+			pq.q[pq.head] = stream.Element{}
+			pq.head++
+			if pq.head == len(pq.q) {
+				pq.q, pq.head = pq.q[:0], 0
+			}
+			return e
+		}
+		pw := [2]int64{math.MinInt64, math.MinInt64}      // punctuation watermark per port
+		maxTs := [2]int64{math.MinInt64, math.MinInt64}   // max released data ts per port
+		synthed := [2]int64{math.MinInt64, math.MinInt64} // last synthesized watermark per port
+		var seq uint64
+		open := make([]partTask, p)
+		add := func(k, port int, e stream.Element, s uint64) {
+			t := &open[k]
+			if t.elems == nil {
+				t.elems = r.pool.Get()
+			}
+			t.elems = append(t.elems, e)
+			t.ports = append(t.ports, uint8(port))
+			t.seqs = append(t.seqs, s)
+		}
+		flushTask := func(k int) {
+			if len(open[k].elems) == 0 {
+				return
+			}
+			workCh[k] <- open[k]
+			open[k] = partTask{}
+		}
+		broadcast := func(port int, e stream.Element) {
+			for k := 0; k < p; k++ {
+				add(k, port, e, noSeq)
+				flushTask(k)
+			}
+		}
+		route := func(port int, e stream.Element) {
+			n.stats.In++
+			if e.IsPunct() {
+				if e.Punct.Ts > synthed[port] {
+					synthed[port] = e.Punct.Ts
+				}
+				broadcast(port, e)
+				return
+			}
+			ts := e.Tuple.Ts
+			if ts < maxTs[port] && maxTs[port] > synthed[port] {
+				// Late element: replicas owning other keys saw none of
+				// the higher timestamps — restore the implicit watermark
+				// the serial run would have derived from them.
+				synthed[port] = maxTs[port]
+				broadcast(port, stream.Punct(&stream.Punctuation{Ts: maxTs[port]}))
+			} else if ts > maxTs[port] {
+				maxTs[port] = ts
+			}
+			k := int(kp.PartitionHash(port, e.Tuple) % uint64(p))
+			n.stats.Routed[k]++
+			add(k, port, e, seq)
+			seq++
+			if len(open[k].elems) >= r.opts.BatchSize {
+				flushTask(k)
+			}
+		}
+		release := func(closed bool) {
+			for {
+				ok0, ok1 := qs[0].head < len(qs[0].q), qs[1].head < len(qs[1].q)
+				switch {
+				case ok0 && ok1:
+					if qs[1].q[qs[1].head].Ts() < qs[0].q[qs[0].head].Ts() {
+						route(1, pop(1))
+					} else {
+						route(0, pop(0))
+					}
+				case ok0:
+					if !closed && qs[0].q[qs[0].head].Ts() > pw[1] {
+						return
+					}
+					route(0, pop(0))
+				case ok1:
+					if !closed && qs[1].q[qs[1].head].Ts() > pw[0] {
+						return
+					}
+					route(1, pop(1))
+				default:
+					return
+				}
+			}
+		}
+		for m := range r.chans[id] {
+			atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
+			for _, e := range m.elems {
+				if e.IsPunct() && e.Punct.Ts > pw[m.port] {
+					pw[m.port] = e.Punct.Ts
+				}
+				qs[m.port].q = append(qs[m.port].q, e)
+			}
+			r.pool.Put(m.elems)
+			release(false)
+		}
+		release(true)
+		for k := 0; k < p; k++ {
+			flushTask(k)
+		}
+		for _, c := range workCh {
+			close(c)
+		}
+	}()
+
+	// Merger: restore global data-sequence order across replicas.
+	w := r.newEdgeWriter(n.out, id)
+	type span struct {
+		rep    *partReply
+		lo, hi int
+	}
+	deliver := func(s span) {
+		for _, e := range s.rep.outs[s.lo:s.hi] {
+			n.stats.Out++
+			w.add(e)
+		}
+		s.rep.left--
+		if s.rep.left == 0 {
+			r.pool.Put(s.rep.outs)
+		}
+	}
+	held := make(map[uint64]span)
+	var next uint64
+	flushes := make([][]stream.Element, p)
+	for rep := range mergeCh {
+		if rep.flush {
+			flushes[rep.worker] = rep.outs
+			continue
+		}
+		if len(rep.seqs) == 0 {
+			r.pool.Put(rep.outs)
+			continue
+		}
+		rp := new(partReply)
+		*rp = rep
+		rp.left = len(rp.seqs)
+		lo := 0
+		for i, s := range rp.seqs {
+			sp := span{rep: rp, lo: lo, hi: rp.ends[i]}
+			lo = rp.ends[i]
+			if s != next {
+				held[s] = sp
+				continue
+			}
+			deliver(sp)
+			next++
+			for {
+				h, ok := held[next]
+				if !ok {
+					break
+				}
+				delete(held, next)
+				deliver(h)
+				next++
+			}
+		}
+	}
+	// Every sequence number is reported exactly once, so nothing is left
+	// held; be defensive anyway and drain in order.
+	for len(held) > 0 {
+		h, ok := held[next]
+		if !ok {
+			break
+		}
+		delete(held, next)
+		deliver(h)
+		next++
+	}
+	// Flush outputs last, in replica order: deterministic, and correct —
+	// a flush can only depend on the complete input, which precedes it.
+	for _, fo := range flushes {
+		if fo == nil {
+			continue
+		}
+		for _, e := range fo {
+			n.stats.Out++
+			w.add(e)
+		}
+		r.pool.Put(fo)
+	}
 	w.flush()
 	r.closeDownstream(n.out)
 }

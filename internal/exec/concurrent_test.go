@@ -200,9 +200,11 @@ func TestBatchedWindowAggMatchesDeterministic(t *testing.T) {
 	}
 }
 
-// TestReplicationSkipsStatefulOperators: a two-input join must not be
-// replicated; results stay the multiset of the unreplicated run.
-func TestReplicationSkipsStatefulOperators(t *testing.T) {
+// TestJoinPartitionsUnderParallelism: a two-input key-partitionable
+// join is no longer skipped by the parallel lanes — it runs behind the
+// hash-split router, and results stay the multiset of the unreplicated
+// run (partjoin_test.go pins the stronger byte-identical property).
+func TestJoinPartitionsUnderParallelism(t *testing.T) {
 	a := tuple.NewSchema("A",
 		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
 		tuple.Field{Name: "k", Kind: tuple.KindInt},
@@ -233,12 +235,26 @@ func TestReplicationSkipsStatefulOperators(t *testing.T) {
 			t.Fatal(err)
 		}
 		g.RunWith(-1, opts)
+		if opts.Parallelism > 1 {
+			st := g.Stats(nj)
+			if st.Replicas != opts.Parallelism {
+				t.Errorf("Replicas = %d, want %d", st.Replicas, opts.Parallelism)
+			}
+			var routed int64
+			for _, c := range st.Routed {
+				routed += c
+			}
+			if len(st.Routed) != opts.Parallelism || routed != 600 {
+				t.Errorf("Routed = %v (sum %d), want %d replicas summing 600",
+					st.Routed, routed, opts.Parallelism)
+			}
+		}
 		return n
 	}
 	base := run(RunOptions{BatchSize: 1})
 	repl := run(RunOptions{BatchSize: 64, Parallelism: 4, ForceParallelism: true})
 	if base == 0 || base != repl {
-		t.Errorf("join results: unbatched %d, batched+replicated %d", base, repl)
+		t.Errorf("join results: unbatched %d, batched+partitioned %d", base, repl)
 	}
 }
 

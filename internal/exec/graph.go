@@ -46,6 +46,11 @@ type NodeStats struct {
 	// engine chose for this node on its last run: RunOptions.Parallelism
 	// after the GOMAXPROCS cap, or 1 for unreplicated nodes.
 	Replicas int
+	// Routed counts, for key-partitioned nodes, the data elements the
+	// hash-split router sent to each replica on the last concurrent run
+	// (len == Replicas); nil for other nodes. The slice header is shared
+	// with the engine's copy — treat it as read-only.
+	Routed []int64
 	// Panics counts operator panics converted into node failures by the
 	// execution layer's isolation boundary.
 	Panics int64

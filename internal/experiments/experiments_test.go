@@ -363,3 +363,30 @@ func TestE19Shape(t *testing.T) {
 		t.Errorf("pane throughput %v below legacy %v at batch=64", panes, legacy)
 	}
 }
+
+func TestE20Shape(t *testing.T) {
+	tb := E20PartitionedJoins(testScale)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("E20 rows = %d, want 6", len(tb.Rows))
+	}
+	// Every partitioned run must be byte-identical to its serial twin.
+	for row := range tb.Rows {
+		if got := cell(t, tb, row, 7); got != "true" {
+			t.Errorf("method=%s path=%s: exact = %s (partitioning changed results)",
+				cell(t, tb, row, 0), cell(t, tb, row, 1), got)
+		}
+	}
+	// Rows alternate (serial, partitioned) per method: hash probes must
+	// be unchanged by partitioning (a bucket holds one key's candidates
+	// either way), INL probes must drop (each replica scans only its key
+	// slice of the window).
+	if s, p := num(t, tb, 0, 4), num(t, tb, 1, 4); p != s {
+		t.Errorf("hash/hash probes: partitioned %v != serial %v", p, s)
+	}
+	if s, p := num(t, tb, 2, 4), num(t, tb, 3, 4); p >= s {
+		t.Errorf("inl/inl probes: partitioned %v not below serial %v", p, s)
+	}
+	if s, p := num(t, tb, 4, 4), num(t, tb, 5, 4); p >= s {
+		t.Errorf("asym probes: partitioned %v not below serial %v", p, s)
+	}
+}

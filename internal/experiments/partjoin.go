@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"streamdb/internal/exec"
+	"streamdb/internal/ops"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+	"streamdb/internal/window"
+)
+
+// E20PartitionedJoins measures key-partitioned parallel execution of
+// the [KNV03] window join on a 10:1 rate-asymmetric workload, for each
+// probe-method configuration of slide 33: hash/hash, INL/INL, and the
+// asymmetric pairing (INL on the fast side's window — no index
+// maintenance on the hot insert path — hash on the slow side's window,
+// which the fast stream probes constantly). Each method runs serially
+// and as P=4 replicas behind the hash-split router; the partitioned
+// output must be byte-identical to the serial run, and INL probe work
+// must drop by ~P because every replica scans only its key slice of
+// the window.
+func E20PartitionedJoins(scale Scale) *Table {
+	t := &Table{
+		ID:     "E20",
+		Title:  "key-partitioned window joins on a rate-asymmetric stream (slide 33 + scale-out)",
+		Header: []string{"method", "path", "P", "elems", "probes", "elems/s", "speedup", "exact"},
+	}
+	a, b := joinSchemas()
+	input := genJoinInput(202, scale.N(40000), 500)
+	var lefts, rights []stream.Element
+	for _, in := range input {
+		if in.port == 0 {
+			lefts = append(lefts, stream.Tup(in.t))
+		} else {
+			rights = append(rights, stream.Tup(in.t))
+		}
+	}
+	n := len(input)
+	// Average inter-arrival gap is ~500 ticks, so this range keeps a few
+	// hundred fast-side tuples live — enough probe work for the INL
+	// partitioning win to be visible over router overhead.
+	win := window.Time(200000, 200000)
+
+	run := func(lm, rm ops.JoinMethod, parallel int) (*ops.WindowJoin, []byte, float64) {
+		j, err := ops.NewWindowJoin("j", a, b,
+			ops.JoinConfig{Window: win, Method: lm, Key: []int{1}},
+			ops.JoinConfig{Window: win, Method: rm, Key: []int{1}},
+			nil)
+		if err != nil {
+			panic(err)
+		}
+		var out []byte
+		g := exec.NewGraph(func(e stream.Element) {
+			if !e.IsPunct() {
+				out = tuple.AppendEncode(out, e.Tuple)
+			}
+		})
+		sl := g.AddSource(stream.FromElements(a, lefts...))
+		sr := g.AddSource(stream.FromElements(b, rights...))
+		id := g.AddOp(j)
+		if err := g.ConnectSource(sl, id, 0); err != nil {
+			panic(err)
+		}
+		if err := g.ConnectSource(sr, id, 1); err != nil {
+			panic(err)
+		}
+		if err := g.ConnectOut(id); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		if parallel <= 1 {
+			g.Run(-1)
+		} else {
+			g.RunWith(-1, exec.RunOptions{
+				BatchSize: 64, Parallelism: parallel,
+				ForceParallelism: true, PartitionJoins: true,
+			})
+		}
+		return j, out, float64(n) / time.Since(start).Seconds()
+	}
+
+	methods := []struct {
+		label  string
+		lm, rm ops.JoinMethod
+	}{
+		{"hash/hash", ops.JoinHash, ops.JoinHash},
+		{"inl/inl", ops.JoinNestedLoop, ops.JoinNestedLoop},
+		// Fast side (port 0, 10x rate) scanned by INL, slow side indexed.
+		{"asym inl+hash", ops.JoinNestedLoop, ops.JoinHash},
+	}
+	for _, m := range methods {
+		js, base, serialRate := run(m.lm, m.rm, 1)
+		t.AddRow(m.label, "serial", 1, n, js.Probes(),
+			fmt.Sprintf("%.3g", serialRate), "1.00x", true)
+		jp, out, rate := run(m.lm, m.rm, 4)
+		t.AddRow(m.label, "partitioned", 4, n, jp.Probes(),
+			fmt.Sprintf("%.3g", rate), fmt.Sprintf("%.2fx", rate/serialRate),
+			string(out) == string(base))
+	}
+	t.Notes = append(t.Notes,
+		"exact = partitioned output byte-identical to the same method's serial run (timestamp-aware port merge + sequence-restoring output merge)",
+		"probes on partitioned rows are the replicas' counters folded into the parent at Flush",
+		"expected shape: INL probe counts drop by ~P under partitioning (each replica scans one key slice); hash probe counts are unchanged (a bucket already holds exactly one key's candidates)",
+		"single-core hosts still gain on INL configurations: the speedup is probe-work reduction, not parallelism")
+	return t
+}

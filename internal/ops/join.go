@@ -2,6 +2,8 @@ package ops
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"streamdb/internal/expr"
 	"streamdb/internal/stream"
@@ -30,92 +32,190 @@ func (m JoinMethod) String() string {
 	return "inl"
 }
 
-// sideState is one input's window state.
+// sweepEvery bounds how long a sorted side defers its physical expiry
+// sweep: at most this many watermark advances between sweeps, so hash
+// buckets never accumulate more than a batch of expired-but-unswept
+// tuples between punctuations.
+const sweepEvery = 128
+
+// bucketFreeCap bounds the per-side freelist of emptied index buckets.
+const bucketFreeCap = 64
+
+// sideState is one input's window state. Expiry is watermark-batched:
+// every opposite-port event advances wm (the [KNV03] invalidation rule —
+// any arrival's timestamp is a promise about the opposite window), and
+// the physical sweep that pops expired tuples off the FIFO and out of
+// the index runs only on punctuations, every sweepEvery advances, before
+// a cap check, or when introspection needs exact counts. Expiry
+// SEMANTICS are exact in every mode: probes skip candidates at or below
+// wm - rng, so whether a tuple can still match depends only on (its
+// timestamp, the watermark) — never on where the physical sweep
+// happened to stop. That per-tuple rule is what lets key-partitioned
+// replicas, each sweeping its own FIFO layout, stay byte-identical to
+// the serial run. While inserts arrive in timestamp order (`sorted`),
+// the deferred sweep reclaims everything: the expired set is precisely
+// the FIFO prefix with Ts <= wm - rng. The first out-of-order insert
+// flips the side to unsorted mode, which sweeps eagerly on every
+// watermark advance but can only pop the expired prefix — an expired
+// tuple parked behind a live front stays resident until the front
+// drains, and the probe cutoff is what keeps it invisible meanwhile.
 type sideState struct {
 	method JoinMethod
-	buf    window.Buffer
-	// index maps key hash -> tuples, maintained only for JoinHash.
-	index map[uint64][]*tuple.Tuple
-	key   []int
+	rng    int64 // time-window range; <= 0 means no time expiry
+	rows   int   // row-count window; 0 = none
+	fifo   *window.Fifo
+	// index maps key hash -> tuples in insertion order, maintained only
+	// for JoinHash. Emptied bucket slices are recycled via freeBuckets.
+	index       map[uint64][]*tuple.Tuple
+	freeBuckets [][]*tuple.Tuple
+	key         []int
+	fastKey     int // column for the tuple.Key1 fast lane; -1 = generic hash
 	// maxTuples caps the stored window for memory-limited operation;
-	// 0 = unlimited. Overflow evicts the oldest tuple (a form of load
-	// shedding on join state).
+	// 0 = unlimited. Overflow evicts the oldest live tuple (a form of
+	// load shedding on join state).
 	maxTuples int
-	stored    int
+	wm        int64 // max opposite-port event timestamp seen
+	sorted    bool
+	lastIns   int64
+	pendingWM int // watermark advances since the last sweep (sorted mode)
+	expired   int64
 	evicted   int64
-	order     []*tuple.Tuple // FIFO of live tuples for eviction/expiry bookkeeping
+}
+
+func (s *sideState) hashOf(t *tuple.Tuple) uint64 {
+	if s.fastKey >= 0 {
+		return t.Key1(s.fastKey)
+	}
+	return t.Key(s.key)
+}
+
+// advanceWM raises the watermark from an opposite-port event.
+func (s *sideState) advanceWM(ts int64) {
+	if ts <= s.wm {
+		return
+	}
+	s.wm = ts
+	if s.rng <= 0 {
+		return
+	}
+	if !s.sorted {
+		s.sweep()
+		return
+	}
+	s.pendingWM++
+	if s.pendingWM >= sweepEvery {
+		s.sweep()
+	}
+}
+
+// probeCutoff returns the liveness cutoff probe candidates must exceed,
+// or MinInt64 when every stored tuple must be probed (no time window,
+// or no opposite-port event seen yet).
+func (s *sideState) probeCutoff() int64 {
+	if s.rng <= 0 || s.wm == math.MinInt64 {
+		return math.MinInt64
+	}
+	return s.wm - s.rng
+}
+
+// sweep pops expired tuples off the FIFO front and out of the index
+// (slide 32: "invalidate all expired tuples in A's window"), stopping at
+// the first live tuple — the same greedy front-pop the serial engine
+// performs per arrival, batched.
+func (s *sideState) sweep() {
+	s.pendingWM = 0
+	if s.rng <= 0 || s.wm == math.MinInt64 {
+		return
+	}
+	cutoff := s.wm - s.rng
+	for {
+		front := s.fifo.Front()
+		if front == nil || front.Ts > cutoff {
+			return
+		}
+		s.fifo.PopFront()
+		s.dropFromIndex(front)
+		s.expired++
+	}
 }
 
 func (s *sideState) insert(t *tuple.Tuple) {
-	if s.maxTuples > 0 && s.stored >= s.maxTuples {
-		s.evictOldest()
+	if s.sorted && t.Ts < s.lastIns {
+		// Out-of-order insert: the deferred-sweep invariant (expired ==
+		// FIFO prefix) no longer holds from here on. Catch the physical
+		// state up once, then sweep eagerly on every watermark advance.
+		s.sorted = false
+		s.sweep()
 	}
-	s.buf.Insert(t)
-	s.order = append(s.order, t)
-	s.stored++
+	s.lastIns = t.Ts
+	if s.maxTuples > 0 {
+		// Expired tuples must not be charged to the cap: sweeping first
+		// keeps `evicted` counting only live tuples genuinely shed, and
+		// a tuple both expired and index-dropped in one punctuation
+		// batch is accounted exactly once (as expired).
+		s.sweep()
+		if s.fifo.Len() >= s.maxTuples {
+			old := s.fifo.PopFront()
+			s.dropFromIndex(old)
+			s.evicted++
+		}
+	}
+	if s.rows > 0 {
+		// Row-count window: the oldest tuple leaves the window by
+		// definition — window semantics, not load shedding. Dropping it
+		// from the index here fixes the stale-index hazard of keeping
+		// ring-buffer eviction and index maintenance separate.
+		for s.fifo.Len() >= s.rows {
+			old := s.fifo.PopFront()
+			s.dropFromIndex(old)
+			s.expired++
+		}
+	}
+	s.fifo.Push(t)
 	if s.index != nil {
-		h := t.Key(s.key)
-		s.index[h] = append(s.index[h], t)
-	}
-}
-
-func (s *sideState) evictOldest() {
-	if len(s.order) == 0 {
-		return
-	}
-	old := s.order[0]
-	s.order = s.order[1:]
-	s.stored--
-	s.evicted++
-	s.dropFromIndex(old)
-	// The ring buffer itself drops lazily via invalidate; for row
-	// buffers eviction happens inside Insert. To keep Each consistent
-	// with the index we rebuild from order for time buffers only when
-	// eviction is active (maxTuples > 0): rebuild is O(window) but
-	// eviction is the rare, memory-pressure path.
-	if tb, ok := s.buf.(*window.TimeBuffer); ok {
-		tb.Reset()
-		for _, t := range s.order {
-			tb.Insert(t)
+		h := s.hashOf(t)
+		if b, ok := s.index[h]; ok {
+			s.index[h] = append(b, t)
+		} else if n := len(s.freeBuckets); n > 0 {
+			b = s.freeBuckets[n-1]
+			s.freeBuckets = s.freeBuckets[:n-1]
+			s.index[h] = append(b, t)
+		} else {
+			s.index[h] = append(make([]*tuple.Tuple, 0, 4), t)
 		}
 	}
 }
 
+// dropFromIndex removes a tuple from its bucket, preserving bucket order
+// (removals always target the oldest resident, so insertion order is the
+// probe order of the serial engine at any sweep timing). Emptied buckets
+// are recycled through the freelist.
 func (s *sideState) dropFromIndex(t *tuple.Tuple) {
 	if s.index == nil {
 		return
 	}
-	h := t.Key(s.key)
+	h := s.hashOf(t)
 	bucket := s.index[h]
 	for i, bt := range bucket {
 		if bt == t {
-			bucket[i] = bucket[len(bucket)-1]
-			s.index[h] = bucket[:len(bucket)-1]
+			copy(bucket[i:], bucket[i+1:])
+			bucket[len(bucket)-1] = nil
+			bucket = bucket[:len(bucket)-1]
 			break
 		}
 	}
-	if len(s.index[h]) == 0 {
+	if len(bucket) == 0 {
 		delete(s.index, h)
+		if cap(bucket) > 0 && len(s.freeBuckets) < bucketFreeCap {
+			s.freeBuckets = append(s.freeBuckets, bucket)
+		}
+		return
 	}
-}
-
-// invalidate expires tuples older than now-Range (slide 32: "invalidate
-// all expired tuples in A's window").
-func (s *sideState) invalidate(now int64) int {
-	n := s.buf.Invalidate(now)
-	for i := 0; i < n; i++ {
-		old := s.order[i]
-		s.dropFromIndex(old)
-	}
-	if n > 0 {
-		s.order = s.order[n:]
-		s.stored -= n
-	}
-	return n
+	s.index[h] = bucket
 }
 
 func (s *sideState) memSize() int {
-	n := s.buf.MemSize()
+	n := s.fifo.MemSize()
 	if s.index != nil {
 		n += 48 * len(s.index) // bucket overhead
 	}
@@ -137,6 +237,11 @@ type WindowJoin struct {
 	received [2]int64
 	leftSch  *tuple.Schema
 	rightSch *tuple.Schema
+	cfgs     [2]JoinConfig
+	// parent is set on partition replicas: counters fold into it at
+	// Flush so the original's introspection covers the whole run.
+	parent *WindowJoin
+	folded bool
 }
 
 // JoinConfig configures one side of a WindowJoin.
@@ -170,12 +275,37 @@ func NewWindowJoin(name string, left, right *tuple.Schema, lcfg, rcfg JoinConfig
 	if residual != nil && residual.Kind() != tuple.KindBool {
 		return nil, fmt.Errorf("ops: join residual must be boolean")
 	}
+	// Fast key lane: a single Int/Uint/Time key column on BOTH sides may
+	// hash by raw payload. Gating on both schemas at once is what keeps
+	// the two sides' hash spaces aligned — per-side gating could pair a
+	// payload hash with a generic hash and miss every match.
+	fast := -1
+	if len(lcfg.Key) == 1 &&
+		tuple.FastKeyKind(left.Fields[lcfg.Key[0]].Kind) &&
+		tuple.FastKeyKind(right.Fields[rcfg.Key[0]].Kind) {
+		fast = 0
+	}
 	mk := func(cfg JoinConfig) *sideState {
 		st := &sideState{
 			method:    cfg.Method,
-			buf:       window.NewBuffer(cfg.Window),
+			fifo:      window.NewFifo(),
 			key:       cfg.Key,
+			fastKey:   -1,
 			maxTuples: cfg.MaxTuples,
+			wm:        math.MinInt64,
+			sorted:    true,
+			lastIns:   math.MinInt64,
+		}
+		if fast == 0 {
+			st.fastKey = cfg.Key[0]
+		}
+		switch cfg.Window.Kind {
+		case window.KindTime:
+			if !cfg.Window.Landmark {
+				st.rng = cfg.Window.Range
+			}
+		case window.KindRows:
+			st.rows = int(cfg.Window.Range)
 		}
 		if cfg.Method == JoinHash {
 			st.index = make(map[uint64][]*tuple.Tuple)
@@ -188,6 +318,7 @@ func NewWindowJoin(name string, left, right *tuple.Schema, lcfg, rcfg JoinConfig
 		leftSch:  left,
 		rightSch: right,
 		residual: residual,
+		cfgs:     [2]JoinConfig{lcfg, rcfg},
 	}
 	j.sides[0] = mk(lcfg)
 	j.sides[1] = mk(rcfg)
@@ -220,28 +351,46 @@ func (j *WindowJoin) Push(port int, e stream.Element, emit Emit) {
 	me, opp := j.sides[port], j.sides[1-port]
 	if e.IsPunct() {
 		// A progress promise on this input lets the opposite window
-		// discard tuples that can no longer join with future arrivals.
-		opp.invalidate(e.Punct.Ts)
+		// discard tuples that can no longer join with future arrivals:
+		// punctuations drive the physical reclaim.
+		opp.advanceWM(e.Punct.Ts)
+		opp.sweep()
 		return
 	}
 	t := e.Tuple
 	j.received[port]++
 
-	// 1. Invalidate expired tuples in the opposite window.
-	opp.invalidate(t.Ts)
+	// 1. This arrival's timestamp invalidates the opposite window
+	//    (watermark advance; the sweep itself may be deferred).
+	opp.advanceWM(t.Ts)
 
 	// 2. Probe the opposite window.
 	switch opp.method {
 	case JoinHash:
-		h := t.Key(me.key)
-		for _, cand := range opp.index[h] {
-			j.probes++
-			if cand.KeyEqual(t, opp.key, me.key) {
-				j.tryEmit(port, t, cand, emit)
+		if bucket := opp.index[me.hashOf(t)]; bucket != nil {
+			cutoff := opp.probeCutoff()
+			for _, cand := range bucket {
+				if cand.Ts <= cutoff {
+					continue // expired; physical sweep deferred
+				}
+				j.probes++
+				if cand.KeyEqual(t, opp.key, me.key) {
+					j.tryEmit(port, t, cand, emit)
+				}
 			}
 		}
 	case JoinNestedLoop:
-		opp.buf.Each(func(cand *tuple.Tuple) bool {
+		// The O(window) scan dominates; sweep first so it mostly walks
+		// live tuples. The cutoff still applies: in unsorted mode the
+		// sweep can strand expired tuples behind a live front, and
+		// counting or matching those would make results depend on the
+		// physical layout (which differs per partition replica).
+		opp.sweep()
+		cutoff := opp.probeCutoff()
+		opp.fifo.Each(func(cand *tuple.Tuple) bool {
+			if cand.Ts <= cutoff {
+				return true
+			}
 			j.probes++
 			if len(me.key) == 0 || cand.KeyEqual(t, opp.key, me.key) {
 				j.tryEmit(port, t, cand, emit)
@@ -270,29 +419,83 @@ func (j *WindowJoin) tryEmit(port int, arrived, matched *tuple.Tuple, emit Emit)
 	emit(stream.Tup(out))
 }
 
-// Flush implements Operator.
-func (j *WindowJoin) Flush(Emit) {}
+// Flush implements Operator. A partition replica folds its counters
+// into the parent here — Flush is each replica's single end-of-stream
+// call, and the adds are atomic because sibling replicas flush
+// concurrently.
+func (j *WindowJoin) Flush(Emit) {
+	p := j.parent
+	if p == nil || j.folded {
+		return
+	}
+	j.folded = true
+	atomic.AddInt64(&p.probes, j.probes)
+	atomic.AddInt64(&p.emitted, j.emitted)
+	for s := 0; s < 2; s++ {
+		atomic.AddInt64(&p.received[s], j.received[s])
+		atomic.AddInt64(&p.sides[s].expired, j.sides[s].expired)
+		atomic.AddInt64(&p.sides[s].evicted, j.sides[s].evicted)
+	}
+}
 
 // MemSize implements Operator.
 func (j *WindowJoin) MemSize() int {
 	return 128 + j.sides[0].memSize() + j.sides[1].memSize()
 }
 
+// CanPartition implements KeyPartitionable: key-partitioning is exact
+// for equijoins whose per-side state is per-key — a global memory cap or
+// a row-count window is shared state across keys and must decline.
+func (j *WindowJoin) CanPartition() bool {
+	return len(j.sides[0].key) > 0 &&
+		j.sides[0].maxTuples == 0 && j.sides[1].maxTuples == 0 &&
+		j.sides[0].rows == 0 && j.sides[1].rows == 0
+}
+
+// PartitionHash implements KeyPartitionable, reusing the side's own key
+// hash (fast lane included) so router and index agree.
+func (j *WindowJoin) PartitionHash(port int, t *tuple.Tuple) uint64 {
+	return j.sides[port].hashOf(t)
+}
+
+// ClonePartition implements KeyPartitionable.
+func (j *WindowJoin) ClonePartition() Operator {
+	c, err := NewWindowJoin(j.name, j.leftSch, j.rightSch, j.cfgs[0], j.cfgs[1], j.residual)
+	if err != nil {
+		panic(err) // unreachable: the parent validated this config
+	}
+	c.parent = j
+	return c
+}
+
 // Probes returns the number of tuple comparisons performed: the CPU-cost
-// proxy experiment E1 sweeps.
+// proxy experiment E1 sweeps. After a partitioned run this is the fold
+// of every replica's count.
 func (j *WindowJoin) Probes() int64 { return j.probes }
 
 // Emitted returns the number of join results produced.
 func (j *WindowJoin) Emitted() int64 { return j.emitted }
 
-// Evicted returns tuples dropped by the memory cap on each side.
+// Evicted returns tuples dropped by the memory cap on each side —
+// genuine load shedding, distinct from window expiry (Expired).
 func (j *WindowJoin) Evicted() (left, right int64) {
 	return j.sides[0].evicted, j.sides[1].evicted
 }
 
-// WindowSizes reports the live tuple count per side.
+// Expired returns tuples that left each side's window by expiry (time
+// passing or row-count displacement), as opposed to cap eviction.
+func (j *WindowJoin) Expired() (left, right int64) {
+	return j.sides[0].expired, j.sides[1].expired
+}
+
+// WindowSizes reports the live tuple count per side, forcing any
+// deferred expiry sweep first so the counts are exact. Unlike the
+// folded counters, sizes are per-instance: a partition replica's sizes
+// describe only its key slice.
 func (j *WindowJoin) WindowSizes() (left, right int) {
-	return j.sides[0].buf.Len(), j.sides[1].buf.Len()
+	j.sides[0].sweep()
+	j.sides[1].sweep()
+	return j.sides[0].fifo.Len(), j.sides[1].fifo.Len()
 }
 
 // Selectivity implements Costs (observed).

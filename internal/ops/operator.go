@@ -60,6 +60,32 @@ type Replicable interface {
 	Clone() Operator
 }
 
+// KeyPartitionable marks equality-keyed two-input operators (joins) the
+// concurrent engine may scale out by hash partitioning the key space: P
+// replicas each own the slice hash(key) % P == k, a router sends every
+// data element to the replica owning its key (both ports agree on the
+// hash, so matching tuples always meet in the same replica) and
+// broadcasts punctuations to all replicas. Contract: Push on a
+// punctuation must emit nothing (progress signals drive state reclaim
+// only), and the router may synthesize progress punctuations at
+// timestamps already observed as data on the same port — sound for
+// operators that treat every arrival's timestamp as an implicit
+// watermark for the opposite window, which is exactly the [KNV03]
+// invalidation rule. CanPartition gates the capability at the value
+// level: a join whose state is global rather than per-key (a shared
+// memory cap, a row-count window) must decline. PartitionHash returns
+// the routing hash of a tuple arriving on the given port, reusing the
+// operator's own key hash so router and index agree. ClonePartition
+// returns an independent replica safe to drive from another goroutine;
+// replicas fold their observation counters back into the original on
+// Flush, so post-run introspection on the original stays meaningful.
+type KeyPartitionable interface {
+	Operator
+	CanPartition() bool
+	PartitionHash(port int, t *tuple.Tuple) uint64
+	ClonePartition() Operator
+}
+
 // PartialAggregable marks stateful aggregation operators the concurrent
 // engine may run as N partial-emitting replicas feeding one combiner
 // node — the two-level (partial/final) aggregation split applied to

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync/atomic"
 
 	"streamdb/internal/expr"
 	"streamdb/internal/stream"
@@ -22,6 +23,8 @@ import (
 type XJoin struct {
 	name      string
 	out       *tuple.Schema
+	leftSch   *tuple.Schema
+	rightSch  *tuple.Schema
 	keys      [2][]int
 	residual  expr.Expr
 	nparts    int
@@ -36,6 +39,9 @@ type XJoin struct {
 	diskBytes int64
 	cleaned   bool
 	ownsDir   bool
+	// parent is set on partition replicas: Stats counters fold into it
+	// at the end of Flush's cleanup phase.
+	parent *XJoin
 }
 
 type xtuple struct {
@@ -74,6 +80,8 @@ func NewXJoin(name string, left, right *tuple.Schema, leftKey, rightKey []int, n
 	x := &XJoin{
 		name:     name,
 		out:      left.Concat(right),
+		leftSch:  left,
+		rightSch: right,
 		keys:     [2][]int{leftKey, rightKey},
 		residual: residual,
 		nparts:   nparts,
@@ -258,6 +266,42 @@ func (x *XJoin) Flush(emit Emit) {
 		}
 	}
 	x.Close()
+	if p := x.parent; p != nil {
+		// Partition replica: fold counters into the original. Atomic
+		// because sibling replicas flush concurrently; guarded by
+		// `cleaned` above, so the fold happens once.
+		atomic.AddInt64(&p.emitted, x.emitted)
+		atomic.AddInt64(&p.spills, x.spills)
+		atomic.AddInt64(&p.spilledTs, x.spilledTs)
+		atomic.AddInt64(&p.diskBytes, x.diskBytes)
+	}
+}
+
+// CanPartition implements KeyPartitionable: XJoin state is per-key
+// throughout (hash partitions, spill files, residency intervals), and
+// the cleanup phase makes each replica's output complete for its key
+// slice, so key partitioning is always exact up to output order.
+func (x *XJoin) CanPartition() bool { return true }
+
+// PartitionHash implements KeyPartitionable with the same key hash the
+// operator's own partitions use.
+func (x *XJoin) PartitionHash(port int, t *tuple.Tuple) uint64 {
+	return t.Key(x.keys[port])
+}
+
+// ClonePartition implements KeyPartitionable. Each replica gets its own
+// spill directory and the full memory budget: the budget models one
+// worker's memory, and replicas are exactly that.
+func (x *XJoin) ClonePartition() Operator {
+	c, err := NewXJoin(x.name, x.leftSch, x.rightSch, x.keys[0], x.keys[1],
+		x.nparts, x.budget, x.residual, "")
+	if err != nil {
+		// Only temp-dir creation can fail here; surface it through the
+		// engine's panic-isolation boundary.
+		panic(fmt.Sprintf("ops: xjoin partition clone: %v", err))
+	}
+	c.parent = x
+	return c
 }
 
 func overlap(a, b xtuple) bool {

@@ -203,6 +203,36 @@ func (t *Tuple) Key(idx []int) uint64 {
 	return h
 }
 
+// FastKeyKind reports whether a single-column key of this kind may be
+// hashed with Key1: kinds whose raw payload alone determines equality
+// among themselves and across each other (Int, Uint and Time all store
+// the numeric value in the payload, and numerically equal values of
+// those kinds are Equal). Float is excluded — integral floats must
+// collide with their integer value, which needs the generic path — and
+// so are String/Bool/IP (IP only equals other integral kinds by value,
+// which the payload does preserve, but schemas mixing IP with INT keys
+// are not worth a fast lane).
+func FastKeyKind(k Kind) bool {
+	return k == KindInt || k == KindUint || k == KindTime
+}
+
+// Key1 is the fast lane of Key for a single Int/Uint/Time column: a
+// splitmix64-style avalanche of the raw payload, skipping the generic
+// byte-wise FNV walk. Callers must establish FastKeyKind for the
+// column's schema kind on every tuple source sharing the hash space
+// (both sides of a join): equal values then hash identically. A NULL
+// value hashes as payload 0; NULL equals nothing, so a collision with
+// Int(0) costs one KeyEqual rejection, never a wrong match.
+func (t *Tuple) Key1(i int) uint64 {
+	x := t.Vals[i].num + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // KeyEqual reports whether two tuples agree on the listed field positions
 // (hash-collision confirmation for hash tables).
 func (t *Tuple) KeyEqual(o *Tuple, idx, odx []int) bool {

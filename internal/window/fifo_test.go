@@ -1,0 +1,89 @@
+package window
+
+import (
+	"testing"
+
+	"streamdb/internal/tuple"
+)
+
+func TestFifoOrderAndLen(t *testing.T) {
+	f := NewFifo()
+	const n = 3*fifoSegLen + 17 // span several segments
+	for i := 0; i < n; i++ {
+		f.Push(tuple.New(int64(i), tuple.Int(int64(i))))
+	}
+	if f.Len() != n {
+		t.Fatalf("Len = %d, want %d", f.Len(), n)
+	}
+	want := int64(0)
+	f.Each(func(tp *tuple.Tuple) bool {
+		if tp.Ts != want {
+			t.Fatalf("Each order: got ts %d, want %d", tp.Ts, want)
+		}
+		want++
+		return true
+	})
+	if want != n {
+		t.Fatalf("Each visited %d, want %d", want, n)
+	}
+	for i := 0; i < n; i++ {
+		if f.Front().Ts != int64(i) {
+			t.Fatalf("Front = %d, want %d", f.Front().Ts, i)
+		}
+		if got := f.PopFront(); got.Ts != int64(i) {
+			t.Fatalf("PopFront = %d, want %d", got.Ts, i)
+		}
+	}
+	if f.Len() != 0 || f.Front() != nil || f.PopFront() != nil {
+		t.Error("empty fifo misbehaves")
+	}
+}
+
+func TestFifoInterleavedPushPop(t *testing.T) {
+	f := NewFifo()
+	next, popped := int64(0), int64(0)
+	// Sliding-window usage pattern: push a few, pop a few, forever. The
+	// freelist should keep this at a handful of live segments.
+	for round := 0; round < 500; round++ {
+		for i := 0; i < 7; i++ {
+			f.Push(tuple.New(next, tuple.Int(next)))
+			next++
+		}
+		for i := 0; i < 7 && f.Len() > 3; i++ {
+			got := f.PopFront()
+			if got.Ts != popped {
+				t.Fatalf("pop order: got %d, want %d", got.Ts, popped)
+			}
+			popped++
+		}
+	}
+	// Drain and check FIFO order held to the end.
+	for f.Len() > 0 {
+		got := f.PopFront()
+		if got.Ts != popped {
+			t.Fatalf("drain order: got %d, want %d", got.Ts, popped)
+		}
+		popped++
+	}
+	if popped != next {
+		t.Fatalf("popped %d of %d", popped, next)
+	}
+	if f.MemSize() < 0 {
+		t.Error("MemSize negative")
+	}
+}
+
+func TestFifoEachEarlyStop(t *testing.T) {
+	f := NewFifo()
+	for i := 0; i < 10; i++ {
+		f.Push(tuple.New(int64(i), tuple.Int(int64(i))))
+	}
+	seen := 0
+	f.Each(func(*tuple.Tuple) bool {
+		seen++
+		return seen < 4
+	})
+	if seen != 4 {
+		t.Errorf("early stop visited %d, want 4", seen)
+	}
+}
