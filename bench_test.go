@@ -181,14 +181,27 @@ func BenchmarkE17FaultTolerance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tb = experiments.E17FaultTolerance(benchScale)
 	}
-	// Recovery latency at the 5% drop-rate row (ms); exactness is
-	// asserted by the chaos tests.
-	row := len(tb.Rows) - 2
-	s := strings.TrimSuffix(tb.Rows[row][5], "ms")
+	// Recovery latency at the 5% drop-rate, batched-wire row (ms);
+	// exactness is asserted by the chaos tests. Rows are (dropRate,
+	// wirebatch) pairs, so 5%/wirebatch=16 is third from the end.
+	row := len(tb.Rows) - 3
+	s := strings.TrimSuffix(tb.Rows[row][6], "ms")
 	if f, err := strconv.ParseFloat(s, 64); err == nil {
 		b.ReportMetric(f, "recovery_ms_at_5pct")
 	}
-	b.ReportMetric(parseMetric(tb, row, 2), "reconnects_at_5pct")
+	b.ReportMetric(parseMetric(tb, row, 3), "reconnects_at_5pct")
+}
+
+func BenchmarkE21TransportWire(b *testing.B) {
+	var tb *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tb = experiments.E21TransportWire(benchScale)
+	}
+	// Rows: v2/1, v3/1, v3/16, v3/64, v3/256.
+	b.ReportMetric(parseMetric(tb, 0, 4), "v2_ktuples_s")
+	b.ReportMetric(parseMetric(tb, 3, 4), "v3b64_ktuples_s")
+	b.ReportMetric(parseMetric(tb, 0, 3), "v2_bytes_per_tuple")
+	b.ReportMetric(parseMetric(tb, 3, 3), "v3b64_bytes_per_tuple")
 }
 
 // Micro-benchmarks for the engine's hot paths.

@@ -1,5 +1,5 @@
 // Command experiments regenerates every figure, table and worked
-// example of the tutorial (the E1-E20 index in DESIGN.md) and prints
+// example of the tutorial (the E1-E21 index in DESIGN.md) and prints
 // them in paper shape.
 //
 // Usage:
@@ -57,6 +57,7 @@ func main() {
 		{"E18", func() *experiments.Table { return experiments.E18BatchedExecution(s) }},
 		{"E19", func() *experiments.Table { return experiments.E19PaneAggregation(s) }},
 		{"E20", func() *experiments.Table { return experiments.E20PartitionedJoins(s) }},
+		{"E21", func() *experiments.Table { return experiments.E21TransportWire(s) }},
 	}
 
 	want := map[string]bool{}

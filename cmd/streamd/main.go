@@ -10,7 +10,11 @@
 // reconnecting with exponential backoff and resuming from the last
 // acknowledged sequence number, and the high level dedupes, so a
 // dropped TCP connection costs retransmission instead of killing the
-// standing query.
+// standing query. With -wirebatch > 1 the uplink negotiates wire v3
+// (DESIGN.md §10): partials travel in schema-coded batch frames that
+// drop the per-tuple self-description and amortize framing; against an
+// older high-level node the writer degrades to per-tuple v2 frames
+// automatically.
 //
 // Demo (one process per node):
 //
@@ -69,6 +73,7 @@ type lowConfig struct {
 	retry     int           // max attempts per dial / send round
 	timeout   time.Duration // per-frame I/O deadline
 	faultRate float64       // injected drop rate (demo chaos)
+	wireBatch int           // >1: v3 schema-coded batch frames of this size
 }
 
 // runLow runs one observation point: raw traffic through the
@@ -77,7 +82,7 @@ type lowConfig struct {
 // exhausting every attempt surfaces as an error here.
 func runLow(d *dsms.Decomposition, cfg lowConfig, n int, seed int64) (raw, partials int64, st dsms.ReconnectStats, err error) {
 	dials := 0
-	w, err := dsms.NewReconnectWriter(dsms.ReconnectConfig{
+	rcfg := dsms.ReconnectConfig{
 		StreamID: fmt.Sprintf("low-%d", seed),
 		Dial: func() (net.Conn, error) {
 			c, err := net.Dial("tcp", cfg.addr)
@@ -95,7 +100,14 @@ func runLow(d *dsms.Decomposition, cfg lowConfig, n int, seed int64) (raw, parti
 		MaxAttempts: cfg.retry,
 		Timeout:     cfg.timeout,
 		Seed:        seed,
-	})
+	}
+	if cfg.wireBatch > 1 {
+		// Negotiate wire v3: partials ride schema-coded batch frames,
+		// degrading to per-tuple v2 against an older high-level node.
+		rcfg.Schema = d.PartialSchema()
+		rcfg.WireBatch = cfg.wireBatch
+	}
+	w, err := dsms.NewReconnectWriter(rcfg)
 	if err != nil {
 		return 0, 0, st, err
 	}
@@ -134,7 +146,7 @@ func reportLow(seed int64, raw, partials int64, st dsms.ReconnectStats) {
 	fmt.Printf("low-level node %d: %d raw -> %d partials (%.1fx reduction)\n",
 		seed, raw, partials, float64(raw)/float64(partials))
 	if st.Reconnects > 0 {
-		fmt.Printf("low-level node %d: %d reconnects, %d frames resent, mean recovery %.1fms\n",
+		fmt.Printf("low-level node %d: %d reconnects, %d tuples resent, mean recovery %.1fms\n",
 			seed, st.Reconnects, st.Resent,
 			float64(st.RecoveryNanos)/float64(st.Reconnects)/1e6)
 	}
@@ -185,13 +197,17 @@ func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int, idle time.Durati
 		}
 		mu.Unlock()
 	}
-	err = srv.Serve(nodes, func(id string, tp *tuple.Tuple) {
+	// ServeBatches hands over whole decoded wire batches: one callback
+	// (and one buffer append) per v3 frame instead of per tuple. v2
+	// sessions arrive as single-tuple slices, so behavior is unchanged
+	// for old low-level nodes.
+	err = srv.ServeBatches(nodes, func(id string, tps []*tuple.Tuple) {
 		if batch == 1 {
-			push([]*tuple.Tuple{tp})
+			push(tps)
 			return
 		}
 		bufMu.Lock()
-		bufs[id] = append(bufs[id], tp)
+		bufs[id] = append(bufs[id], tps...)
 		var full []*tuple.Tuple
 		if len(bufs[id]) >= batch {
 			full = bufs[id]
@@ -232,6 +248,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "low/demo: per-frame I/O deadline; high: 2x this is the idle timeout")
 	faultRate := flag.Float64("faultrate", 0, "demo: injected connection-drop rate per write (chaos)")
 	ingestBatch := flag.Int("ingestbatch", 64, "high/demo: partial records buffered per stream before entering the merge plan (1 = per-tuple)")
+	wireBatch := flag.Int("wirebatch", 16, "low/demo: tuples per wire v3 batch frame on the uplink (1 = legacy per-tuple v2 frames)")
 	flag.Parse()
 
 	d := decomposition()
@@ -245,7 +262,7 @@ func main() {
 		fmt.Printf("high-level node on %s, awaiting %d low-level nodes\n", ln.Addr(), *nodes)
 		runHigh(d, ln, *nodes, 2**timeout, *ingestBatch)
 	case "low":
-		cfg := lowConfig{addr: *connect, retry: *retry, timeout: *timeout}
+		cfg := lowConfig{addr: *connect, retry: *retry, timeout: *timeout, wireBatch: *wireBatch}
 		raw, partials, st, err := runLow(d, cfg, *n, *seed)
 		if err != nil {
 			fatalf("%v", err)
@@ -267,6 +284,7 @@ func main() {
 					retry:     *retry,
 					timeout:   *timeout,
 					faultRate: *faultRate,
+					wireBatch: *wireBatch,
 				}
 				raw, partials, st, err := runLow(d, cfg, *n, seed)
 				if err != nil {

@@ -34,12 +34,28 @@ type ReconnectConfig struct {
 	MaxBackoff  time.Duration
 	// Timeout is the per-operation write/read deadline. 0 = default 5s.
 	Timeout time.Duration
-	// AckEvery is the sync cadence: after this many sends the writer
+	// AckEvery is the sync cadence: after this many tuples the writer
 	// flushes, heartbeats, and waits for a cumulative ack — which makes
 	// it the bound on the in-memory replay buffer. 0 = default 64.
 	AckEvery int
 	// Seed drives the backoff jitter (deterministic tests). 0 = 1.
 	Seed int64
+	// Schema enables wire protocol v3: schema-coded batch frames,
+	// negotiated at HELLO time. nil keeps the writer on v2 (per-tuple
+	// self-describing frames). Required for SendBatch and WireBatch.
+	Schema *tuple.Schema
+	// WireVersion caps negotiation: 0 = highest supported (v3 when
+	// Schema is set), 2 = force v2 even with a schema.
+	WireVersion int
+	// WireBatch > 1 coalesces consecutive Sends into schema-coded
+	// batch frames of up to this many tuples (requires Schema). A
+	// partially filled batch is flushed by FlushInterval, by Flush or
+	// Close, or by reaching the AckEvery cadence.
+	WireBatch int
+	// FlushInterval bounds how long a partially filled auto-batch may
+	// wait for more tuples. 0 = default 5ms; negative = size-only
+	// flushing (tests, bulk loads).
+	FlushInterval time.Duration
 }
 
 func (c *ReconnectConfig) fill() ReconnectConfig {
@@ -62,25 +78,44 @@ func (c *ReconnectConfig) fill() ReconnectConfig {
 	if out.Seed == 0 {
 		out.Seed = 1
 	}
+	if out.FlushInterval == 0 {
+		out.FlushInterval = 5 * time.Millisecond
+	}
+	if out.WireBatch > 1 && out.Schema == nil {
+		out.WireBatch = 0 // batching needs the schema; degrade quietly
+	}
 	return out
 }
 
 // ReconnectStats counts the client's protocol activity.
 type ReconnectStats struct {
-	Sent        int64 // distinct tuples accepted by Send
-	Resent      int64 // replayed frames after reconnects
+	Sent        int64 // distinct tuples accepted by Send/SendBatch
+	Resent      int64 // replayed tuples after reconnects
 	Reconnects  int64 // successful re-dials after a failure
 	Syncs       int64 // heartbeat/ack round trips
-	MaxBuffered int   // high-water mark of the replay buffer
+	Bytes       int64 // frame bytes written (including replays)
+	MaxBuffered int   // high-water mark of the replay buffer, in tuples
 	// RecoveryNanos accumulates time from a detected connection
 	// failure to the completed resume handshake; divide by Reconnects
 	// for mean recovery latency.
 	RecoveryNanos int64
 }
 
+// pendingFrame is one unacknowledged wire frame. count == 0 marks a v2
+// per-tuple DATA frame carrying sequence seq; count > 0 marks a v3
+// BATCH frame spanning [seq, seq+count-1].
 type pendingFrame struct {
 	seq     uint64
+	count   int
 	payload []byte
+}
+
+// span reports how many tuples the frame covers.
+func (f *pendingFrame) span() int {
+	if f.count > 0 {
+		return f.count
+	}
+	return 1
 }
 
 // ReconnectWriter is a fault-tolerant replacement for Writer: it ships
@@ -107,6 +142,16 @@ type ReconnectWriter struct {
 	everConnected bool
 	failedAt      time.Time // when the current outage began (zero = healthy)
 	stats         ReconnectStats
+
+	// v3 negotiation state.
+	wire    int  // version of the current connection (0 = none yet)
+	forceV2 bool // sticky downgrade after the v3 handshake was rejected
+	v3Fails int  // consecutive v3 handshake failures before any success
+
+	// Auto-batching state (WireBatch > 1).
+	open       []*tuple.Tuple // tuples not yet framed
+	flushTimer *time.Timer
+	asyncErr   error // failure from a timer-driven flush
 }
 
 // NewReconnectWriter builds a writer; the first connection is dialed
@@ -129,48 +174,178 @@ func (w *ReconnectWriter) Stats() ReconnectStats {
 	return w.stats
 }
 
-// Buffered reports unacknowledged frames currently held for replay.
+// Buffered reports unacknowledged tuples currently held for replay
+// (open auto-batch tuples not yet framed are excluded).
 func (w *ReconnectWriter) Buffered() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return len(w.buffer)
+	return w.bufferedTuplesLocked()
+}
+
+func (w *ReconnectWriter) bufferedTuplesLocked() int {
+	n := 0
+	for i := range w.buffer {
+		n += w.buffer[i].span()
+	}
+	return n
+}
+
+// NegotiatedWire reports the wire version of the current connection
+// (0 before the first handshake, then 2 or 3).
+func (w *ReconnectWriter) NegotiatedWire() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.wire
+}
+
+// useV3Locked reports whether the writer should frame new tuples for
+// wire v3 (and attempt the v3 handshake on the next dial).
+func (w *ReconnectWriter) useV3Locked() bool {
+	return w.cfg.Schema != nil && w.cfg.WireVersion != wireV2 && !w.forceV2
+}
+
+// takeAsyncErrLocked surfaces a failure from a timer-driven flush on
+// the next foreground operation.
+func (w *ReconnectWriter) takeAsyncErrLocked() error {
+	err := w.asyncErr
+	w.asyncErr = nil
+	return err
 }
 
 // Send transmits one tuple, transparently reconnecting and replaying on
-// failure. It returns an error only when connection attempts are
-// exhausted (the link is down for good) or the writer is closed.
+// failure. With WireBatch > 1 the tuple is coalesced into an open batch
+// instead of hitting the wire immediately. It returns an error only
+// when connection attempts are exhausted (the link is down for good) or
+// the writer is closed.
 func (w *ReconnectWriter) Send(t *tuple.Tuple) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrWriterClosed
 	}
-	w.nextSeq++
-	seq := w.nextSeq
-	payload := tuple.AppendEncode(nil, t)
-	w.buffer = append(w.buffer, pendingFrame{seq: seq, payload: payload})
-	if n := len(w.buffer); n > w.stats.MaxBuffered {
-		w.stats.MaxBuffered = n
+	if err := w.takeAsyncErrLocked(); err != nil {
+		return err
+	}
+	if w.cfg.WireBatch > 1 {
+		w.open = append(w.open, t)
+		w.stats.Sent++
+		if len(w.open) >= w.cfg.WireBatch {
+			return w.flushOpenLocked()
+		}
+		w.armTimerLocked()
+		return nil
 	}
 	w.stats.Sent++
-	if w.conn == nil {
-		// connectLocked replays the whole buffer, including this frame.
-		if err := w.connectLocked(); err != nil {
+	var one [1]*tuple.Tuple
+	one[0] = t
+	return w.enqueueLocked(one[:])
+}
+
+// SendBatch transmits a batch of tuples as one v3 frame (one sequence
+// span, one CRC, one length header), falling back to per-tuple frames
+// on a v2 connection. Requires ReconnectConfig.Schema.
+func (w *ReconnectWriter) SendBatch(tuples []*tuple.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWriterClosed
+	}
+	if w.cfg.Schema == nil {
+		return errors.New("dsms: SendBatch requires ReconnectConfig.Schema")
+	}
+	if err := w.takeAsyncErrLocked(); err != nil {
+		return err
+	}
+	// Preserve Send/SendBatch ordering: frame the open auto-batch first.
+	if err := w.flushOpenLocked(); err != nil {
+		return err
+	}
+	w.stats.Sent += int64(len(tuples))
+	return w.enqueueLocked(tuples)
+}
+
+// enqueueLocked assigns sequence numbers, frames the tuples (one batch
+// frame on v3, per-tuple frames otherwise), appends them to the replay
+// buffer, writes them out, and runs the ack cadence.
+func (w *ReconnectWriter) enqueueLocked(tuples []*tuple.Tuple) error {
+	first := w.nextSeq + 1
+	start := len(w.buffer)
+	if w.useV3Locked() && w.cfg.Schema != nil {
+		payload, err := tuple.AppendEncodeBatch(nil, w.cfg.Schema, tuples)
+		if err != nil {
 			return err
 		}
-	} else if err := w.writeDataLocked(seq, payload); err != nil {
-		// The frame stays in the replay buffer; the reconnect replays
-		// it (and everything else unacknowledged) before returning.
-		w.failLocked()
-		if err := w.connectLocked(); err != nil {
-			return err
+		w.buffer = append(w.buffer, pendingFrame{seq: first, count: len(tuples), payload: payload})
+	} else {
+		for i, t := range tuples {
+			w.buffer = append(w.buffer, pendingFrame{seq: first + uint64(i), payload: tuple.AppendEncode(nil, t)})
 		}
 	}
-	w.sinceSync++
+	w.nextSeq += uint64(len(tuples))
+	if n := w.bufferedTuplesLocked(); n > w.stats.MaxBuffered {
+		w.stats.MaxBuffered = n
+	}
+	if w.conn == nil {
+		// connectLocked replays the whole buffer, including these frames.
+		if err := w.connectLocked(); err != nil {
+			return err
+		}
+	} else {
+		for i := start; i < len(w.buffer); i++ {
+			if err := w.writeFrameLocked(&w.buffer[i]); err != nil {
+				// The frames stay in the replay buffer; the reconnect
+				// replays everything unacknowledged before returning.
+				w.failLocked()
+				if err := w.connectLocked(); err != nil {
+					return err
+				}
+				break
+			}
+		}
+	}
+	w.sinceSync += len(tuples)
 	if w.sinceSync >= w.cfg.AckEvery {
 		return w.withRetryLocked("sync", w.syncOnceLocked)
 	}
 	return nil
+}
+
+// flushOpenLocked frames the open auto-batch, if any.
+func (w *ReconnectWriter) flushOpenLocked() error {
+	if len(w.open) == 0 {
+		return nil
+	}
+	tuples := w.open
+	err := w.enqueueLocked(tuples)
+	// enqueueLocked copied the tuples into encoded payloads; the
+	// accumulation slice can be reused.
+	w.open = w.open[:0]
+	for i := range tuples {
+		tuples[i] = nil
+	}
+	return err
+}
+
+// armTimerLocked schedules a deadline flush for a partially filled
+// auto-batch so low-rate streams are not delayed indefinitely.
+func (w *ReconnectWriter) armTimerLocked() {
+	if w.cfg.FlushInterval <= 0 || w.flushTimer != nil {
+		return
+	}
+	w.flushTimer = time.AfterFunc(w.cfg.FlushInterval, func() {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		w.flushTimer = nil
+		if w.closed || len(w.open) == 0 {
+			return
+		}
+		if err := w.flushOpenLocked(); err != nil && w.asyncErr == nil {
+			w.asyncErr = err
+		}
+	})
 }
 
 // Flush pushes buffered frames to the wire and waits for the server to
@@ -180,6 +355,12 @@ func (w *ReconnectWriter) Flush() error {
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrWriterClosed
+	}
+	if err := w.takeAsyncErrLocked(); err != nil {
+		return err
+	}
+	if err := w.flushOpenLocked(); err != nil {
+		return err
 	}
 	if w.conn == nil && len(w.buffer) == 0 && !w.everConnected {
 		return nil
@@ -195,6 +376,18 @@ func (w *ReconnectWriter) Close() error {
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrWriterClosed
+	}
+	if w.flushTimer != nil {
+		w.flushTimer.Stop()
+		w.flushTimer = nil
+	}
+	if err := w.takeAsyncErrLocked(); err != nil {
+		w.closed = true
+		return err
+	}
+	if err := w.flushOpenLocked(); err != nil {
+		w.closed = true
+		return err
 	}
 	w.closed = true
 	if err := w.withRetryLocked("EOS", w.eosLocked); err != nil {
@@ -227,10 +420,33 @@ func (w *ReconnectWriter) withRetryLocked(what string, op func() error) error {
 		w.cfg.StreamID, what, w.cfg.MaxAttempts, lastErr)
 }
 
-// writeDataLocked writes one DATA frame with a write deadline.
-func (w *ReconnectWriter) writeDataLocked(seq uint64, payload []byte) error {
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// writeFrameLocked writes one pending frame (DATA or BATCH) with a
+// write deadline, counting the wire bytes.
+func (w *ReconnectWriter) writeFrameLocked(f *pendingFrame) error {
 	w.conn.SetWriteDeadline(time.Now().Add(w.cfg.Timeout))
-	return writeDataFrame(w.bw, seq, payload)
+	if f.count > 0 {
+		if err := writeBatchFrame(w.bw, f.seq, uint64(f.count), f.payload); err != nil {
+			return err
+		}
+		w.stats.Bytes += int64(1 + uvarintLen(f.seq) + uvarintLen(uint64(f.count)) +
+			uvarintLen(uint64(len(f.payload))) + len(f.payload) + 4)
+		return nil
+	}
+	if err := writeDataFrame(w.bw, f.seq, f.payload); err != nil {
+		return err
+	}
+	w.stats.Bytes += int64(1 + uvarintLen(f.seq) +
+		uvarintLen(uint64(len(f.payload))) + len(f.payload) + 4)
+	return nil
 }
 
 // syncOnceLocked flushes, heartbeats, and consumes the cumulative ack,
@@ -275,10 +491,12 @@ func (w *ReconnectWriter) eosLocked() error {
 	return nil
 }
 
-// trimLocked drops replay-buffer frames up to and including seq.
+// trimLocked drops replay-buffer frames whose whole sequence span is
+// acknowledged. Acks land on frame boundaries (the server applies a
+// batch atomically), so a frame is either fully acked or fully kept.
 func (w *ReconnectWriter) trimLocked(seq uint64) {
 	i := 0
-	for i < len(w.buffer) && w.buffer[i].seq <= seq {
+	for i < len(w.buffer) && w.buffer[i].seq+uint64(w.buffer[i].span())-1 <= seq {
 		i++
 	}
 	if i > 0 {
@@ -300,8 +518,9 @@ func (w *ReconnectWriter) failLocked() {
 }
 
 // connectLocked dials with exponential backoff + jitter, performs the
-// HELLO/HELLOACK resume handshake, trims the replay buffer to the
-// server's last applied sequence, and replays the rest.
+// resume handshake (v3 when configured, falling back to v2 when the
+// server rejects it), trims the replay buffer to the server's last
+// applied sequence, and replays the rest.
 func (w *ReconnectWriter) connectLocked() error {
 	resuming := w.everConnected
 	var lastErr error
@@ -316,13 +535,48 @@ func (w *ReconnectWriter) connectLocked() error {
 		}
 		bw := bufio.NewWriter(conn)
 		br := bufio.NewReader(conn)
-		last, err := handshake(conn, bw, br, w.cfg.StreamID, w.cfg.Timeout)
-		if err != nil {
-			conn.Close()
-			lastErr = err
-			continue
+		var last uint64
+		wire := wireV2
+		if w.useV3Locked() {
+			granted, lastSeq, err := handshake3(conn, bw, br, w.cfg.StreamID, w.cfg.Timeout)
+			if err != nil {
+				conn.Close()
+				lastErr = err
+				// A server that predates v3 drops the connection on the
+				// unknown HELLO3 frame, which reads back as EOF — but so
+				// does a transient network fault. Downgrade only before
+				// v3 ever succeeded, and only after two consecutive
+				// rejections, so flaky links don't silently lose
+				// batching while true v2-only peers are detected within
+				// two dials.
+				if w.wire == 0 {
+					w.v3Fails++
+					if w.v3Fails >= 2 {
+						w.forceV2 = true
+						w.convertBufferLocked()
+					}
+				}
+				continue
+			}
+			w.v3Fails = 0
+			if granted >= wireV3 {
+				wire = wireV3
+			} else {
+				// The server answered HELLO3 but capped the version.
+				w.forceV2 = true
+				w.convertBufferLocked()
+			}
+			last = lastSeq
+		} else {
+			last, err = handshake(conn, bw, br, w.cfg.StreamID, w.cfg.Timeout)
+			if err != nil {
+				conn.Close()
+				lastErr = err
+				continue
+			}
 		}
 		w.conn, w.bw, w.br = conn, bw, br
+		w.wire = wire
 		w.trimLocked(last)
 		// Replay the unacknowledged tail. A failure here burns the
 		// same attempt budget.
@@ -344,14 +598,53 @@ func (w *ReconnectWriter) connectLocked() error {
 		w.cfg.StreamID, w.cfg.MaxAttempts, lastErr)
 }
 
+// convertBufferLocked re-frames buffered v3 batch frames as per-tuple
+// v2 DATA frames, preserving sequence numbers, so a downgrade does not
+// strand unacknowledged tuples.
+func (w *ReconnectWriter) convertBufferLocked() {
+	if w.cfg.Schema == nil {
+		return
+	}
+	anyBatch := false
+	for i := range w.buffer {
+		if w.buffer[i].count > 0 {
+			anyBatch = true
+			break
+		}
+	}
+	if !anyBatch {
+		return
+	}
+	out := make([]pendingFrame, 0, len(w.buffer))
+	var a tuple.Arena
+	for _, f := range w.buffer {
+		if f.count == 0 {
+			out = append(out, f)
+			continue
+		}
+		ts, _, err := tuple.DecodeBatchInto(f.payload, w.cfg.Schema, &a)
+		if err != nil {
+			// Re-decoding our own encoding cannot fail; keep the frame
+			// rather than drop tuples if it somehow does.
+			out = append(out, f)
+			continue
+		}
+		for i, t := range ts {
+			out = append(out, pendingFrame{seq: f.seq + uint64(i), payload: tuple.AppendEncode(nil, t)})
+		}
+		a.Reset()
+	}
+	w.buffer = out
+}
+
 // replayLocked rewrites every buffered frame on the fresh connection.
 func (w *ReconnectWriter) replayLocked(countResent bool) error {
-	for _, f := range w.buffer {
-		if err := w.writeDataLocked(f.seq, f.payload); err != nil {
+	for i := range w.buffer {
+		if err := w.writeFrameLocked(&w.buffer[i]); err != nil {
 			return err
 		}
 		if countResent {
-			w.stats.Resent++
+			w.stats.Resent += int64(w.buffer[i].span())
 		}
 	}
 	return nil
@@ -365,6 +658,50 @@ func (w *ReconnectWriter) sleepBackoff(attempt int) {
 	}
 	jitter := 0.5 + w.rng.Float64() // 0.5x .. 1.5x
 	time.Sleep(time.Duration(float64(d) * jitter))
+}
+
+// handshake3 sends HELLO3 requesting wire v3 and returns the granted
+// version and the server's resume point. A pre-v3 server drops the
+// connection instead of answering.
+func handshake3(conn net.Conn, bw *bufio.Writer, br *bufio.Reader, id string, timeout time.Duration) (granted int, last uint64, err error) {
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := bw.WriteByte(frameHello3); err != nil {
+		return 0, 0, err
+	}
+	if err := writeUvarint(bw, wireV3); err != nil {
+		return 0, 0, err
+	}
+	if err := writeUvarint(bw, uint64(len(id))); err != nil {
+		return 0, 0, err
+	}
+	if _, err := bw.WriteString(id); err != nil {
+		return 0, 0, err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], hello3CRC(wireV3, []byte(id)))
+	if _, err := bw.Write(crc[:]); err != nil {
+		return 0, 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, 0, err
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	typ, err := br.ReadByte()
+	if err != nil {
+		return 0, 0, err
+	}
+	if typ != frameHello3Ack {
+		return 0, 0, fmt.Errorf("dsms: expected frame %q, got %q", frameHello3Ack, typ)
+	}
+	g, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, err
+	}
+	last, err = binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(g), last, nil
 }
 
 // handshake sends HELLO and returns the server's resume point.

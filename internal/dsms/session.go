@@ -21,6 +21,25 @@ package dsms
 //	  'a' ACK        uvarint lastSeq                     cumulative ack
 //	  'e' EOSACK     uvarint finalSeq                    stream complete
 //
+// Frame format v3 adds batched, schema-coded DATA (see tuple's batch
+// codec for the payload layout) behind a version-negotiating handshake:
+//
+//	client -> server
+//	  'W' HELLO3     uvarint ver | uvarint len | streamID | crc32(ver,id)
+//	  'P' BATCH      uvarint firstSeq | uvarint count | uvarint len |
+//	                 payload | crc32(firstSeq,payload)
+//	server -> client
+//	  'w' HELLO3ACK  uvarint grantedVer | uvarint lastSeq
+//
+// Sequence numbers still count tuples: a batch frame covers
+// [firstSeq, firstSeq+count-1], so cumulative acks, resume and
+// exactly-once dedupe are unchanged — a replayed batch that overlaps
+// the applied prefix (reconnect-resume mid-batch) emits only its
+// unseen suffix. A server that predates v3 treats 'W' as an unknown
+// frame and drops the connection; the client interprets that as "speak
+// v2" and redials with the old HELLO, so mixed-version deployments
+// keep working. v2 'D' frames remain valid on a v3 connection.
+//
 // The protocol is strictly request/response for control frames (the
 // server only writes when asked), so neither side needs a background
 // reader and socket buffers cannot fill with unread acks. Sequence
@@ -56,12 +75,36 @@ const (
 	frameEOSAck    = 'e'
 )
 
+// Frame type bytes (v3).
+const (
+	frameHello3    = 'W'
+	frameHello3Ack = 'w'
+	frameBatch     = 'P'
+)
+
+// Wire protocol versions.
+const (
+	wireV2 = 2
+	wireV3 = 3
+)
+
 // maxStreamID bounds the HELLO identifier so a corrupt length varint
 // cannot trigger a huge allocation.
 const maxStreamID = 256
 
 // maxFramePayload bounds DATA payloads for the same reason.
 const maxFramePayload = 16 << 20
+
+// maxBatchTuples bounds the tuple count a BATCH frame may claim.
+const maxBatchTuples = 1 << 20
+
+// hello3CRC covers the requested version and the stream identifier.
+func hello3CRC(ver uint64, id []byte) uint32 {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], ver)
+	c := crc32.Update(0, crc32.IEEETable, buf[:n])
+	return crc32.Update(c, crc32.IEEETable, id)
+}
 
 func writeUvarint(w *bufio.Writer, v uint64) error {
 	var buf [binary.MaxVarintLen64]byte
@@ -99,6 +142,30 @@ func writeDataFrame(w *bufio.Writer, seq uint64, payload []byte) error {
 	return err
 }
 
+// writeBatchFrame appends one v3 BATCH frame to w. The CRC covers the
+// first sequence number and the payload, like a DATA frame's.
+func writeBatchFrame(w *bufio.Writer, firstSeq, count uint64, payload []byte) error {
+	if err := w.WriteByte(frameBatch); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, firstSeq); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, count); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(len(payload))); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], dataCRC(firstSeq, payload))
+	_, err := w.Write(crc[:])
+	return err
+}
+
 // writeSeqFrame writes a control frame carrying one uvarint.
 func writeSeqFrame(w *bufio.Writer, typ byte, seq uint64) error {
 	if err := w.WriteByte(typ); err != nil {
@@ -129,6 +196,22 @@ type SessionConfig struct {
 	// Logf, when non-nil, receives session churn events (attach,
 	// resume, complete, connection errors).
 	Logf func(format string, args ...interface{})
+	// MaxWireVersion caps the protocol version the server grants. 0 or
+	// 3 = full v3; 2 emulates a server that predates batch frames (the
+	// HELLO3 frame is treated as unknown and drops the connection,
+	// exactly as an old binary would).
+	MaxWireVersion int
+	// ZeroCopy recycles batch decode arenas through a pool: the tuples
+	// passed to emit are only valid for the duration of the call. Leave
+	// false when the consumer retains tuples (windows, joins, buffers).
+	ZeroCopy bool
+}
+
+func (c *SessionConfig) maxWire() int {
+	if c.MaxWireVersion == 0 {
+		return wireV3
+	}
+	return c.MaxWireVersion
 }
 
 func (c *SessionConfig) idle() time.Duration {
@@ -146,10 +229,12 @@ func (c *SessionConfig) idle() time.Duration {
 type SessionStats struct {
 	Sessions   int64 // distinct streams attached
 	Reconnects int64 // HELLOs for an already-known stream
-	Frames     int64 // DATA frames applied
-	Dupes      int64 // DATA frames discarded as replays
+	Frames     int64 // tuples applied (v2: one per DATA frame)
+	Batches    int64 // v3 BATCH frames applied (at least one fresh tuple)
+	Dupes      int64 // tuples discarded as replays
 	Corrupt    int64 // frames rejected by CRC or parse failure
 	Completed  int64 // streams that reached EOS
+	V3Conns    int64 // connections negotiated to wire v3
 }
 
 // session is the durable per-stream state that outlives connections.
@@ -168,12 +253,14 @@ type SessionServer struct {
 	schema *tuple.Schema
 	cfg    SessionConfig
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	stats    SessionStats
-	done     chan struct{}
-	target   int
-	emit     func(streamID string, t *tuple.Tuple)
+	mu        sync.Mutex
+	sessions  map[string]*session
+	stats     SessionStats
+	done      chan struct{}
+	target    int
+	emit      func(streamID string, t *tuple.Tuple)
+	emitBatch func(streamID string, tuples []*tuple.Tuple)
+	arenas    *tuple.ArenaPool
 }
 
 // NewSessionServer wraps a listener; schema describes the tuples every
@@ -183,6 +270,7 @@ func NewSessionServer(ln net.Listener, schema *tuple.Schema, cfg SessionConfig) 
 		ln: ln, schema: schema, cfg: cfg,
 		sessions: make(map[string]*session),
 		done:     make(chan struct{}),
+		arenas:   tuple.NewArenaPool(),
 	}
 }
 
@@ -208,6 +296,22 @@ func (s *SessionServer) Serve(streams int, emit func(streamID string, t *tuple.T
 	s.target = streams
 	s.emit = emit
 	s.mu.Unlock()
+	return s.serve(streams)
+}
+
+// ServeBatches is Serve with a batch-granular sink: v3 BATCH frames
+// deliver their fresh tuples in one call, v2 DATA frames arrive as
+// one-tuple slices. The slice (and, under SessionConfig.ZeroCopy, the
+// tuples themselves) is only valid for the duration of the call.
+func (s *SessionServer) ServeBatches(streams int, emit func(streamID string, tuples []*tuple.Tuple)) error {
+	s.mu.Lock()
+	s.target = streams
+	s.emitBatch = emit
+	s.mu.Unlock()
+	return s.serve(streams)
+}
+
+func (s *SessionServer) serve(streams int) error {
 	go func() {
 		<-s.done
 		s.ln.Close()
@@ -278,6 +382,8 @@ func (s *SessionServer) handle(conn net.Conn) {
 	bw := bufio.NewWriter(conn)
 	var sess *session
 	var payload []byte
+	wire := wireV2
+	var scratch [1]*tuple.Tuple // v2 frames into the batch sink
 	for {
 		if idle > 0 {
 			conn.SetReadDeadline(time.Now().Add(idle))
@@ -322,6 +428,102 @@ func (s *SessionServer) handle(conn net.Conn) {
 				return
 			}
 
+		case frameHello3:
+			if s.cfg.maxWire() < wireV3 {
+				// Emulate a pre-v3 binary: unknown frame, drop the
+				// connection. The client falls back to the v2 HELLO.
+				s.countCorrupt()
+				return
+			}
+			ver, err := binary.ReadUvarint(br)
+			if err != nil {
+				s.countCorrupt()
+				return
+			}
+			n, err := binary.ReadUvarint(br)
+			if err != nil || n == 0 || n > maxStreamID {
+				s.countCorrupt()
+				return
+			}
+			idb := make([]byte, n)
+			if _, err := io.ReadFull(br, idb); err != nil {
+				s.countCorrupt()
+				return
+			}
+			var crc [4]byte
+			if _, err := io.ReadFull(br, crc[:]); err != nil ||
+				binary.LittleEndian.Uint32(crc[:]) != hello3CRC(ver, idb) {
+				s.countCorrupt()
+				return
+			}
+			granted := uint64(wireV3)
+			if ver < granted {
+				granted = ver
+			}
+			sess = s.attach(string(idb))
+			sess.mu.Lock()
+			last := sess.lastSeq
+			sess.mu.Unlock()
+			if err := bw.WriteByte(frameHello3Ack); err != nil {
+				return
+			}
+			if err := writeUvarint(bw, granted); err != nil {
+				return
+			}
+			if err := writeUvarint(bw, last); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			wire = int(granted)
+			if wire >= wireV3 {
+				s.mu.Lock()
+				s.stats.V3Conns++
+				s.mu.Unlock()
+			}
+
+		case frameBatch:
+			if sess == nil || wire < wireV3 {
+				s.countCorrupt()
+				return
+			}
+			firstSeq, err := binary.ReadUvarint(br)
+			if err != nil {
+				s.countCorrupt()
+				return
+			}
+			count, err := binary.ReadUvarint(br)
+			if err != nil || count == 0 || count > maxBatchTuples {
+				s.countCorrupt()
+				return
+			}
+			ln, err := binary.ReadUvarint(br)
+			if err != nil || ln > maxFramePayload {
+				s.countCorrupt()
+				return
+			}
+			if uint64(cap(payload)) < ln {
+				payload = make([]byte, ln)
+			}
+			payload = payload[:ln]
+			if _, err := io.ReadFull(br, payload); err != nil {
+				s.countCorrupt()
+				return
+			}
+			var crc [4]byte
+			if _, err := io.ReadFull(br, crc[:]); err != nil {
+				s.countCorrupt()
+				return
+			}
+			if binary.LittleEndian.Uint32(crc[:]) != dataCRC(firstSeq, payload) {
+				s.countCorrupt()
+				return
+			}
+			if !s.applyBatch(sess, firstSeq, count, payload) {
+				return
+			}
+
 		case frameData:
 			if sess == nil {
 				s.countCorrupt()
@@ -354,7 +556,7 @@ func (s *SessionServer) handle(conn net.Conn) {
 				s.countCorrupt()
 				return
 			}
-			if !s.apply(sess, seq, payload) {
+			if !s.apply(sess, seq, payload, &scratch) {
 				return
 			}
 
@@ -413,7 +615,7 @@ func (s *SessionServer) handle(conn net.Conn) {
 // apply delivers one DATA frame into the session: exactly-once by
 // sequence number. Returns false when the connection must drop (gap or
 // undecodable tuple).
-func (s *SessionServer) apply(sess *session, seq uint64, payload []byte) bool {
+func (s *SessionServer) apply(sess *session, seq uint64, payload []byte, scratch *[1]*tuple.Tuple) bool {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	switch {
@@ -427,8 +629,13 @@ func (s *SessionServer) apply(sess *session, seq uint64, payload []byte) bool {
 		s.mu.Lock()
 		s.stats.Frames++
 		emit := s.emit
+		emitBatch := s.emitBatch
 		s.mu.Unlock()
-		if emit != nil {
+		if emitBatch != nil {
+			scratch[0] = t
+			emitBatch(sess.id, scratch[:])
+			scratch[0] = nil
+		} else if emit != nil {
 			emit(sess.id, t)
 		}
 		return true
@@ -443,4 +650,56 @@ func (s *SessionServer) apply(sess *session, seq uint64, payload []byte) bool {
 		s.countCorrupt()
 		return false
 	}
+}
+
+// applyBatch delivers one BATCH frame: tuples [firstSeq, firstSeq+
+// count-1], exactly-once at tuple granularity. A batch fully behind the
+// session's high-water mark is a replay; one that overlaps it (resume
+// landed mid-batch) emits only the unseen suffix; a gap ahead of it
+// forces a resume by dropping the connection.
+func (s *SessionServer) applyBatch(sess *session, firstSeq, count uint64, payload []byte) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	lastOfBatch := firstSeq + count - 1
+	switch {
+	case lastOfBatch <= sess.lastSeq:
+		sess.dupes += int64(count)
+		s.mu.Lock()
+		s.stats.Dupes += int64(count)
+		s.mu.Unlock()
+		return true
+	case firstSeq > sess.lastSeq+1:
+		s.countCorrupt()
+		return false
+	}
+	arena := &tuple.Arena{}
+	zero := s.cfg.ZeroCopy
+	if zero {
+		arena = s.arenas.Get()
+		defer s.arenas.Put(arena)
+	}
+	ts, _, err := tuple.DecodeBatchInto(payload, s.schema, arena)
+	if err != nil || uint64(len(ts)) != count {
+		s.countCorrupt()
+		return false
+	}
+	skip := sess.lastSeq + 1 - firstSeq // already-applied prefix, 0..count-1
+	sess.lastSeq = lastOfBatch
+	sess.dupes += int64(skip)
+	fresh := ts[skip:]
+	s.mu.Lock()
+	s.stats.Frames += int64(len(fresh))
+	s.stats.Dupes += int64(skip)
+	s.stats.Batches++
+	emit := s.emit
+	emitBatch := s.emitBatch
+	s.mu.Unlock()
+	if emitBatch != nil {
+		emitBatch(sess.id, fresh)
+	} else if emit != nil {
+		for _, t := range fresh {
+			emit(sess.id, t)
+		}
+	}
+	return true
 }

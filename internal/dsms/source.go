@@ -1,0 +1,112 @@
+package dsms
+
+import (
+	"sync"
+
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// SessionSource adapts a SessionServer into a stream.BulkSource: the
+// batch frames the transport decodes feed exec.RunWith's batched
+// engine directly, with no per-tuple re-batching in between. It runs
+// ServeBatches on a background goroutine and hands whole frame batches
+// across a bounded queue; NextBatch blocks until tuples arrive or every
+// expected stream has completed.
+type SessionSource struct {
+	srv *SessionServer
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []stream.Element
+	head  int
+	bound int
+	done  bool
+	err   error
+}
+
+// NewSessionSource starts serving `streams` sessions from srv and
+// exposes the delivered tuples (all streams interleaved in arrival
+// order) as a bulk source. queueBound caps buffered elements between
+// the transport and the engine (0 = default 65536); the transport
+// blocks when the engine falls behind, pushing backpressure onto the
+// session acks.
+func NewSessionSource(srv *SessionServer, streams, queueBound int) *SessionSource {
+	if queueBound <= 0 {
+		queueBound = 65536
+	}
+	s := &SessionSource{srv: srv, bound: queueBound}
+	s.cond = sync.NewCond(&s.mu)
+	go func() {
+		err := srv.ServeBatches(streams, s.feed)
+		s.mu.Lock()
+		s.done = true
+		s.err = err
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	return s
+}
+
+// feed is the ServeBatches sink: it copies the batch into the queue
+// (the transport's slice and arena are reused after the call returns).
+func (s *SessionSource) feed(_ string, tuples []*tuple.Tuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue)-s.head > s.bound {
+		s.cond.Wait()
+	}
+	s.queue = stream.AppendTuples(s.queue, tuples)
+	s.cond.Broadcast()
+}
+
+// Schema implements stream.Source.
+func (s *SessionSource) Schema() *tuple.Schema { return s.srv.schema }
+
+// Next implements stream.Source.
+func (s *SessionSource) Next() (stream.Element, bool) {
+	out := make([]stream.Element, 0, 1)
+	out, _ = s.NextBatch(out, 1)
+	if len(out) == 0 {
+		return stream.Element{}, false
+	}
+	return out[0], true
+}
+
+// NextBatch implements stream.BulkSource. It blocks until at least one
+// element is available (or every stream completed), then drains up to
+// max already-queued elements without further blocking.
+func (s *SessionSource) NextBatch(dst []stream.Element, max int) ([]stream.Element, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == s.head && !s.done {
+		s.cond.Wait()
+	}
+	n := len(s.queue) - s.head
+	if n > max {
+		n = max
+	}
+	for _, e := range s.queue[s.head : s.head+n] {
+		dst = append(dst, e)
+	}
+	// Zero and compact the consumed prefix so the queue neither pins
+	// tuples nor grows without bound.
+	for i := s.head; i < s.head+n; i++ {
+		s.queue[i] = stream.Element{}
+	}
+	s.head += n
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
+	s.cond.Broadcast()
+	return dst, len(s.queue) > s.head || !s.done
+}
+
+// Err reports the ServeBatches result once every stream has completed
+// (nil while still serving).
+func (s *SessionSource) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

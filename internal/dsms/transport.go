@@ -20,16 +20,21 @@ import (
 )
 
 // Frame format: uvarint length + tuple encoding. A zero-length frame
-// marks end-of-stream.
+// marks end-of-stream. In batch mode (both ends constructed with
+// NewBatchWriter/NewBatchReader) the frame body is the schema-coded
+// batch encoding of tuple.AppendEncodeBatch instead; the two modes
+// share the framing but are not self-discriminating, so both ends must
+// agree — exactly like they already must agree on the schema.
 
 // Writer sends tuples over a connection.
 type Writer struct {
-	mu    sync.Mutex
-	w     *bufio.Writer
-	c     io.Closer
-	buf   []byte
-	Sent  int64
-	Bytes int64
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer
+	buf    []byte
+	schema *tuple.Schema // non-nil = batch mode
+	Sent   int64
+	Bytes  int64
 }
 
 // NewWriter wraps a connection for tuple transport.
@@ -37,11 +42,15 @@ func NewWriter(conn net.Conn) *Writer {
 	return &Writer{w: bufio.NewWriter(conn), c: conn}
 }
 
-// Send transmits one tuple.
-func (w *Writer) Send(t *tuple.Tuple) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.buf = tuple.AppendEncode(w.buf[:0], t)
+// NewBatchWriter wraps a connection for schema-coded batch transport
+// (frame body = batch encoding). The peer must use NewBatchReader with
+// the same schema.
+func NewBatchWriter(conn net.Conn, schema *tuple.Schema) *Writer {
+	return &Writer{w: bufio.NewWriter(conn), c: conn, schema: schema}
+}
+
+// writeFrameLocked writes one length-prefixed frame from w.buf.
+func (w *Writer) writeFrameLocked() error {
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(w.buf)))
 	if _, err := w.w.Write(hdr[:n]); err != nil {
@@ -50,8 +59,60 @@ func (w *Writer) Send(t *tuple.Tuple) error {
 	if _, err := w.w.Write(w.buf); err != nil {
 		return err
 	}
-	w.Sent++
 	w.Bytes += int64(n + len(w.buf))
+	return nil
+}
+
+// Send transmits one tuple.
+func (w *Writer) Send(t *tuple.Tuple) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.schema != nil {
+		var one [1]*tuple.Tuple
+		one[0] = t
+		return w.sendBatchLocked(one[:])
+	}
+	w.buf = tuple.AppendEncode(w.buf[:0], t)
+	if err := w.writeFrameLocked(); err != nil {
+		return err
+	}
+	w.Sent++
+	return nil
+}
+
+// SendBatch transmits a batch of tuples under one lock acquisition. In
+// batch mode the whole batch becomes a single schema-coded frame with
+// one length header; in per-tuple mode it degrades to one frame per
+// tuple (still one lock).
+func (w *Writer) SendBatch(tuples []*tuple.Tuple) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.schema != nil {
+		return w.sendBatchLocked(tuples)
+	}
+	for _, t := range tuples {
+		w.buf = tuple.AppendEncode(w.buf[:0], t)
+		if err := w.writeFrameLocked(); err != nil {
+			return err
+		}
+		w.Sent++
+	}
+	return nil
+}
+
+func (w *Writer) sendBatchLocked(tuples []*tuple.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	var err error
+	w.buf, err = tuple.AppendEncodeBatch(w.buf[:0], w.schema, tuples)
+	if err != nil {
+		return err
+	}
+	if err := w.writeFrameLocked(); err != nil {
+		return err
+	}
+	w.Sent += int64(len(tuples))
 	return nil
 }
 
@@ -88,8 +149,18 @@ type Reader struct {
 	schema   *tuple.Schema
 	buf      []byte
 	done     bool
+	batch    bool
+	arena    *tuple.Arena
+	pending  []*tuple.Tuple // decoded tuples of the current batch frame
+	pos      int
 	Received int64
 	Err      error
+	// ZeroCopy (batch mode) reuses the decode arena across frames:
+	// tuples handed out become invalid once the next frame is read. Set
+	// it only when every tuple is consumed before the next Next/NextBatch
+	// call, e.g. when feeding a pipeline that copies or finishes with
+	// elements batch by batch.
+	ZeroCopy bool
 }
 
 // NewReader wraps a connection; the schema describes the expected
@@ -98,14 +169,18 @@ func NewReader(conn net.Conn, schema *tuple.Schema) *Reader {
 	return &Reader{r: bufio.NewReader(conn), c: conn, schema: schema}
 }
 
+// NewBatchReader wraps a connection whose peer sends schema-coded batch
+// frames (NewBatchWriter).
+func NewBatchReader(conn net.Conn, schema *tuple.Schema) *Reader {
+	return &Reader{r: bufio.NewReader(conn), c: conn, schema: schema, batch: true}
+}
+
 // Schema implements stream.Source.
 func (r *Reader) Schema() *tuple.Schema { return r.schema }
 
-// Next implements stream.Source.
-func (r *Reader) Next() (stream.Element, bool) {
-	if r.done {
-		return stream.Element{}, false
-	}
+// readFrame reads the next frame body into r.buf. It returns false at
+// end-of-stream or error (recorded in r.Err).
+func (r *Reader) readFrame() bool {
 	ln, err := binary.ReadUvarint(r.r)
 	if err != nil {
 		// EOF before the end-of-stream frame means the peer died
@@ -113,26 +188,129 @@ func (r *Reader) Next() (stream.Element, bool) {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return stream.Element{}, r.fail(fmt.Errorf("dsms: read frame header: %w", err))
+		return r.fail(fmt.Errorf("dsms: read frame header: %w", err))
 	}
 	if ln == 0 { // explicit end-of-stream frame
 		r.done = true
 		r.c.Close()
-		return stream.Element{}, false
+		return false
+	}
+	if ln > maxFramePayload {
+		// A corrupt length varint must not drive an unbounded
+		// allocation below.
+		return r.fail(fmt.Errorf("dsms: frame length %d exceeds limit %d", ln, maxFramePayload))
 	}
 	if uint64(cap(r.buf)) < ln {
 		r.buf = make([]byte, ln)
 	}
-	buf := r.buf[:ln]
-	if _, err := io.ReadFull(r.r, buf); err != nil {
-		return stream.Element{}, r.fail(fmt.Errorf("dsms: read frame body: %w", err))
+	r.buf = r.buf[:ln]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return r.fail(fmt.Errorf("dsms: read frame body: %w", err))
 	}
-	t, _, err := tuple.DecodeChecked(buf, r.schema)
+	return true
+}
+
+// fillBatch reads and decodes the next batch frame into r.pending.
+func (r *Reader) fillBatch() bool {
+	if !r.readFrame() {
+		return false
+	}
+	if r.ZeroCopy && r.arena != nil {
+		r.arena.Reset()
+	} else {
+		r.arena = &tuple.Arena{}
+	}
+	ts, _, err := tuple.DecodeBatchInto(r.buf, r.schema, r.arena)
+	if err != nil {
+		return r.fail(fmt.Errorf("dsms: %w", err))
+	}
+	r.pending, r.pos = ts, 0
+	return true
+}
+
+// Next implements stream.Source.
+func (r *Reader) Next() (stream.Element, bool) {
+	if r.pos < len(r.pending) {
+		t := r.pending[r.pos]
+		r.pos++
+		r.Received++
+		return stream.Tup(t), true
+	}
+	if r.done {
+		return stream.Element{}, false
+	}
+	if r.batch {
+		for r.fillBatch() {
+			if r.pos < len(r.pending) {
+				t := r.pending[r.pos]
+				r.pos++
+				r.Received++
+				return stream.Tup(t), true
+			}
+			// empty batch frame: keep reading
+		}
+		return stream.Element{}, false
+	}
+	if !r.readFrame() {
+		return stream.Element{}, false
+	}
+	t, _, err := tuple.DecodeChecked(r.buf, r.schema)
 	if err != nil {
 		return stream.Element{}, r.fail(fmt.Errorf("dsms: %w", err))
 	}
 	r.Received++
 	return stream.Tup(t), true
+}
+
+// NextBatch implements stream.BulkSource: it appends up to max elements
+// to dst. The first tuple may block on the network; after that it only
+// drains what is already decoded or buffered, so a slow peer yields
+// short batches instead of stalling the pipeline.
+func (r *Reader) NextBatch(dst []stream.Element, max int) ([]stream.Element, bool) {
+	appended := 0
+	for appended < max {
+		if r.pos < len(r.pending) {
+			n := len(r.pending) - r.pos
+			if n > max-appended {
+				n = max - appended
+			}
+			for _, t := range r.pending[r.pos : r.pos+n] {
+				dst = append(dst, stream.Tup(t))
+			}
+			r.pos += n
+			r.Received += int64(n)
+			appended += n
+			continue
+		}
+		if r.done {
+			return dst, false
+		}
+		// Block for the first frame of the call; afterwards only
+		// continue while bytes are already buffered. ZeroCopy stops at
+		// one frame per call — reading another would reset the arena
+		// under the elements already appended to dst.
+		if appended > 0 && (r.ZeroCopy || r.r.Buffered() == 0) {
+			return dst, true
+		}
+		if r.batch {
+			if !r.fillBatch() {
+				return dst, false
+			}
+		} else {
+			if !r.readFrame() {
+				return dst, false
+			}
+			t, _, err := tuple.DecodeChecked(r.buf, r.schema)
+			if err != nil {
+				r.fail(fmt.Errorf("dsms: %w", err))
+				return dst, false
+			}
+			dst = append(dst, stream.Tup(t))
+			r.Received++
+			appended++
+		}
+	}
+	return dst, r.pos < len(r.pending) || !r.done
 }
 
 // fail records the first transport error and ends the stream; it

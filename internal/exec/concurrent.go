@@ -1069,6 +1069,13 @@ func (r *concRun) runSource(s *sourceNode, maxElements int64, wg *sync.WaitGroup
 			if !more {
 				break
 			}
+			if len(tmp) < max {
+				// A short read from a live source (network transport,
+				// push-fed queue) means it is momentarily idle: push
+				// the partial edge batch downstream now instead of
+				// holding elements until the batch fills.
+				w.flush()
+			}
 		} else {
 			e, ok := s.src.Next()
 			if !ok {

@@ -282,17 +282,24 @@ func TestE16Shape(t *testing.T) {
 
 func TestE17Shape(t *testing.T) {
 	tb := E17FaultTolerance(testScale)
-	// Every row — fault-free and faulty alike — must report results
-	// byte-identical to the zero-fault baseline (exactly-once).
+	if len(tb.Rows) != 8 {
+		t.Fatalf("E17 rows = %d, want 8 (4 drop rates x wirebatch {1,16})", len(tb.Rows))
+	}
+	// Every row — fault-free and faulty, per-tuple and batched wire —
+	// must report results byte-identical to the zero-fault baseline
+	// (exactly-once).
 	for row := range tb.Rows {
-		if got := cell(t, tb, row, 6); got != "true" {
-			t.Errorf("row %s: exact = %s (exactly-once violated)", cell(t, tb, row, 0), got)
+		if got := cell(t, tb, row, 7); got != "true" {
+			t.Errorf("drop=%s wirebatch=%s: exact = %s (exactly-once violated)",
+				cell(t, tb, row, 0), cell(t, tb, row, 1), got)
 		}
 	}
-	// Faults actually happened at the highest drop rate.
-	last := len(tb.Rows) - 1
-	if num(t, tb, last, 2) == 0 {
-		t.Errorf("no reconnects at %s drop rate", cell(t, tb, last, 0))
+	// Faults actually happened at the highest drop rate on both wires.
+	for _, row := range []int{len(tb.Rows) - 2, len(tb.Rows) - 1} {
+		if num(t, tb, row, 3) == 0 {
+			t.Errorf("no reconnects at drop=%s wirebatch=%s",
+				cell(t, tb, row, 0), cell(t, tb, row, 1))
+		}
 	}
 }
 
@@ -388,5 +395,39 @@ func TestE20Shape(t *testing.T) {
 	}
 	if s, p := num(t, tb, 4, 4), num(t, tb, 5, 4); p >= s {
 		t.Errorf("asym probes: partitioned %v not below serial %v", p, s)
+	}
+}
+
+func TestE21Shape(t *testing.T) {
+	tb := E21TransportWire(testScale)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("E21 rows = %d, want 5", len(tb.Rows))
+	}
+	// Every wire variant must deliver the identical tuple sequence.
+	for row := range tb.Rows {
+		if got := cell(t, tb, row, 6); got != "true" {
+			t.Errorf("wire=%s batch=%s: exact = %s (framing changed delivery)",
+				cell(t, tb, row, 0), cell(t, tb, row, 1), got)
+		}
+	}
+	// Bytes/tuple must shrink >= 30% for v3 batch=64 vs v2; this is a
+	// deterministic property of the encodings, unlike throughput (which
+	// only the benchmarks assert, to stay robust on loaded CI hosts).
+	v2bpt, v3bpt := num(t, tb, 0, 3), num(t, tb, 3, 3)
+	if v3bpt > 0.7*v2bpt {
+		t.Errorf("v3 batch=64 bytes/tuple %v not >=30%% below v2 %v", v3bpt, v2bpt)
+	}
+	// Batching must not be slower than per-tuple framing. Individual
+	// rows swing on a loaded single-core host, so compare v2 against the
+	// best batched row.
+	v2 := num(t, tb, 0, 4)
+	best := 0.0
+	for row := 2; row < len(tb.Rows); row++ {
+		if v := num(t, tb, row, 4); v > best {
+			best = v
+		}
+	}
+	if best < v2 {
+		t.Errorf("best batched throughput %v below v2 %v", best, v2)
 	}
 }

@@ -27,7 +27,7 @@ func E17FaultTolerance(scale Scale) *Table {
 	t := &Table{
 		ID:    "E17",
 		Title: "fault-tolerant distributed evaluation: accuracy + recovery vs drop rate",
-		Header: []string{"dropRate", "frames", "reconnects", "resent", "dupes",
+		Header: []string{"dropRate", "wirebatch", "frames", "reconnects", "resent", "dupes",
 			"meanRecovery", "exact"},
 	}
 
@@ -44,21 +44,26 @@ func E17FaultTolerance(scale Scale) *Table {
 
 	var baseline []byte
 	for _, rate := range []float64{0, 0.02, 0.05, 0.10} {
-		fp, frames, cs, ss := runChaosSession(d, nodes, n, rate)
-		if rate == 0 {
-			baseline = fp
+		// wirebatch 1 ships v2 per-tuple DATA frames; 16 ships v3
+		// schema-coded batch frames. Exactly-once must hold for both.
+		for _, wirebatch := range []int{1, 16} {
+			fp, frames, cs, ss := runChaosSession(d, nodes, n, rate, wirebatch)
+			if baseline == nil {
+				baseline = fp
+			}
+			exact := string(fp) == string(baseline)
+			recovery := "-"
+			if cs.Reconnects > 0 {
+				recovery = fmt.Sprintf("%.1fms",
+					float64(cs.RecoveryNanos)/float64(cs.Reconnects)/1e6)
+			}
+			t.AddRow(fmt.Sprintf("%.0f%%", rate*100), wirebatch, frames, cs.Reconnects,
+				cs.Resent, ss.Dupes, recovery, exact)
 		}
-		exact := string(fp) == string(baseline)
-		recovery := "-"
-		if cs.Reconnects > 0 {
-			recovery = fmt.Sprintf("%.1fms",
-				float64(cs.RecoveryNanos)/float64(cs.Reconnects)/1e6)
-		}
-		t.AddRow(fmt.Sprintf("%.0f%%", rate*100), frames, cs.Reconnects, cs.Resent,
-			ss.Dupes, recovery, exact)
 	}
 	t.Notes = append(t.Notes,
 		"expected shape: reconnects and resends grow with the drop rate; results stay byte-identical to the zero-fault run (exactly-once)",
+		"wirebatch>1 rows negotiate wire v3 and replay at batch granularity; resume may land mid-batch, counted under dupes",
 		"drops/stalls/corruption injected client-side per write with a per-node deterministic seed")
 	return t
 }
@@ -66,7 +71,7 @@ func E17FaultTolerance(scale Scale) *Table {
 // runChaosSession runs one low->high session set under injected faults
 // and returns the fingerprint of the sorted final rows, the partial
 // frames shipped, and the summed client + server stats.
-func runChaosSession(d *dsms.Decomposition, nodes, n int, dropRate float64) (fingerprint []byte, frames int64, cs dsms.ReconnectStats, ss dsms.SessionStats) {
+func runChaosSession(d *dsms.Decomposition, nodes, n int, dropRate float64, wirebatch int) (fingerprint []byte, frames int64, cs dsms.ReconnectStats, ss dsms.SessionStats) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
@@ -100,7 +105,7 @@ func runChaosSession(d *dsms.Decomposition, nodes, n int, dropRate float64) (fin
 		go func(node int) {
 			defer wg.Done()
 			dials := 0
-			w, err := dsms.NewReconnectWriter(dsms.ReconnectConfig{
+			cfg := dsms.ReconnectConfig{
 				StreamID: fmt.Sprintf("low-%d", node),
 				Dial: func() (net.Conn, error) {
 					c, err := net.Dial("tcp", addr)
@@ -120,7 +125,13 @@ func runChaosSession(d *dsms.Decomposition, nodes, n int, dropRate float64) (fin
 				MaxBackoff:  20 * time.Millisecond,
 				Timeout:     10 * time.Second,
 				Seed:        int64(node + 1),
-			})
+			}
+			if wirebatch > 1 {
+				cfg.Schema = d.PartialSchema()
+				cfg.WireBatch = wirebatch
+				cfg.FlushInterval = -1 // size-only: keep the run deterministic
+			}
+			w, err := dsms.NewReconnectWriter(cfg)
 			if err != nil {
 				panic(err)
 			}

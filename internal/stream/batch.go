@@ -1,6 +1,10 @@
 package stream
 
-import "sync"
+import (
+	"sync"
+
+	"streamdb/internal/tuple"
+)
 
 // This file holds the micro-batching support used by the concurrent
 // execution engine: pooled element slices that amortize allocation on
@@ -61,6 +65,16 @@ type BulkSource interface {
 	// exhausted (mirroring Next); a short append with true means "more
 	// later" for resumable sources.
 	NextBatch(dst []Element, max int) ([]Element, bool)
+}
+
+// AppendTuples appends one element per tuple to dst: the bridge from
+// batch-granular producers (e.g. a network transport decoding whole
+// frames) into the element batches the engine moves.
+func AppendTuples(dst []Element, tuples []*tuple.Tuple) []Element {
+	for _, t := range tuples {
+		dst = append(dst, Tup(t))
+	}
+	return dst
 }
 
 // NextBatch implements BulkSource: a slice replay can hand out its

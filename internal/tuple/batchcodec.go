@@ -1,0 +1,287 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Batch encoding (wire format v3). Where the self-describing per-tuple
+// encoding of codec.go spends a kind byte per value and a full varint
+// timestamp per tuple, the batch encoding is schema-coded: both ends
+// agree on the schema (negotiated at HELLO time on the transport), so
+// value kinds are implied by field position, NULLs are carried in a
+// per-tuple bitmap, and timestamps are delta-varints exploiting the
+// ordering attribute's monotonicity (slide 17; late tuples still work —
+// deltas are signed). Layout:
+//
+//	uvarint count
+//	per tuple:
+//	  varint tsDelta            ts minus the previous tuple's ts (first
+//	                            tuple: minus zero)
+//	  null bitmap               ceil(arity/8) bytes, bit i set = NULL
+//	  per non-NULL value, payload only, kind taken from the schema:
+//	    FLOAT   8 bytes little-endian
+//	    STRING  uvarint length + bytes
+//	    TIME, when the field is the ordering attribute:
+//	            varint of (value - tuple Ts) — the ordering attribute
+//	            usually *is* the timestamp, making this one zero byte
+//	    other   uvarint raw payload
+//
+// Decoding writes into a caller-owned Arena — one backing []Value and
+// []Tuple per batch, recycled through an ArenaPool — so steady-state
+// decode of string-free schemas is allocation-free.
+
+// AppendEncodeBatch appends the schema-coded encoding of the batch to
+// buf and returns the extended slice. Every tuple must conform to the
+// schema: matching arity, and every non-NULL value of the declared
+// kind.
+func AppendEncodeBatch(buf []byte, s *Schema, tuples []*Tuple) ([]byte, error) {
+	arity := s.Arity()
+	bitmapLen := (arity + 7) / 8
+	ordIdx := -1
+	if i := s.OrderingIndex(); i >= 0 && s.Fields[i].Kind == KindTime {
+		ordIdx = i
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(tuples)))
+	prev := int64(0)
+	for _, t := range tuples {
+		if len(t.Vals) != arity {
+			return nil, fmt.Errorf("tuple: arity %d does not match schema %s", len(t.Vals), s)
+		}
+		buf = binary.AppendVarint(buf, t.Ts-prev)
+		prev = t.Ts
+		base := len(buf)
+		for i := 0; i < bitmapLen; i++ {
+			buf = append(buf, 0)
+		}
+		for i, v := range t.Vals {
+			if v.Kind == KindNull {
+				buf[base+i/8] |= 1 << (i % 8)
+			}
+		}
+		for i, v := range t.Vals {
+			if v.Kind == KindNull {
+				continue
+			}
+			f := &s.Fields[i]
+			if v.Kind != f.Kind {
+				return nil, fmt.Errorf("tuple: field %s is %s, schema wants %s",
+					f.Name, v.Kind, f.Kind)
+			}
+			switch f.Kind {
+			case KindFloat:
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.f))
+			case KindString:
+				buf = binary.AppendUvarint(buf, uint64(len(v.s)))
+				buf = append(buf, v.s...)
+			default:
+				if i == ordIdx {
+					buf = binary.AppendVarint(buf, int64(v.num)-t.Ts)
+				} else {
+					buf = binary.AppendUvarint(buf, v.num)
+				}
+			}
+		}
+	}
+	return buf, nil
+}
+
+// Arena owns the backing storage for decoded batches: one []Value and
+// one []Tuple array shared by every tuple of the batch. Decoded tuples
+// (and their Vals slices) alias the arena and stay valid until Reset.
+// The zero Arena is ready to use; reusing one across batches makes
+// steady-state decode allocation-free for string-free schemas (STRING
+// payloads still copy out of the wire buffer — aliasing it would be
+// unsafe once the transport reuses it).
+type Arena struct {
+	vals   []Value
+	tuples []Tuple
+	ptrs   []*Tuple
+}
+
+// Reset forgets everything decoded so far, keeping the backing arrays
+// for reuse. Tuples handed out by earlier DecodeBatchInto calls are
+// invalid (they will be overwritten) after Reset.
+func (a *Arena) Reset() {
+	a.vals = a.vals[:0]
+	a.tuples = a.tuples[:0]
+	a.ptrs = a.ptrs[:0]
+}
+
+// release zeroes the arena's storage so a pooled arena does not pin
+// decoded strings against the garbage collector.
+func (a *Arena) release() {
+	vals := a.vals[:cap(a.vals)]
+	for i := range vals {
+		vals[i] = Value{}
+	}
+	tuples := a.tuples[:cap(a.tuples)]
+	for i := range tuples {
+		tuples[i] = Tuple{}
+	}
+	ptrs := a.ptrs[:cap(a.ptrs)]
+	for i := range ptrs {
+		ptrs[i] = nil
+	}
+	a.Reset()
+}
+
+// ArenaPool is a freelist of decode arenas for callers that can bound
+// tuple lifetime (the tuples of a batch are consumed before the arena
+// is returned).
+type ArenaPool struct {
+	pool sync.Pool
+}
+
+// NewArenaPool builds an arena freelist.
+func NewArenaPool() *ArenaPool {
+	p := &ArenaPool{}
+	p.pool.New = func() interface{} { return new(Arena) }
+	return p
+}
+
+// Get returns an empty arena.
+func (p *ArenaPool) Get() *Arena { return p.pool.Get().(*Arena) }
+
+// Put recycles an arena. Every tuple previously decoded into it becomes
+// invalid.
+func (p *ArenaPool) Put(a *Arena) {
+	a.release()
+	p.pool.Put(a)
+}
+
+// growValues extends s by extra elements, reallocating only when the
+// capacity is exhausted.
+func growValues(s []Value, extra int) []Value {
+	need := len(s) + extra
+	if cap(s) >= need {
+		return s[:need]
+	}
+	grown := make([]Value, need, 2*need)
+	copy(grown, s)
+	return grown
+}
+
+func growTuples(s []Tuple, extra int) []Tuple {
+	need := len(s) + extra
+	if cap(s) >= need {
+		return s[:need]
+	}
+	grown := make([]Tuple, need, 2*need)
+	copy(grown, s)
+	return grown
+}
+
+func growPtrs(s []*Tuple, extra int) []*Tuple {
+	need := len(s) + extra
+	if cap(s) >= need {
+		return s[:need]
+	}
+	grown := make([]*Tuple, need, 2*need)
+	copy(grown, s)
+	return grown
+}
+
+// DecodeBatchInto parses one batch from buf into the arena, returning
+// the decoded tuples and the number of bytes consumed. The returned
+// slice and every tuple in it alias the arena: they are valid until the
+// arena is Reset (or returned to an ArenaPool). Decoding appends — an
+// arena may accumulate several batches before a Reset. On error the
+// arena is rolled back to its pre-call state.
+func DecodeBatchInto(buf []byte, s *Schema, a *Arena) ([]*Tuple, int, error) {
+	count64, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("tuple: truncated batch count")
+	}
+	off := n
+	// Each tuple costs at least one delta byte, so count is bounded by
+	// the buffer length; this keeps a corrupt count from sizing the
+	// arena arbitrarily.
+	if count64 > uint64(len(buf)) {
+		return nil, 0, fmt.Errorf("tuple: batch count %d exceeds buffer", count64)
+	}
+	count := int(count64)
+	arity := s.Arity()
+	bitmapLen := (arity + 7) / 8
+	ordIdx := -1
+	if i := s.OrderingIndex(); i >= 0 && s.Fields[i].Kind == KindTime {
+		ordIdx = i
+	}
+
+	valsBase := len(a.vals)
+	tupBase := len(a.tuples)
+	ptrBase := len(a.ptrs)
+	a.vals = growValues(a.vals, count*arity)
+	a.tuples = growTuples(a.tuples, count)
+	a.ptrs = growPtrs(a.ptrs, count)
+	fail := func(format string, args ...interface{}) ([]*Tuple, int, error) {
+		a.vals = a.vals[:valsBase]
+		a.tuples = a.tuples[:tupBase]
+		a.ptrs = a.ptrs[:ptrBase]
+		return nil, 0, fmt.Errorf(format, args...)
+	}
+
+	prev := int64(0)
+	for t := 0; t < count; t++ {
+		delta, n := binary.Varint(buf[off:])
+		if n <= 0 {
+			return fail("tuple: truncated batch timestamp %d", t)
+		}
+		off += n
+		prev += delta
+		if bitmapLen > len(buf)-off {
+			return fail("tuple: truncated null bitmap %d", t)
+		}
+		bitmap := buf[off : off+bitmapLen]
+		off += bitmapLen
+		vals := a.vals[valsBase+t*arity : valsBase+(t+1)*arity : valsBase+(t+1)*arity]
+		for i := 0; i < arity; i++ {
+			if bitmap[i/8]&(1<<(i%8)) != 0 {
+				vals[i] = Null
+				continue
+			}
+			switch k := s.Fields[i].Kind; k {
+			case KindNull:
+				vals[i] = Null
+			case KindFloat:
+				if 8 > len(buf)-off {
+					return fail("tuple: truncated float in batch tuple %d", t)
+				}
+				vals[i] = Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])))
+				off += 8
+			case KindString:
+				ln, n := binary.Uvarint(buf[off:])
+				if n <= 0 {
+					return fail("tuple: truncated string in batch tuple %d", t)
+				}
+				off += n
+				if ln > uint64(len(buf)-off) {
+					return fail("tuple: truncated string in batch tuple %d", t)
+				}
+				vals[i] = String(string(buf[off : off+int(ln)]))
+				off += int(ln)
+			default:
+				if i == ordIdx {
+					d, n := binary.Varint(buf[off:])
+					if n <= 0 {
+						return fail("tuple: truncated value in batch tuple %d", t)
+					}
+					off += n
+					vals[i] = Value{Kind: k, num: uint64(d + prev)}
+					continue
+				}
+				num, n := binary.Uvarint(buf[off:])
+				if n <= 0 {
+					return fail("tuple: truncated value in batch tuple %d", t)
+				}
+				off += n
+				vals[i] = Value{Kind: k, num: num}
+			}
+		}
+		a.tuples[tupBase+t] = Tuple{Ts: prev, Vals: vals}
+		a.ptrs[ptrBase+t] = &a.tuples[tupBase+t]
+	}
+	return a.ptrs[ptrBase:], off, nil
+}

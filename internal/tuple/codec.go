@@ -71,10 +71,15 @@ func Decode(buf []byte) (*Tuple, int, error) {
 			off += 8
 		case KindString:
 			ln, n := binary.Uvarint(buf[off:])
-			if n <= 0 || off+n+int(ln) > len(buf) {
+			if n <= 0 {
 				return nil, 0, fmt.Errorf("tuple: truncated string")
 			}
 			off += n
+			// Compare in uint64 space: a huge ln converted to int could
+			// wrap off+n+int(ln) negative and slip past the bound.
+			if ln > uint64(len(buf)-off) {
+				return nil, 0, fmt.Errorf("tuple: truncated string")
+			}
 			vals[i] = String(string(buf[off : off+int(ln)]))
 			off += int(ln)
 		case KindInt, KindUint, KindBool, KindIP, KindTime:

@@ -1,0 +1,147 @@
+package tuple
+
+import (
+	"testing"
+)
+
+// valueEqual is Equal plus NULL==NULL, for round-trip comparisons (SQL
+// Equal treats NULL as unequal to everything).
+func valueEqual(a, b Value) bool {
+	if a.Kind == KindNull || b.Kind == KindNull {
+		return a.Kind == b.Kind
+	}
+	return a.Kind == b.Kind && a.Equal(b)
+}
+
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: valid encodings of representative tuples, plus known
+	// tricky shapes (empty, truncated, huge-length string).
+	seeds := []*Tuple{
+		New(0),
+		New(1, Int(-5), Uint(7), Bool(true)),
+		New(1<<40, Time(1<<40), IP(0x7f000001), Float(3.25), String("payload")),
+		New(-9, Null, String(""), Null),
+	}
+	for _, t := range seeds {
+		f.Add(AppendEncode(nil, t))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x01, byte(KindString), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Semantic round trip: re-encoding the decoded tuple and decoding
+		// again must reproduce it (the input itself may use non-minimal
+		// varints, so byte equality is not required).
+		re := AppendEncode(nil, tp)
+		tp2, n2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if n2 != len(re) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(re))
+		}
+		if tp2.Ts != tp.Ts || len(tp2.Vals) != len(tp.Vals) {
+			t.Fatalf("round trip changed tuple: %v vs %v", tp, tp2)
+		}
+		for i := range tp.Vals {
+			if !valueEqual(tp.Vals[i], tp2.Vals[i]) {
+				t.Fatalf("round trip changed value %d: %v vs %v", i, tp.Vals[i], tp2.Vals[i])
+			}
+		}
+	})
+}
+
+// fuzzSchemas are the schemas FuzzDecodeBatch exercises, selected by the
+// first input byte so the fuzzer can explore all of them.
+var fuzzSchemas = []*Schema{
+	NewSchema("Traffic",
+		Field{Name: "time", Kind: KindTime, Ordering: true},
+		Field{Name: "srcIP", Kind: KindIP},
+		Field{Name: "destIP", Kind: KindIP},
+		Field{Name: "protocol", Kind: KindUint},
+		Field{Name: "length", Kind: KindUint},
+	),
+	NewSchema("Strings",
+		Field{Name: "time", Kind: KindTime, Ordering: true},
+		Field{Name: "host", Kind: KindString},
+		Field{Name: "score", Kind: KindFloat},
+	),
+	NewSchema("Empty"),
+	NewSchema("Wide",
+		Field{Name: "a", Kind: KindInt}, Field{Name: "b", Kind: KindInt},
+		Field{Name: "c", Kind: KindBool}, Field{Name: "d", Kind: KindFloat},
+		Field{Name: "e", Kind: KindString}, Field{Name: "f", Kind: KindUint},
+		Field{Name: "g", Kind: KindIP}, Field{Name: "h", Kind: KindTime},
+		Field{Name: "i", Kind: KindInt},
+	),
+}
+
+func FuzzDecodeBatch(f *testing.F) {
+	seed0, err := AppendEncodeBatch(nil, fuzzSchemas[0], []*Tuple{
+		New(100, Time(100), IP(1), IP(2), Uint(6), Uint(40)),
+		New(90, Time(90), Null, IP(3), Uint(17), Null),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed1, err := AppendEncodeBatch(nil, fuzzSchemas[1], []*Tuple{
+		New(5, Time(5), String("a"), Float(1.5)),
+		New(5, Time(5), Null, Null),
+		New(-3, Time(-3), String(""), Float(-0)),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(byte(0), seed0)
+	f.Add(byte(1), seed1)
+	f.Add(byte(2), []byte{0})
+	f.Add(byte(3), []byte{0x05, 0x00, 0x00})
+	f.Add(byte(0), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, which byte, data []byte) {
+		s := fuzzSchemas[int(which)%len(fuzzSchemas)]
+		var a Arena
+		tuples, n, err := DecodeBatchInto(data, s, &a)
+		if err != nil {
+			if len(a.vals) != 0 || len(a.tuples) != 0 || len(a.ptrs) != 0 {
+				t.Fatal("arena not rolled back on error")
+			}
+			return
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Semantic round trip through the batch codec. NULL values decode
+		// as Null regardless of the bitmap-vs-KindNull-field path, so the
+		// re-encode is always legal.
+		re, err := AppendEncodeBatch(nil, s, tuples)
+		if err != nil {
+			t.Fatalf("re-encode of decoded batch failed: %v", err)
+		}
+		var a2 Arena
+		tuples2, n2, err := DecodeBatchInto(re, s, &a2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if n2 != len(re) || len(tuples2) != len(tuples) {
+			t.Fatalf("round trip changed batch shape: %d/%d tuples, %d/%d bytes",
+				len(tuples2), len(tuples), n2, len(re))
+		}
+		for i := range tuples {
+			if tuples2[i].Ts != tuples[i].Ts {
+				t.Fatalf("tuple %d ts changed: %d vs %d", i, tuples[i].Ts, tuples2[i].Ts)
+			}
+			for j := range tuples[i].Vals {
+				if !valueEqual(tuples[i].Vals[j], tuples2[i].Vals[j]) {
+					t.Fatalf("tuple %d field %d changed: %v vs %v",
+						i, j, tuples[i].Vals[j], tuples2[i].Vals[j])
+				}
+			}
+		}
+	})
+}
