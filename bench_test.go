@@ -204,6 +204,18 @@ func BenchmarkE21TransportWire(b *testing.B) {
 	b.ReportMetric(parseMetric(tb, 3, 3), "v3b64_bytes_per_tuple")
 }
 
+func BenchmarkE22CrashRecovery(b *testing.B) {
+	var tb *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tb = experiments.E22CrashRecovery(benchScale, b.TempDir())
+	}
+	// Final row is the recovered run: exactness is asserted by
+	// TestE22Shape; report the replay cost the checkpoints bound.
+	last := len(tb.Rows) - 1
+	b.ReportMetric(parseMetric(tb, last, 4), "dupes_suppressed")
+	b.ReportMetric(parseMetric(tb, last, 3), "epochs_committed")
+}
+
 // Micro-benchmarks for the engine's hot paths.
 
 func BenchmarkQueryFilterThroughput(b *testing.B) {

@@ -1,5 +1,5 @@
 // Command experiments regenerates every figure, table and worked
-// example of the tutorial (the E1-E21 index in DESIGN.md) and prints
+// example of the tutorial (the E1-E22 index in DESIGN.md) and prints
 // them in paper shape.
 //
 // Usage:
@@ -58,6 +58,7 @@ func main() {
 		{"E19", func() *experiments.Table { return experiments.E19PaneAggregation(s) }},
 		{"E20", func() *experiments.Table { return experiments.E20PartitionedJoins(s) }},
 		{"E21", func() *experiments.Table { return experiments.E21TransportWire(s) }},
+		{"E22", func() *experiments.Table { return experiments.E22CrashRecovery(s, tmp()) }},
 	}
 
 	want := map[string]bool{}

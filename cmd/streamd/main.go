@@ -32,10 +32,13 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
+	"streamdb/internal/ckpt"
 	"streamdb/internal/dsms"
+	"streamdb/internal/exec"
 	"streamdb/internal/query"
 	"streamdb/internal/stream"
 	"streamdb/internal/tuple"
@@ -152,9 +155,20 @@ func reportLow(seed int64, raw, partials int64, st dsms.ReconnectStats) {
 	}
 }
 
+// highConfig carries the merge-point tuning and durability flags
+// shared by high and demo modes.
+type highConfig struct {
+	nodes     int
+	idle      time.Duration
+	batch     int    // ingest micro-batch per stream (1 = per-tuple)
+	ckptDir   string // durable checkpoint directory; "" = disabled
+	ckptEvery int    // partial records between checkpoints
+}
+
 // runHigh runs the merge point: a SessionServer that dedupes resumed
-// streams feeds the high-level merge plan. Session churn (connects,
-// resumes, dead peers) is logged to stderr as it happens.
+// streams feeds the high-level merge plan through a push-fed execution
+// graph. Session churn (connects, resumes, dead peers) is logged to
+// stderr as it happens.
 //
 // Ingest is micro-batched per stream: partials accumulate in a
 // per-stream buffer and enter the merge plan `batch` at a time, so the
@@ -162,13 +176,25 @@ func reportLow(seed int64, raw, partials int64, st dsms.ReconnectStats) {
 // tuple. Buffering is bounded and flushed completely before the final
 // punctuation, and the merge plan advances on watermarks, so batching
 // only adds bounded ingest latency — final results are unchanged.
-func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int, idle time.Duration, batch int) {
+//
+// With -checkpoint-dir set, the graph's state (the merging aggregator)
+// is checkpointed to a durable store every -checkpoint-interval partial
+// records, together with each session's applied sequence number at that
+// cut. Session acknowledgements are capped at the last committed floor
+// (DurableSeq), so clients keep the un-checkpointed tail in their
+// replay buffers; a restarted process restores the aggregator, seeds
+// sessions at the committed floors (InitialSeqs), and receives exactly
+// the tail again — no loss, and duplicates past the floor are deduped
+// by the session layer. Micro-batched ingest stays crash-safe because
+// the per-stream cut counts only tuples actually fed to the graph:
+// buffered-but-unfed partials are never acknowledged past the floor.
+func runHigh(d *dsms.Decomposition, ln net.Listener, cfg highConfig) {
 	high, err := d.NewHighLevel("hfta")
 	if err != nil {
 		fatalf("%v", err)
 	}
 	var finals int64
-	emit := func(e stream.Element) {
+	g := exec.NewGraph(func(e stream.Element) {
 		finals++
 		t := e.Tuple
 		bucket, _ := t.Vals[0].AsTime()
@@ -177,23 +203,106 @@ func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int, idle time.Durati
 		bytes, _ := t.Vals[3].AsFloat()
 		fmt.Printf("minute %4d  src %-15s  pkts %6d  bytes %12.0f\n",
 			bucket/(60*stream.Second), tuple.FormatIPv4(uint32(ip)), pkts, bytes)
-	}
-	srv := dsms.NewSessionServer(ln, d.PartialSchema(), dsms.SessionConfig{
-		IdleTimeout: idle,
-		Logf:        logf,
 	})
+	q := stream.NewQueue(d.PartialSchema())
+	si := g.AddSource(q)
+	hid := g.AddOp(high)
+	if err := g.ConnectSource(si, hid, 0); err != nil {
+		fatalf("%v", err)
+	}
+	if err := g.ConnectOut(hid); err != nil {
+		fatalf("%v", err)
+	}
+
+	scfg := dsms.SessionConfig{IdleTimeout: cfg.idle, Logf: logf}
+	var store *ckpt.Store
+	var epoch int64
+	seqs := map[string]uint64{}    // per-stream tuples fed to the graph
+	durable := map[string]uint64{} // per-stream floor of the last committed checkpoint
+	var durMu sync.Mutex
+	if cfg.ckptDir != "" {
+		store, err = ckpt.Open(cfg.ckptDir)
+		if err != nil {
+			fatalf("checkpoint store: %v", err)
+		}
+		latest, err := store.Latest()
+		if err != nil {
+			fatalf("checkpoint recovery: %v", err)
+		}
+		if latest != nil {
+			epoch = latest.Epoch
+			init := map[string]uint64{}
+			for k, v := range latest.Meta {
+				if id, ok := strings.CutPrefix(k, "seq."); ok {
+					init[id] = v
+					seqs[id] = v
+					durable[id] = v
+				}
+			}
+			// The session transport owns replay: resumed streams
+			// retransmit everything past the committed floor, so the
+			// graph source itself fast-forwards nothing.
+			for k := range latest.Meta {
+				if strings.HasPrefix(k, "src") {
+					latest.Meta[k] = 0
+				}
+			}
+			if err := g.RestoreFrom(latest); err != nil {
+				fatalf("checkpoint restore: %v", err)
+			}
+			finals = latest.OutSeq
+			scfg.InitialSeqs = init
+			logf("recovered checkpoint epoch %d: merge state restored, %d final rows already delivered, %d stream floors",
+				latest.Epoch, latest.OutSeq, len(init))
+		}
+		scfg.DurableSeq = func(id string) uint64 {
+			durMu.Lock()
+			defer durMu.Unlock()
+			return durable[id]
+		}
+	}
+	srv := dsms.NewSessionServer(ln, d.PartialSchema(), scfg)
+
 	var mu sync.Mutex
-	var received int64
+	var received, sinceCkpt int64
+	checkpoint := func() { // called with mu held, between Pump calls
+		epoch++
+		extra := make(map[string]uint64, len(seqs))
+		for id, v := range seqs {
+			extra["seq."+id] = v
+		}
+		if err := g.Checkpoint(store, epoch, finals, extra); err != nil {
+			logf("checkpoint epoch %d failed: %v; checkpointing disabled", epoch, err)
+			store = nil
+			return
+		}
+		durMu.Lock()
+		for id, v := range seqs {
+			durable[id] = v
+		}
+		durMu.Unlock()
+		logf("checkpoint epoch %d committed at %d partials, %d final rows", epoch, received, finals)
+	}
+	batch := cfg.batch
 	if batch < 1 {
 		batch = 1
 	}
 	var bufMu sync.Mutex
 	bufs := map[string][]*tuple.Tuple{}
-	push := func(tps []*tuple.Tuple) {
+	push := func(id string, tps []*tuple.Tuple) {
 		mu.Lock()
 		received += int64(len(tps))
+		seqs[id] += uint64(len(tps))
 		for _, tp := range tps {
-			high.Push(0, stream.Tup(tp), emit)
+			q.Feed(stream.Tup(tp))
+		}
+		g.Pump(-1)
+		if store != nil {
+			sinceCkpt += int64(len(tps))
+			if sinceCkpt >= int64(cfg.ckptEvery) {
+				sinceCkpt = 0
+				checkpoint()
+			}
 		}
 		mu.Unlock()
 	}
@@ -201,9 +310,9 @@ func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int, idle time.Durati
 	// (and one buffer append) per v3 frame instead of per tuple. v2
 	// sessions arrive as single-tuple slices, so behavior is unchanged
 	// for old low-level nodes.
-	err = srv.ServeBatches(nodes, func(id string, tps []*tuple.Tuple) {
+	err = srv.ServeBatches(cfg.nodes, func(id string, tps []*tuple.Tuple) {
 		if batch == 1 {
-			push(tps)
+			push(id, tps)
 			return
 		}
 		bufMu.Lock()
@@ -215,7 +324,7 @@ func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int, idle time.Durati
 		}
 		bufMu.Unlock()
 		if full != nil {
-			push(full)
+			push(id, full)
 		}
 	})
 	if err != nil {
@@ -224,13 +333,24 @@ func runHigh(d *dsms.Decomposition, ln net.Listener, nodes int, idle time.Durati
 	// All sessions are done: drain every open ingest buffer before the
 	// closing punctuation so no partial is left behind.
 	bufMu.Lock()
-	for _, b := range bufs {
-		push(b)
+	for id, b := range bufs {
+		push(id, b)
 	}
 	bufs = nil
 	bufMu.Unlock()
-	high.Push(0, stream.Punct(&stream.Punctuation{Ts: 1 << 62}), emit)
-	high.Flush(emit)
+	mu.Lock()
+	q.Feed(stream.Punct(&stream.Punctuation{Ts: 1 << 62}))
+	g.Pump(-1)
+	g.Finish()
+	mu.Unlock()
+	// An operator panic is detached from the run, not swallowed: report
+	// every recorded failure and exit nonzero so supervisors see it.
+	if err := g.Err(); err != nil {
+		for _, f := range g.Failures() {
+			logf("node failure: node %d (%s): %v", f.Node, f.Op, f.Panic)
+		}
+		fatalf("merge graph failed: %v", err)
+	}
 	st := srv.Stats()
 	fmt.Printf("high-level: %d partial records merged into %d final rows\n", received, finals)
 	fmt.Printf("high-level: %d sessions, %d resumes, %d duplicate frames discarded, %d corrupt frames rejected\n",
@@ -249,6 +369,8 @@ func main() {
 	faultRate := flag.Float64("faultrate", 0, "demo: injected connection-drop rate per write (chaos)")
 	ingestBatch := flag.Int("ingestbatch", 64, "high/demo: partial records buffered per stream before entering the merge plan (1 = per-tuple)")
 	wireBatch := flag.Int("wirebatch", 16, "low/demo: tuples per wire v3 batch frame on the uplink (1 = legacy per-tuple v2 frames)")
+	ckptDir := flag.String("checkpoint-dir", "", "high/demo: durable checkpoint directory (empty = disabled); on restart the merge state is recovered and sessions replay from the committed floor")
+	ckptEvery := flag.Int("checkpoint-interval", 5000, "high/demo: partial records between checkpoints")
 	flag.Parse()
 
 	d := decomposition()
@@ -260,7 +382,7 @@ func main() {
 		}
 		defer ln.Close()
 		fmt.Printf("high-level node on %s, awaiting %d low-level nodes\n", ln.Addr(), *nodes)
-		runHigh(d, ln, *nodes, 2**timeout, *ingestBatch)
+		runHigh(d, ln, highConfig{nodes: *nodes, idle: 2 * *timeout, batch: *ingestBatch, ckptDir: *ckptDir, ckptEvery: *ckptEvery})
 	case "low":
 		cfg := lowConfig{addr: *connect, retry: *retry, timeout: *timeout, wireBatch: *wireBatch}
 		raw, partials, st, err := runLow(d, cfg, *n, *seed)
@@ -294,7 +416,7 @@ func main() {
 				reportLow(seed, raw, partials, st)
 			}(int64(i + 1))
 		}
-		runHigh(d, ln, *nodes, 2**timeout, *ingestBatch)
+		runHigh(d, ln, highConfig{nodes: *nodes, idle: 2 * *timeout, batch: *ingestBatch, ckptDir: *ckptDir, ckptEvery: *ckptEvery})
 		wg.Wait()
 	default:
 		fatalf("unknown mode %q", *mode)

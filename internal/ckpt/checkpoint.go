@@ -1,0 +1,171 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Snapshotter is implemented by every operator that participates in
+// checkpoints. Snapshot writes the operator's complete logical state;
+// Restore reads it back into a freshly constructed operator of the
+// same shape. A Snapshot error aborts the checkpoint epoch (some state
+// is legitimately non-serializable, e.g. approximate synopses).
+type Snapshotter interface {
+	Snapshot(enc *Encoder) error
+	Restore(dec *Decoder) error
+}
+
+// Section is one named piece of a checkpoint: typically one operator's
+// state, keyed by its node identity in the graph.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Checkpoint is one consistent cut of a running query: the epoch that
+// produced it, every operator's state section, per-source replay
+// positions, and the count of sink outputs already delivered (so
+// recovery can suppress duplicates for exactly-once delivery).
+type Checkpoint struct {
+	// Epoch is the barrier epoch, strictly increasing per store.
+	Epoch int64
+	// Meta carries replay positions: source element counts keyed by
+	// "src<i>" for pull sources, or session stream IDs mapped to their
+	// last applied sequence number for the distributed tier.
+	Meta map[string]uint64
+	// OutSeq counts sink outputs delivered before the cut.
+	OutSeq int64
+	// Sections holds the per-operator state.
+	Sections []Section
+}
+
+// Section returns the named section's payload, or nil.
+func (c *Checkpoint) Section(name string) []byte {
+	for i := range c.Sections {
+		if c.Sections[i].Name == name {
+			return c.Sections[i].Data
+		}
+	}
+	return nil
+}
+
+// Add appends a section.
+func (c *Checkpoint) Add(name string, data []byte) {
+	c.Sections = append(c.Sections, Section{Name: name, Data: data})
+}
+
+// RestoreSection decodes the named section into the Snapshotter,
+// failing if the section is absent or leaves undecoded bytes (a
+// shape mismatch between the snapshot and the rebuilt operator).
+func (c *Checkpoint) RestoreSection(name string, s Snapshotter) error {
+	data := c.Section(name)
+	if data == nil {
+		return fmt.Errorf("ckpt: checkpoint has no section %q", name)
+	}
+	dec := NewDecoder(data)
+	if err := s.Restore(dec); err != nil {
+		return fmt.Errorf("ckpt: restore %q: %w", name, err)
+	}
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("ckpt: restore %q: %w", name, err)
+	}
+	if dec.Remaining() != 0 {
+		return fmt.Errorf("ckpt: restore %q: %d trailing bytes (operator shape mismatch)",
+			name, dec.Remaining())
+	}
+	return nil
+}
+
+// checkpoint payload format (the body the store's manifest CRCs):
+//
+//	magic "SDC1"
+//	varint epoch | varint outSeq
+//	uvarint nmeta | per entry: string key, uvarint value   (sorted)
+//	uvarint nsections | per section:
+//	  string name | uvarint len | bytes | crc32(name+bytes)
+//
+// The per-section CRC is deliberate redundancy on top of the store's
+// whole-payload CRC: a decode failure names the operator at fault.
+
+var ckptMagic = []byte("SDC1")
+
+// Encode serializes the checkpoint payload.
+func (c *Checkpoint) Encode() []byte {
+	buf := append([]byte(nil), ckptMagic...)
+	buf = binary.AppendVarint(buf, c.Epoch)
+	buf = binary.AppendVarint(buf, c.OutSeq)
+	keys := make([]string, 0, len(c.Meta))
+	for k := range c.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, c.Meta[k])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.Sections)))
+	for _, s := range c.Sections {
+		buf = binary.AppendUvarint(buf, uint64(len(s.Name)))
+		buf = append(buf, s.Name...)
+		buf = binary.AppendUvarint(buf, uint64(len(s.Data)))
+		buf = append(buf, s.Data...)
+		crc := crc32.ChecksumIEEE([]byte(s.Name))
+		crc = crc32.Update(crc, crc32.IEEETable, s.Data)
+		buf = binary.LittleEndian.AppendUint32(buf, crc)
+	}
+	return buf
+}
+
+// DecodeCheckpoint parses a checkpoint payload, validating magic and
+// every per-section CRC.
+func DecodeCheckpoint(buf []byte) (*Checkpoint, error) {
+	if len(buf) < len(ckptMagic) || string(buf[:len(ckptMagic)]) != string(ckptMagic) {
+		return nil, fmt.Errorf("ckpt: bad checkpoint magic")
+	}
+	d := NewDecoder(buf[len(ckptMagic):])
+	c := &Checkpoint{Epoch: d.Varint(), OutSeq: d.Varint()}
+	nmeta := d.Uvarint()
+	if nmeta > uint64(len(buf)) {
+		return nil, fmt.Errorf("ckpt: meta count %d exceeds buffer", nmeta)
+	}
+	if nmeta > 0 {
+		c.Meta = make(map[string]uint64, nmeta)
+		for i := uint64(0); i < nmeta && d.Err() == nil; i++ {
+			k := d.String()
+			c.Meta[k] = d.Uvarint()
+		}
+	}
+	nsec := d.Uvarint()
+	if nsec > uint64(len(buf)) {
+		return nil, fmt.Errorf("ckpt: section count %d exceeds buffer", nsec)
+	}
+	for i := uint64(0); i < nsec && d.Err() == nil; i++ {
+		name := d.String()
+		data := d.BytesField()
+		if d.Err() != nil {
+			break
+		}
+		if d.off+4 > len(d.buf) {
+			return nil, fmt.Errorf("ckpt: truncated section CRC")
+		}
+		got := binary.LittleEndian.Uint32(d.buf[d.off:])
+		d.off += 4
+		want := crc32.ChecksumIEEE([]byte(name))
+		want = crc32.Update(want, crc32.IEEETable, data)
+		if got != want {
+			return nil, fmt.Errorf("ckpt: section %q CRC mismatch", name)
+		}
+		c.Add(name, data)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes after checkpoint", d.Remaining())
+	}
+	return c, nil
+}

@@ -1,0 +1,325 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+var testSch = tuple.NewSchema("T",
+	tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+	tuple.Field{Name: "k", Kind: tuple.KindInt},
+	tuple.Field{Name: "v", Kind: tuple.KindFloat},
+)
+
+func testTup(ts, k int64, v float64) *tuple.Tuple {
+	return tuple.New(ts, tuple.Time(ts), tuple.Int(k), tuple.Float(v))
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	enc := &Encoder{}
+	enc.Uvarint(0)
+	enc.Uvarint(1 << 40)
+	enc.Varint(-7)
+	enc.Int(42)
+	enc.Bool(true)
+	enc.Bool(false)
+	enc.Float64(3.25)
+	enc.BytesField([]byte{9, 8, 7})
+	enc.String("hello")
+	enc.Tuple(testTup(5, 2, 0.5))
+	enc.Values([]tuple.Value{tuple.Int(1), tuple.Float(2.5)})
+	if err := enc.TupleBatch(testSch, []*tuple.Tuple{testTup(1, 1, 1), testTup(2, 2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	enc.Element(stream.Tup(testTup(9, 3, 0.25)))
+	enc.Element(stream.Punct(stream.ProgressPunct(17, 0, tuple.Time(17))))
+	enc.Element(stream.Punct(stream.BarrierPunct(4)))
+
+	dec := NewDecoder(enc.Bytes())
+	if got := dec.Uvarint(); got != 0 {
+		t.Fatalf("uvarint = %d", got)
+	}
+	if got := dec.Uvarint(); got != 1<<40 {
+		t.Fatalf("uvarint = %d", got)
+	}
+	if got := dec.Varint(); got != -7 {
+		t.Fatalf("varint = %d", got)
+	}
+	if got := dec.Int(); got != 42 {
+		t.Fatalf("int = %d", got)
+	}
+	if !dec.Bool() || dec.Bool() {
+		t.Fatal("bools mangled")
+	}
+	if got := dec.Float64(); got != 3.25 {
+		t.Fatalf("float = %v", got)
+	}
+	if got := dec.BytesField(); !bytes.Equal(got, []byte{9, 8, 7}) {
+		t.Fatalf("bytes = %v", got)
+	}
+	if got := dec.String(); got != "hello" {
+		t.Fatalf("string = %q", got)
+	}
+	if got := dec.Tuple(); got.Ts != 5 || got.String() != testTup(5, 2, 0.5).String() {
+		t.Fatalf("tuple = %v", got)
+	}
+	if got := dec.Values(); len(got) != 2 || got[0].Raw() != 1 {
+		t.Fatalf("values = %v", got)
+	}
+	batch := dec.TupleBatch(testSch)
+	if len(batch) != 2 || batch[0].Ts != 1 || batch[1].Ts != 2 {
+		t.Fatalf("batch = %v", batch)
+	}
+	if e := dec.Element(); e.Tuple == nil || e.Tuple.Ts != 9 {
+		t.Fatalf("element = %v", e)
+	}
+	if e := dec.Element(); e.Punct == nil || e.Punct.Ts != 17 || len(e.Punct.Fields) != 1 {
+		t.Fatalf("punct element = %v", e)
+	}
+	if e := dec.Element(); !e.IsBarrier() || e.Punct.Barrier != 4 {
+		t.Fatalf("barrier element = %v", e)
+	}
+	if err := dec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Remaining() != 0 {
+		t.Fatalf("%d trailing bytes", dec.Remaining())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	dec := NewDecoder([]byte{0x80}) // truncated uvarint
+	_ = dec.Uvarint()
+	if dec.Err() == nil {
+		t.Fatal("truncated uvarint not detected")
+	}
+	first := dec.Err()
+	_ = dec.String()
+	_ = dec.Float64()
+	if dec.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}
+
+func testCheckpoint(epoch int64) *Checkpoint {
+	c := &Checkpoint{
+		Epoch:  epoch,
+		OutSeq: 100 * epoch,
+		Meta:   map[string]uint64{"src0": uint64(epoch) * 10, "par": 2},
+	}
+	enc := &Encoder{}
+	enc.Varint(epoch)
+	enc.String("state")
+	c.Add("n0", enc.Bytes())
+	c.Add("n1", []byte{}) // stateless operators contribute empty sections
+	return c
+}
+
+func TestCheckpointEncodeDecode(t *testing.T) {
+	c := testCheckpoint(3)
+	buf := c.Encode()
+	got, err := DecodeCheckpoint(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || got.OutSeq != 300 || got.Meta["src0"] != 30 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if len(got.Sections) != 2 || got.Section("n1") == nil {
+		t.Fatalf("sections %+v (empty section must survive as non-nil)", got.Sections)
+	}
+
+	// One flipped payload byte must fail the per-section CRC.
+	bad := append([]byte(nil), buf...)
+	bad[len(bad)-6] ^= 0x40
+	if _, err := DecodeCheckpoint(bad); err == nil {
+		t.Fatal("corrupted checkpoint decoded cleanly")
+	}
+	// Truncation anywhere must error, never panic.
+	for cut := 0; cut < len(buf); cut += 7 {
+		if _, err := DecodeCheckpoint(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+}
+
+type countState struct{ n int64 }
+
+func (s *countState) Snapshot(enc *Encoder) error { enc.Varint(s.n); return nil }
+func (s *countState) Restore(dec *Decoder) error  { s.n = dec.Varint(); return dec.Err() }
+
+func TestRestoreSectionStrict(t *testing.T) {
+	c := &Checkpoint{}
+	enc := &Encoder{}
+	enc.Varint(7)
+	c.Add("ok", enc.Bytes())
+	enc2 := &Encoder{}
+	enc2.Varint(7)
+	enc2.Varint(8) // trailing state the operator shape doesn't expect
+	c.Add("long", enc2.Bytes())
+
+	var s countState
+	if err := c.RestoreSection("ok", &s); err != nil || s.n != 7 {
+		t.Fatalf("restore ok: %v, n=%d", err, s.n)
+	}
+	if err := c.RestoreSection("missing", &s); err == nil {
+		t.Fatal("missing section restored")
+	}
+	if err := c.RestoreSection("long", &s); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing bytes not rejected: %v", err)
+	}
+}
+
+func TestStoreCommitLatest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := s.Latest(); err != nil || c != nil {
+		t.Fatalf("empty store Latest = %v, %v", c, err)
+	}
+	for epoch := int64(1); epoch <= 3; epoch++ {
+		if err := s.Commit(testCheckpoint(epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := s.Latest()
+	if err != nil || c == nil || c.Epoch != 3 {
+		t.Fatalf("Latest = %+v, %v", c, err)
+	}
+	// Stale epochs are rejected: recovery must never move backwards.
+	if err := s.Commit(testCheckpoint(3)); err == nil {
+		t.Fatal("re-commit of epoch 3 accepted")
+	}
+	if err := s.Commit(testCheckpoint(2)); err == nil {
+		t.Fatal("commit of older epoch accepted")
+	}
+	// Two-generation retention: exactly current + previous data files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataFiles := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "ckpt-") {
+			dataFiles++
+		}
+	}
+	if dataFiles != 2 {
+		t.Fatalf("%d data files after gc, want 2", dataFiles)
+	}
+}
+
+func currentGenPath(t *testing.T, dir string) string {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Latest()
+	if err != nil || c == nil {
+		t.Fatalf("Latest: %v, %v", c, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	var newest string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "ckpt-") && e.Name() > newest {
+			newest = e.Name()
+		}
+	}
+	return filepath.Join(dir, newest)
+}
+
+func TestStoreTornDataFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(testCheckpoint(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(testCheckpoint(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash truncated the current generation's data file after the
+	// manifest named it: recovery must fall back to epoch 1.
+	path := currentGenPath(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Latest()
+	if err != nil || c == nil || c.Epoch != 1 {
+		t.Fatalf("after torn current gen: Latest = %+v, %v", c, err)
+	}
+
+	// Same-length corruption: caught by the payload CRC instead.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0x01
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err = s.Latest()
+	if err != nil || c == nil || c.Epoch != 1 {
+		t.Fatalf("after corrupt current gen: Latest = %+v, %v", c, err)
+	}
+}
+
+func TestStoreManifestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(testCheckpoint(1)); err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(dir, "MANIFEST")
+	raw, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0x10
+	if err := os.WriteFile(mpath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Latest(); err == nil {
+		t.Fatal("corrupt manifest read cleanly")
+	}
+	// A corrupt manifest must not block progress: the next commit
+	// rewrites it.
+	if err := s.Commit(testCheckpoint(5)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Latest()
+	if err != nil || c == nil || c.Epoch != 5 {
+		t.Fatalf("after rewrite: Latest = %+v, %v", c, err)
+	}
+}
+
+func TestRecoverySink(t *testing.T) {
+	var got []int64
+	rs := NewRecoverySink(func(e stream.Element) { got = append(got, e.Tuple.Ts) }, 2)
+	for ts := int64(1); ts <= 5; ts++ {
+		rs.Push(stream.Tup(testTup(ts, 0, 0)))
+	}
+	if rs.Dupes() != 2 || rs.Delivered() != 3 {
+		t.Fatalf("dupes=%d delivered=%d", rs.Dupes(), rs.Delivered())
+	}
+	if len(got) != 3 || got[0] != 3 {
+		t.Fatalf("got %v, want [3 4 5]", got)
+	}
+}

@@ -1,0 +1,299 @@
+// Package ckpt implements durable, aligned checkpoints of operator
+// state: the missing layer between the session transport's
+// connection-loss recovery (PR 1/5) and true crash tolerance. A
+// checkpoint is a consistent cut — every operator's state captured at
+// the same logical stream position — committed atomically to a
+// two-generation store whose fsync'd manifest carries a CRC and epoch
+// (generalizing the Hancock store's sequential-write, atomic-rename
+// discipline). Recovery restores operator state from the newest intact
+// generation and replays sources from the checkpointed sequence
+// numbers, making standing queries exactly-once across process death
+// (Fragkoulis et al.; Röger & Mayer — see PAPERS.md).
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// Encoder accumulates one operator's state section. All methods append
+// to an internal buffer; the framing (section name, length, checksum)
+// is added by the checkpoint assembly, not the operator.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated encoding.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Varint appends a signed varint.
+func (e *Encoder) Varint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Int appends an int as a signed varint.
+func (e *Encoder) Int(v int) { e.Varint(int64(v)) }
+
+// Bool appends a boolean.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Float64 appends a fixed 8-byte float.
+func (e *Encoder) Float64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// BytesField appends a length-prefixed byte string.
+func (e *Encoder) BytesField(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Tuple appends one tuple in the self-describing per-tuple encoding.
+func (e *Encoder) Tuple(t *tuple.Tuple) { e.buf = tuple.AppendEncode(e.buf, t) }
+
+// Values appends a bare value slice (group keys, partial vectors) by
+// wrapping it in a zero-timestamp tuple.
+func (e *Encoder) Values(vals []tuple.Value) {
+	e.Tuple(&tuple.Tuple{Vals: vals})
+}
+
+// TupleBatch appends a tuple slice in the schema-coded batch encoding
+// (wire v3): kind bytes dropped, delta timestamps, null bitmaps. The
+// restore side must supply the same schema.
+func (e *Encoder) TupleBatch(s *tuple.Schema, tuples []*tuple.Tuple) error {
+	buf, err := tuple.AppendEncodeBatch(e.buf, s, tuples)
+	if err != nil {
+		return err
+	}
+	e.buf = buf
+	return nil
+}
+
+// Element appends a stream element: a tagged union of tuple and
+// punctuation. Used for in-flight lane state (port queues) where data
+// tuples and punctuations interleave.
+func (e *Encoder) Element(el stream.Element) {
+	if el.Punct != nil {
+		p := el.Punct
+		e.buf = append(e.buf, 1)
+		e.Varint(p.Ts)
+		e.Varint(p.Barrier)
+		e.Uvarint(uint64(len(p.Fields)))
+		for idx, pat := range p.Fields {
+			e.Int(idx)
+			e.buf = append(e.buf, byte(pat.Kind))
+			e.Values([]tuple.Value{pat.Val, pat.Hi})
+		}
+		return
+	}
+	e.buf = append(e.buf, 0)
+	e.Tuple(el.Tuple)
+}
+
+// Decoder reads back an Encoder's stream. Errors are sticky: after the
+// first failure every method returns a zero value and Err reports the
+// original cause, so restore code can decode a whole section and check
+// once.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a section payload.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decode failure, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports undecoded bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(format string, args ...interface{}) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("ckpt: truncated uvarint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("ckpt: truncated varint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads an int.
+func (d *Decoder) Int() int { return int(d.Varint()) }
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.buf) {
+		d.fail("ckpt: truncated bool at %d", d.off)
+		return false
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b != 0
+}
+
+// Float64 reads a fixed 8-byte float.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("ckpt: truncated float at %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// BytesField reads a length-prefixed byte string (a copy).
+func (d *Decoder) BytesField() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("ckpt: byte string of %d exceeds buffer", n)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("ckpt: string of %d exceeds buffer", n)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Tuple reads one self-describing tuple.
+func (d *Decoder) Tuple() *tuple.Tuple {
+	if d.err != nil {
+		return nil
+	}
+	t, n, err := tuple.Decode(d.buf[d.off:])
+	if err != nil {
+		d.fail("ckpt: %v", err)
+		return nil
+	}
+	d.off += n
+	return t
+}
+
+// Values reads a bare value slice.
+func (d *Decoder) Values() []tuple.Value {
+	t := d.Tuple()
+	if t == nil {
+		return nil
+	}
+	return t.Vals
+}
+
+// TupleBatch reads a schema-coded tuple batch. The returned tuples are
+// freshly allocated per call (the decode arena is private to the call
+// and kept alive by the tuples themselves).
+func (d *Decoder) TupleBatch(s *tuple.Schema) []*tuple.Tuple {
+	if d.err != nil {
+		return nil
+	}
+	// A fresh arena per batch: restored tuples alias it, and nothing
+	// ever resets it, so they stay valid for the operator's lifetime.
+	arena := &tuple.Arena{}
+	ts, n, err := tuple.DecodeBatchInto(d.buf[d.off:], s, arena)
+	if err != nil {
+		d.fail("ckpt: %v", err)
+		return nil
+	}
+	d.off += n
+	return ts
+}
+
+// Element reads a stream element written by Encoder.Element.
+func (d *Decoder) Element() stream.Element {
+	if d.Bool() {
+		p := &stream.Punctuation{Ts: d.Varint(), Barrier: d.Varint()}
+		if n := d.Uvarint(); n > 0 {
+			if n > uint64(len(d.buf)) {
+				d.fail("ckpt: punctuation field count %d exceeds buffer", n)
+				return stream.Element{}
+			}
+			p.Fields = make(map[int]stream.Pattern, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				idx := d.Int()
+				if d.off >= len(d.buf) {
+					d.fail("ckpt: truncated pattern kind")
+					return stream.Element{}
+				}
+				kind := stream.PatternKind(d.buf[d.off])
+				d.off++
+				vals := d.Values()
+				if len(vals) != 2 {
+					d.fail("ckpt: pattern wants 2 values, got %d", len(vals))
+					return stream.Element{}
+				}
+				p.Fields[idx] = stream.Pattern{Kind: kind, Val: vals[0], Hi: vals[1]}
+			}
+		}
+		return stream.Punct(p)
+	}
+	if d.err != nil {
+		return stream.Element{}
+	}
+	return stream.Tup(d.Tuple())
+}

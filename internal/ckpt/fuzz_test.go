@@ -1,0 +1,45 @@
+package ckpt
+
+import (
+	"testing"
+)
+
+// FuzzCheckpointDecode hardens the recovery path: a checkpoint payload
+// is exactly what a crashed process leaves on disk, so arbitrary (torn,
+// bit-flipped, adversarial) bytes must decode to a clean error — never
+// a panic — and anything that does decode must re-encode stably.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add(testCheckpoint(1).Encode())
+	f.Add(testCheckpoint(1 << 40).Encode())
+	f.Add((&Checkpoint{Epoch: 2}).Encode())
+	empty := &Checkpoint{Epoch: 3}
+	empty.Add("", []byte{})
+	f.Add(empty.Encode())
+	f.Add([]byte{})
+	f.Add([]byte("SDC1"))
+	f.Add([]byte("SDC1\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\x7f"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		// Semantic round trip: the decoded checkpoint must survive its
+		// own encoding (input varints may be non-minimal, so byte
+		// equality is not required).
+		re := c.Encode()
+		c2, err := DecodeCheckpoint(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if c2.Epoch != c.Epoch || c2.OutSeq != c.OutSeq ||
+			len(c2.Sections) != len(c.Sections) || len(c2.Meta) != len(c.Meta) {
+			t.Fatalf("round trip changed checkpoint: %+v vs %+v", c, c2)
+		}
+		for i := range c.Sections {
+			if c2.Sections[i].Name != c.Sections[i].Name ||
+				string(c2.Sections[i].Data) != string(c.Sections[i].Data) {
+				t.Fatalf("round trip changed section %d", i)
+			}
+		}
+	})
+}

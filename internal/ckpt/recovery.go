@@ -1,0 +1,48 @@
+package ckpt
+
+import "streamdb/internal/stream"
+
+// RecoverySink suppresses the sink outputs a restarted query re-emits.
+// A checkpoint records OutSeq, the number of outputs delivered before
+// the cut; if the process died after delivering more (outputs race
+// ahead of checkpoints), replay regenerates the overlap. Wrapping the
+// real sink in a RecoverySink with skip = delivered - OutSeq turns
+// at-least-once replay into exactly-once delivery: the overlap is
+// counted as duplicates and dropped, everything after flows through.
+//
+// This requires the replayed output order to match the original run —
+// true for the serial engine and for single-output-writer concurrent
+// graphs, whose sink order is deterministic.
+type RecoverySink struct {
+	sink      func(stream.Element)
+	skip      int64
+	dupes     int64
+	delivered int64
+}
+
+// NewRecoverySink wraps sink, dropping the first skip non-barrier
+// outputs.
+func NewRecoverySink(sink func(stream.Element), skip int64) *RecoverySink {
+	if skip < 0 {
+		skip = 0
+	}
+	return &RecoverySink{sink: sink, skip: skip}
+}
+
+// Push implements the sink: replayed duplicates are dropped and
+// counted, fresh outputs forwarded.
+func (r *RecoverySink) Push(e stream.Element) {
+	if r.skip > 0 {
+		r.skip--
+		r.dupes++
+		return
+	}
+	r.delivered++
+	r.sink(e)
+}
+
+// Dupes reports suppressed duplicate outputs.
+func (r *RecoverySink) Dupes() int64 { return r.dupes }
+
+// Delivered reports outputs forwarded to the real sink.
+func (r *RecoverySink) Delivered() int64 { return r.delivered }

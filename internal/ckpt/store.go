@@ -1,0 +1,273 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is the write-ahead checkpoint store. It generalizes the
+// Hancock SigStore's block-I/O discipline — sequential whole-file
+// writes, atomic rename commit — and adds what crash recovery needs on
+// top: an fsync'd manifest carrying a CRC and epoch for the current
+// AND previous generation, so a crash at any byte of a commit leaves a
+// readable checkpoint behind.
+//
+// Commit protocol:
+//
+//  1. write ckpt-<epoch>.dat sequentially, fsync it
+//  2. write MANIFEST.tmp naming the new generation first and the
+//     previous one second, with payload lengths + CRCs and a
+//     whole-manifest CRC; fsync
+//  3. rename MANIFEST.tmp -> MANIFEST, fsync the directory
+//  4. unlink data files no generation references
+//
+// A torn data file fails its length or CRC check and Latest falls back
+// to the previous generation; a torn manifest fails the manifest CRC
+// and the rename's atomicity means the old manifest is still in place.
+type Store struct {
+	dir  string
+	wrap func(io.Writer) io.Writer
+}
+
+const manifestName = "MANIFEST"
+
+var manifestMagic = []byte("SDCK")
+
+// Open creates or opens a checkpoint store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// WrapWrites installs a writer wrapper around data-file writes: the
+// fault-injection seam. Tests route writes through dsms.FaultWriter to
+// prove torn and corrupted commits are rejected at recovery.
+func (s *Store) WrapWrites(wrap func(io.Writer) io.Writer) { s.wrap = wrap }
+
+// manifestGen is one generation entry in the manifest.
+type manifestGen struct {
+	epoch int64
+	file  string
+	size  int64
+	crc   uint32
+}
+
+// readManifest parses and validates the manifest. A missing manifest
+// returns (nil, nil); a corrupt one returns an error.
+func (s *Store) readManifest() ([]manifestGen, error) {
+	raw, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	if len(raw) < len(manifestMagic)+4 || string(raw[:len(manifestMagic)]) != string(manifestMagic) {
+		return nil, fmt.Errorf("ckpt: bad manifest magic")
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("ckpt: manifest CRC mismatch (torn write)")
+	}
+	d := NewDecoder(body[len(manifestMagic):])
+	if v := d.Uvarint(); v != 1 {
+		return nil, fmt.Errorf("ckpt: manifest version %d unsupported", v)
+	}
+	n := d.Uvarint()
+	if n > 2 {
+		return nil, fmt.Errorf("ckpt: manifest names %d generations, want <= 2", n)
+	}
+	gens := make([]manifestGen, 0, n)
+	for i := uint64(0); i < n; i++ {
+		g := manifestGen{
+			epoch: d.Varint(),
+			file:  d.String(),
+			size:  d.Varint(),
+			crc:   uint32(d.Uvarint()),
+		}
+		if strings.ContainsAny(g.file, "/\\") {
+			return nil, fmt.Errorf("ckpt: manifest names file outside store: %q", g.file)
+		}
+		gens = append(gens, g)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return gens, nil
+}
+
+func (s *Store) writeManifest(gens []manifestGen) error {
+	enc := &Encoder{}
+	enc.buf = append(enc.buf, manifestMagic...)
+	enc.Uvarint(1)
+	enc.Uvarint(uint64(len(gens)))
+	for _, g := range gens {
+		enc.Varint(g.epoch)
+		enc.String(g.file)
+		enc.Varint(g.size)
+		enc.Uvarint(uint64(g.crc))
+	}
+	body := enc.Bytes()
+	body = binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if _, err := f.Write(body); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return s.syncDir()
+}
+
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	defer d.Close()
+	// Some filesystems refuse directory fsync; the rename is still
+	// atomic, so degrade silently rather than failing the commit.
+	_ = d.Sync()
+	return nil
+}
+
+// Commit durably writes the checkpoint and makes it the current
+// generation. The previous current generation is retained as fallback;
+// anything older is garbage-collected.
+func (s *Store) Commit(c *Checkpoint) error {
+	prev, err := s.readManifest()
+	if err != nil {
+		// A corrupt manifest must not block progress: the next commit
+		// rewrites it. Older data files stay until a clean commit.
+		prev = nil
+	}
+	if len(prev) > 0 && c.Epoch <= prev[0].epoch {
+		return fmt.Errorf("ckpt: epoch %d not beyond committed epoch %d", c.Epoch, prev[0].epoch)
+	}
+	payload := c.Encode()
+	name := fmt.Sprintf("ckpt-%016x.dat", uint64(c.Epoch))
+	path := filepath.Join(s.dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	var w io.Writer = f
+	if s.wrap != nil {
+		w = s.wrap(f)
+	}
+	if _, err := w.Write(payload); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+
+	gens := []manifestGen{{
+		epoch: c.Epoch,
+		file:  name,
+		size:  int64(len(payload)),
+		crc:   crc32.ChecksumIEEE(payload),
+	}}
+	if len(prev) > 0 {
+		gens = append(gens, prev[0])
+	}
+	if err := s.writeManifest(gens); err != nil {
+		return err
+	}
+	s.gc(gens)
+	return nil
+}
+
+// gc unlinks checkpoint data files no manifest generation references.
+func (s *Store) gc(gens []manifestGen) {
+	keep := map[string]bool{manifestName: true}
+	for _, g := range gens {
+		keep[g.file] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !keep[n] && (strings.HasPrefix(n, "ckpt-") || strings.HasSuffix(n, ".tmp")) {
+			os.Remove(filepath.Join(s.dir, n))
+		}
+	}
+}
+
+// Latest returns the newest intact checkpoint, validating manifest CRC,
+// payload length, payload CRC, and the checkpoint's own structure; a
+// torn or corrupt current generation falls back to the previous one.
+// An empty store returns (nil, nil).
+func (s *Store) Latest() (*Checkpoint, error) {
+	gens, err := s.readManifest()
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) == 0 {
+		return nil, nil
+	}
+	var firstErr error
+	for _, g := range gens {
+		c, err := s.load(g)
+		if err == nil {
+			return c, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("ckpt: no intact generation: %w", firstErr)
+}
+
+func (s *Store) load(g manifestGen) (*Checkpoint, error) {
+	raw, err := os.ReadFile(filepath.Join(s.dir, g.file))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	if int64(len(raw)) != g.size {
+		return nil, fmt.Errorf("ckpt: %s is %d bytes, manifest says %d (torn write)",
+			g.file, len(raw), g.size)
+	}
+	if crc32.ChecksumIEEE(raw) != g.crc {
+		return nil, fmt.Errorf("ckpt: %s payload CRC mismatch", g.file)
+	}
+	c, err := DecodeCheckpoint(raw)
+	if err != nil {
+		return nil, err
+	}
+	if c.Epoch != g.epoch {
+		return nil, fmt.Errorf("ckpt: %s carries epoch %d, manifest says %d",
+			g.file, c.Epoch, g.epoch)
+	}
+	return c, nil
+}

@@ -1,0 +1,66 @@
+package ckpt_test
+
+// External test package: the fault injector lives in dsms, which
+// (through agg) depends on ckpt, so this test cannot be in-package.
+
+import (
+	"io"
+	"testing"
+
+	"streamdb/internal/ckpt"
+	"streamdb/internal/dsms"
+)
+
+func faultCheckpoint(epoch int64) *ckpt.Checkpoint {
+	c := &ckpt.Checkpoint{
+		Epoch:  epoch,
+		OutSeq: 10 * epoch,
+		Meta:   map[string]uint64{"src0": uint64(epoch)},
+	}
+	enc := &ckpt.Encoder{}
+	enc.Varint(epoch)
+	enc.String("operator state payload, long enough to tear")
+	c.Add("n0", enc.Bytes())
+	return c
+}
+
+// TestStoreTornCommitRejected drives the store's write path through the
+// session layer's deterministic fault injector: a commit killed
+// mid-write (KillAfterBytes, the byte-exact simulation of a process
+// killed mid-write) must fail without touching the manifest, the
+// previous generation must survive recovery, and a clean retry must
+// succeed.
+func TestStoreTornCommitRejected(t *testing.T) {
+	s, err := ckpt.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(faultCheckpoint(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var stats *dsms.FaultWriter
+	s.WrapWrites(func(w io.Writer) io.Writer {
+		stats = dsms.InjectFaultWriter(w, dsms.FaultConfig{KillAfterBytes: 10})
+		return stats
+	})
+	if err := s.Commit(faultCheckpoint(2)); err == nil {
+		t.Fatal("mid-write kill did not fail the commit")
+	}
+	if stats == nil || stats.Stats().Kills != 1 {
+		t.Fatalf("kill not injected: %+v", stats)
+	}
+	s.WrapWrites(nil)
+
+	c, err := s.Latest()
+	if err != nil || c == nil || c.Epoch != 1 {
+		t.Fatalf("after torn commit: Latest = %+v, %v", c, err)
+	}
+	if err := s.Commit(faultCheckpoint(2)); err != nil {
+		t.Fatalf("clean retry failed: %v", err)
+	}
+	c, err = s.Latest()
+	if err != nil || c == nil || c.Epoch != 2 {
+		t.Fatalf("after retry: Latest = %+v, %v", c, err)
+	}
+}

@@ -8,6 +8,7 @@ package dsms
 // and write sequence reproduces the same fault schedule.
 
 import (
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -32,6 +33,12 @@ type FaultConfig struct {
 	// enough trips the sender's write deadline).
 	StallRate float64
 	Stall     time.Duration
+	// KillAfterBytes, when positive, is the mid-frame kill: the write
+	// that crosses this cumulative byte offset is truncated exactly at
+	// the boundary and the connection dies permanently — the byte-exact
+	// simulation of a process killed mid-write, which is how torn
+	// frames and torn checkpoint commits are produced under test.
+	KillAfterBytes int64
 }
 
 // FaultStats counts injected faults.
@@ -41,44 +48,57 @@ type FaultStats struct {
 	Partials int64
 	Corrupts int64
 	Stalls   int64
+	Kills    int64 // KillAfterBytes truncations
 }
 
-// FaultConn wraps a net.Conn, injecting deterministic faults on Write.
-// Reads pass through (a cut connection fails both directions).
-type FaultConn struct {
-	net.Conn
+// faultEngine is the shared fault schedule, independent of what the
+// bytes are written to: FaultConn drives a net.Conn with it, and
+// FaultWriter drives a plain io.Writer (the checkpoint store's
+// data-file seam).
+type faultEngine struct {
 	cfg FaultConfig
 
 	mu      sync.Mutex
 	rng     *rand.Rand
 	dropped bool
+	written int64
 	stats   FaultStats
 }
 
-// InjectFaults wraps conn with the given fault schedule.
-func InjectFaults(conn net.Conn, cfg FaultConfig) *FaultConn {
+func newFaultEngine(cfg FaultConfig) *faultEngine {
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	return &FaultConn{Conn: conn, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	return &faultEngine{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Stats returns a snapshot of the injected-fault counters.
-func (f *FaultConn) Stats() FaultStats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
-}
-
-// Write implements net.Conn with fault injection.
-func (f *FaultConn) Write(b []byte) (int, error) {
+// write applies the fault schedule to one buffer, handing (possibly
+// shortened or corrupted) bytes to emit and closing the sink through
+// kill. It returns emit's byte count and the error the caller must
+// surface.
+func (f *faultEngine) write(b []byte, emit func([]byte) (int, error), kill func()) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.dropped {
 		return 0, syscall.EPIPE
 	}
 	f.stats.Writes++
+	if k := f.cfg.KillAfterBytes; k > 0 && f.written+int64(len(b)) > k {
+		f.stats.Kills++
+		f.dropped = true
+		keep := int(k - f.written)
+		if keep < 0 {
+			keep = 0
+		}
+		n := 0
+		if keep > 0 {
+			n, _ = emit(b[:keep])
+		}
+		f.written += int64(n)
+		kill()
+		return n, syscall.ECONNRESET
+	}
 	if f.cfg.StallRate > 0 && f.rng.Float64() < f.cfg.StallRate {
 		f.stats.Stalls++
 		time.Sleep(f.cfg.Stall)
@@ -92,16 +112,67 @@ func (f *FaultConn) Write(b []byte) (int, error) {
 	}
 	if f.cfg.PartialRate > 0 && f.rng.Float64() < f.cfg.PartialRate && len(b) > 1 {
 		f.stats.Partials++
-		n, _ := f.Conn.Write(b[:1+f.rng.Intn(len(b)-1)])
+		n, _ := emit(b[:1+f.rng.Intn(len(b)-1)])
 		f.dropped = true
-		f.Conn.Close()
+		f.written += int64(n)
+		kill()
 		return n, syscall.ECONNRESET
 	}
 	if f.cfg.DropRate > 0 && f.rng.Float64() < f.cfg.DropRate {
 		f.stats.Drops++
 		f.dropped = true
-		f.Conn.Close()
+		kill()
 		return 0, syscall.ECONNRESET
 	}
-	return f.Conn.Write(b)
+	n, err := emit(b)
+	f.written += int64(n)
+	return n, err
+}
+
+func (f *faultEngine) snapshot() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// FaultConn wraps a net.Conn, injecting deterministic faults on Write.
+// Reads pass through (a cut connection fails both directions).
+type FaultConn struct {
+	net.Conn
+	eng *faultEngine
+}
+
+// InjectFaults wraps conn with the given fault schedule.
+func InjectFaults(conn net.Conn, cfg FaultConfig) *FaultConn {
+	return &FaultConn{Conn: conn, eng: newFaultEngine(cfg)}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *FaultConn) Stats() FaultStats { return f.eng.snapshot() }
+
+// Write implements net.Conn with fault injection.
+func (f *FaultConn) Write(b []byte) (int, error) {
+	return f.eng.write(b, f.Conn.Write, func() { f.Conn.Close() })
+}
+
+// FaultWriter applies the same fault schedule to a plain io.Writer: the
+// seam the checkpoint store exposes for torn-commit tests. A killed or
+// dropped writer swallows further writes with EPIPE, exactly like a
+// dead socket.
+type FaultWriter struct {
+	w   io.Writer
+	eng *faultEngine
+}
+
+// InjectFaultWriter wraps w with the given fault schedule.
+func InjectFaultWriter(w io.Writer, cfg FaultConfig) *FaultWriter {
+	return &FaultWriter{w: w, eng: newFaultEngine(cfg)}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *FaultWriter) Stats() FaultStats { return f.eng.snapshot() }
+
+// Write implements io.Writer with fault injection.
+func (f *FaultWriter) Write(b []byte) (int, error) {
+	return f.eng.write(b, f.w.Write, func() {})
 }

@@ -205,6 +205,21 @@ type SessionConfig struct {
 	// passed to emit are only valid for the duration of the call. Leave
 	// false when the consumer retains tuples (windows, joins, buffers).
 	ZeroCopy bool
+	// InitialSeqs seeds newly attached sessions' last-applied sequence
+	// numbers: the replay positions recovered from a checkpoint. After a
+	// crash the restarted server answers each stream's resume handshake
+	// at its checkpointed position, so clients replay exactly the tail
+	// the checkpoint has not made durable.
+	InitialSeqs map[string]uint64
+	// DurableSeq, when set, caps every acknowledged sequence number
+	// (HELLOACK, HELLO3ACK, heartbeat ACK) at the stream's durable floor
+	// — typically the last committed checkpoint's position. The client
+	// then retains everything past the floor in its replay buffer, which
+	// is what makes a crash recoverable: the restarted server can roll
+	// the stream back to the checkpoint and the client still holds the
+	// frames to replay. Already-applied replays are discarded as
+	// duplicates, so delivery stays exactly-once.
+	DurableSeq func(streamID string) uint64
 }
 
 func (c *SessionConfig) maxWire() int {
@@ -343,15 +358,49 @@ func (s *SessionServer) attach(id string) *session {
 	defer s.mu.Unlock()
 	sess, ok := s.sessions[id]
 	if !ok {
-		sess = &session{id: id}
+		sess = &session{id: id, lastSeq: s.cfg.InitialSeqs[id]}
 		s.sessions[id] = sess
 		s.stats.Sessions++
-		s.logf("dsms: session %q attached", id)
+		if sess.lastSeq > 0 {
+			s.logf("dsms: session %q attached at checkpointed seq %d", id, sess.lastSeq)
+		} else {
+			s.logf("dsms: session %q attached", id)
+		}
 	} else {
 		s.stats.Reconnects++
 		s.logf("dsms: session %q resumed at seq %d", id, sess.lastSeq)
 	}
 	return sess
+}
+
+// ackFloor caps an acknowledged sequence number at the stream's
+// durable floor, so clients keep un-checkpointed frames replayable.
+func (s *SessionServer) ackFloor(sess *session, last uint64) uint64 {
+	if s.cfg.DurableSeq == nil {
+		return last
+	}
+	if d := s.cfg.DurableSeq(sess.id); d < last {
+		return d
+	}
+	return last
+}
+
+// SessionSeqs snapshots every attached stream's last applied sequence
+// number: the replay positions a checkpoint records in its metadata.
+func (s *SessionServer) SessionSeqs() map[string]uint64 {
+	s.mu.Lock()
+	list := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		list = append(list, sess)
+	}
+	s.mu.Unlock()
+	out := make(map[string]uint64, len(list))
+	for _, sess := range list {
+		sess.mu.Lock()
+		out[sess.id] = sess.lastSeq
+		sess.mu.Unlock()
+	}
+	return out
 }
 
 // complete records a finished stream, releasing Serve when the target
@@ -421,7 +470,7 @@ func (s *SessionServer) handle(conn net.Conn) {
 			sess.mu.Lock()
 			last := sess.lastSeq
 			sess.mu.Unlock()
-			if err := writeSeqFrame(bw, frameHelloAck, last); err != nil {
+			if err := writeSeqFrame(bw, frameHelloAck, s.ackFloor(sess, last)); err != nil {
 				return
 			}
 			if err := bw.Flush(); err != nil {
@@ -470,7 +519,7 @@ func (s *SessionServer) handle(conn net.Conn) {
 			if err := writeUvarint(bw, granted); err != nil {
 				return
 			}
-			if err := writeUvarint(bw, last); err != nil {
+			if err := writeUvarint(bw, s.ackFloor(sess, last)); err != nil {
 				return
 			}
 			if err := bw.Flush(); err != nil {
@@ -568,7 +617,7 @@ func (s *SessionServer) handle(conn net.Conn) {
 			sess.mu.Lock()
 			last := sess.lastSeq
 			sess.mu.Unlock()
-			if err := writeSeqFrame(bw, frameAck, last); err != nil {
+			if err := writeSeqFrame(bw, frameAck, s.ackFloor(sess, last)); err != nil {
 				return
 			}
 			if err := bw.Flush(); err != nil {

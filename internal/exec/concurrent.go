@@ -30,11 +30,13 @@
 package exec
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"streamdb/internal/ckpt"
 	"streamdb/internal/ops"
 	"streamdb/internal/stream"
 )
@@ -82,6 +84,17 @@ type RunOptions struct {
 	// through one consumer goroutine into the graph sink (which
 	// therefore needs no internal locking either).
 	SinkPerWriter func(NodeID) Sink
+	// Checkpoint enables barrier-aligned durable checkpoints (see
+	// exec/checkpoint.go). Incompatible with SinkPerWriter — sharded
+	// sinks have no single output cut — in which case checkpointing is
+	// disabled and OnCommit reports the conflict once.
+	Checkpoint *CheckpointConfig
+	// Restore plays a checkpoint taken by a previous RunWith of the
+	// same graph shape and the same effective Parallelism /
+	// PartitionJoins settings back into the operators before any
+	// element flows, and fast-forwards each source past the elements
+	// the checkpointed run consumed.
+	Restore *ckpt.Checkpoint
 }
 
 type batchMsg struct {
@@ -101,6 +114,16 @@ type concRun struct {
 	writers []int
 	closeMu sync.Mutex
 	sinkCh  chan []stream.Element // nil when SinkPerWriter is set
+
+	// Checkpointing state: ctl coordinates barrier epochs (nil when
+	// disabled), inw is the initial writer count per node (writers[]
+	// decays via closeOne, but barrier alignment needs the full count),
+	// outW counts nodes writing the graph output, restore is the
+	// checkpoint being played back (nil for a fresh run).
+	ctl     *ckptCtl
+	inw     []int
+	outW    int
+	restore *ckpt.Checkpoint
 }
 
 func atomicMax(addr *int64, v int64) {
@@ -160,6 +183,43 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 			}
 		}
 	}
+	r.inw = append([]int(nil), r.writers...)
+	for _, n := range g.nodes {
+		for _, ed := range n.out {
+			if ed.to < 0 {
+				r.outW++
+				break
+			}
+		}
+	}
+
+	r.restore = opts.Restore
+	if r.restore != nil {
+		if err := r.validateRestore(); err != nil {
+			g.failMu.Lock()
+			g.failed = append(g.failed, NodeFailure{Node: -1, Op: "checkpoint-restore", Panic: err})
+			g.failMu.Unlock()
+			return
+		}
+	}
+	if cfg := opts.Checkpoint; cfg != nil && cfg.Store != nil && cfg.Every > 0 {
+		if opts.SinkPerWriter != nil {
+			if cfg.OnCommit != nil {
+				cfg.OnCommit(0, fmt.Errorf("exec: checkpointing is incompatible with SinkPerWriter (no single output cut)"))
+			}
+		} else {
+			var first int64
+			if r.restore != nil {
+				first = r.restore.Epoch
+			}
+			r.ctl = newCkptCtl(cfg, map[string]uint64{
+				"par": uint64(opts.Parallelism),
+				"pj":  boolMeta(opts.PartitionJoins),
+			}, first)
+			g.failHook = func() { r.ctl.shutdown(fmt.Errorf("exec: node failure aborted the checkpoint epoch")) }
+			defer func() { g.failHook = nil }()
+		}
+	}
 
 	var sinkWG sync.WaitGroup
 	if opts.SinkPerWriter == nil {
@@ -167,8 +227,22 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 		sinkWG.Add(1)
 		go func() {
 			defer sinkWG.Done()
+			var delivered int64
+			sinkBars := 0
 			for b := range r.sinkCh {
 				for _, e := range b {
+					if e.IsBarrier() {
+						// Engine-internal: count the cut, never deliver.
+						sinkBars++
+						if sinkBars == r.outW {
+							sinkBars = 0
+							if r.ctl != nil {
+								r.ctl.sinkCut(e.Punct.Barrier, delivered)
+							}
+						}
+						continue
+					}
+					delivered++
 					g.sink(e)
 				}
 				r.pool.Put(b)
@@ -176,6 +250,7 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 		}()
 	}
 
+	needSections := 0
 	var wg sync.WaitGroup
 	for id := range g.nodes {
 		n := g.nodes[id]
@@ -186,6 +261,7 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 			if kp, ok := n.op.(ops.KeyPartitionable); ok && kp.CanPartition() {
 				n.stats.Replicas = opts.Parallelism
 				n.stats.Routed = make([]int64, opts.Parallelism)
+				needSections += opts.Parallelism + 1 // P replicas + splitter queues
 				go r.runKeyPartitioned(NodeID(id), n, kp, &wg)
 				continue
 			}
@@ -193,20 +269,27 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 		if opts.Parallelism > 1 && n.op.NumInputs() == 1 && !n.detached {
 			if pa, ok := n.op.(ops.PartialAggregable); ok && pa.CanPartial() {
 				n.stats.Replicas = opts.Parallelism
+				needSections += opts.Parallelism + 2 // P replicas + combiner + merge queues
 				go r.runPartialReplicated(NodeID(id), n, pa, &wg)
 				continue
 			}
 			if rep, ok := n.op.(ops.Replicable); ok {
 				n.stats.Replicas = opts.Parallelism
+				// Stateless: no sections, the barrier just flows through.
 				go r.runReplicated(NodeID(id), n, rep, &wg)
 				continue
 			}
 		}
+		needSections++
 		go r.runNode(NodeID(id), n, &wg)
 	}
-	for _, s := range g.sources {
+	if r.ctl != nil {
+		r.ctl.needSections = needSections
+		r.ctl.needSink = r.outW
+	}
+	for i, s := range g.sources {
 		wg.Add(1)
-		go r.runSource(s, maxElements, &wg)
+		go r.runSource(i, s, maxElements, &wg)
 	}
 	wg.Wait()
 	if r.sinkCh != nil {
@@ -326,12 +409,14 @@ func (w *edgeWriter) flush() {
 // closes its downstream edges.
 func (r *concRun) runNode(id NodeID, n *node, wg *sync.WaitGroup) {
 	defer wg.Done()
+	r.restoreOp(r.nodeName(id), n.op)
 	w := r.newEdgeWriter(n.out, id)
 	emit := func(out stream.Element) {
 		n.stats.Out++
 		w.add(out)
 	}
 	crashed := n.detached
+	bars := 0
 	pushBatch := func(m batchMsg) (ok bool) {
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -340,6 +425,20 @@ func (r *concRun) runNode(id NodeID, n *node, wg *sync.WaitGroup) {
 			}
 		}()
 		for _, e := range m.elems {
+			if e.IsBarrier() {
+				// Engine-level: never enters the operator. Aligned when
+				// every input writer's barrier has arrived; snapshot at
+				// that exact position and forward one barrier.
+				bars++
+				if bars == r.inw[id] {
+					bars = 0
+					if r.ctl != nil {
+						r.ctl.addSnap(e.Punct.Barrier, r.nodeName(id), n.op)
+					}
+					w.add(e)
+				}
+				continue
+			}
 			n.op.Push(m.port, e, emit)
 		}
 		return true
@@ -347,8 +446,23 @@ func (r *concRun) runNode(id NodeID, n *node, wg *sync.WaitGroup) {
 	for m := range r.chans[id] {
 		atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
 		if crashed {
+			// Discard data, but keep the barrier protocol alive: a node
+			// detached by a previous run must still align and forward
+			// barriers or the epoch would stall.
+			for _, e := range m.elems {
+				if e.IsBarrier() {
+					bars++
+					if bars == r.inw[id] {
+						bars = 0
+						if r.ctl != nil {
+							r.ctl.addSnap(e.Punct.Barrier, r.nodeName(id), n.op)
+						}
+						w.add(e)
+					}
+				}
+			}
 			r.pool.Put(m.elems)
-			continue // discard: node is detached
+			continue
 		}
 		n.stats.In += int64(len(m.elems))
 		if !pushBatch(m) {
@@ -416,6 +530,13 @@ func (r *concRun) runReplicated(id NodeID, n *node, rep ops.Replicable, wg *sync
 				}()
 				atomic.AddInt64(&n.stats.In, int64(len(t.elems)))
 				for _, e := range t.elems {
+					if e.IsBarrier() {
+						// Stateless lane: nothing to snapshot; the barrier
+						// rides the sequence-ordered merge to emerge in
+						// exactly its input position.
+						out = append(out, e)
+						continue
+					}
 					op.Push(t.port, e, func(o stream.Element) {
 						out = append(out, o)
 					})
@@ -451,15 +572,37 @@ func (r *concRun) runReplicated(id NodeID, n *node, rep ops.Replicable, wg *sync
 		close(mergeCh)
 	}()
 
-	// Splitter: round-robin input batches over the workers.
+	// Splitter: round-robin input batches over the workers. Barriers
+	// are aligned here — one arrives per input writer (always a batch's
+	// last element, since punctuations flush batches) and exactly one
+	// continues into the round-robin stream.
 	go func() {
 		var seq uint64
 		k := 0
+		bars := 0
 		for m := range r.chans[id] {
 			atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
-			workCh[k] <- repTask{seq: seq, port: m.port, elems: m.elems}
-			seq++
-			k = (k + 1) % p
+			var bar stream.Element
+			if l := len(m.elems); l > 0 && m.elems[l-1].IsBarrier() {
+				bar = m.elems[l-1]
+				m.elems = m.elems[:l-1]
+			}
+			if len(m.elems) > 0 {
+				workCh[k] <- repTask{seq: seq, port: m.port, elems: m.elems}
+				seq++
+				k = (k + 1) % p
+			} else {
+				r.pool.Put(m.elems)
+			}
+			if bar.Punct != nil {
+				bars++
+				if bars == r.inw[id] {
+					bars = 0
+					workCh[k] <- repTask{seq: seq, port: m.port, elems: append(r.pool.Get(), bar)}
+					seq++
+					k = (k + 1) % p
+				}
+			}
 		}
 		totalSeq.Store(seq) // ordered before close: workers read it after range ends
 		for _, c := range workCh {
@@ -471,7 +614,9 @@ func (r *concRun) runReplicated(id NodeID, n *node, rep ops.Replicable, wg *sync
 	w := r.newEdgeWriter(n.out, id)
 	deliver := func(b []stream.Element) {
 		for _, e := range b {
-			n.stats.Out++
+			if !e.IsBarrier() {
+				n.stats.Out++
+			}
 			w.add(e)
 		}
 		r.pool.Put(b)
@@ -545,6 +690,7 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 		go func(k int) {
 			defer workWG.Done()
 			op := pa.ClonePartial()
+			r.restoreOp(repName(id, k), op)
 			process := func(t batchMsg) (out []stream.Element) {
 				out = r.pool.Get()
 				if crashed.Load() {
@@ -558,6 +704,16 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 				}()
 				atomic.AddInt64(&n.stats.In, int64(len(t.elems)))
 				for _, e := range t.elems {
+					if e.IsBarrier() {
+						// The splitter broadcast this replica's barrier:
+						// snapshot the clone's partial state and pass the
+						// barrier on to the merger for counting.
+						if r.ctl != nil {
+							r.ctl.addSnap(e.Punct.Barrier, repName(id, k), op)
+						}
+						out = append(out, e)
+						continue
+					}
 					op.Push(t.port, e, func(o stream.Element) {
 						out = append(out, o)
 					})
@@ -597,11 +753,19 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 
 	// Splitter: round-robin data batches, broadcast punctuations. The
 	// edgeWriter invariant (a punctuation always flushes its batch) means
-	// a punctuation can only be a batch's last element.
+	// a punctuation can only be a batch's last element. Barriers are
+	// aligned here (one per input writer), then broadcast so every
+	// replica snapshots at the same position.
 	go func() {
 		k := 0
+		bars := 0
 		for m := range r.chans[id] {
 			atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
+			var bar stream.Element
+			if l := len(m.elems); l > 0 && m.elems[l-1].IsBarrier() {
+				bar = m.elems[l-1]
+				m.elems = m.elems[:l-1]
+			}
 			if l := len(m.elems); l > 0 && m.elems[l-1].IsPunct() {
 				pe := m.elems[l-1]
 				for j := range workCh {
@@ -610,8 +774,21 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 					}
 				}
 			}
-			workCh[k] <- m
-			k = (k + 1) % p
+			if len(m.elems) > 0 {
+				workCh[k] <- m
+				k = (k + 1) % p
+			} else {
+				r.pool.Put(m.elems)
+			}
+			if bar.Punct != nil {
+				bars++
+				if bars == r.inw[id] {
+					bars = 0
+					for j := range workCh {
+						workCh[j] <- batchMsg{port: m.port, elems: append(r.pool.Get(), bar)}
+					}
+				}
+			}
 		}
 		for _, c := range workCh {
 			close(c)
@@ -645,12 +822,60 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 		wms[k] = math.MinInt64
 	}
 	released := int64(math.MinInt64)
+	r.restoreOp(combName(id), comb)
+	if r.restore != nil {
+		if data := r.restore.Section(pmergeName(id)); data != nil {
+			dec := ckpt.NewDecoder(data)
+			for k := range queues {
+				cnt := int(dec.Uvarint())
+				for i := 0; i < cnt; i++ {
+					queues[k] = append(queues[k], dec.Element())
+				}
+			}
+			for k := range wms {
+				wms[k] = dec.Varint()
+			}
+			released = dec.Varint()
+			if dec.Err() != nil {
+				r.restoreFailed(fmt.Errorf("exec: restore %s: %w", pmergeName(id), dec.Err()))
+			}
+		}
+	}
+	mbar := 0
 	for msg := range partCh {
 		if msg.elems == nil {
 			wms[msg.worker] = math.MaxInt64
 		} else {
 			k := msg.worker
 			for _, e := range msg.elems {
+				if e.IsBarrier() {
+					// One barrier per replica; when all P have arrived,
+					// snapshot the combiner plus this merge stage's own
+					// buffered state, then forward a single barrier.
+					mbar++
+					if mbar == p {
+						mbar = 0
+						if r.ctl != nil {
+							epoch := e.Punct.Barrier
+							r.ctl.addSnap(epoch, combName(id), comb)
+							enc := &ckpt.Encoder{}
+							for j := range queues {
+								q := queues[j][heads[j]:]
+								enc.Uvarint(uint64(len(q)))
+								for _, qe := range q {
+									enc.Element(qe)
+								}
+							}
+							for j := range wms {
+								enc.Varint(wms[j])
+							}
+							enc.Varint(released)
+							r.ctl.addBytes(epoch, pmergeName(id), enc.Bytes())
+						}
+						w.add(e)
+					}
+					continue
+				}
 				if e.IsPunct() {
 					if e.Punct.Ts > wms[k] {
 						wms[k] = e.Punct.Ts
@@ -722,14 +947,17 @@ type partTask struct {
 // partReply carries one task's outputs back to the merger:
 // outs[ends[i-1]:ends[i]] is the output span of data element seqs[i].
 // A reply with flush set carries a replica's end-of-stream flush output
-// instead.
+// instead; one with barrier set reports that the replica snapshotted at
+// the given checkpoint barrier.
 type partReply struct {
-	worker int
-	flush  bool
-	seqs   []uint64
-	ends   []int
-	outs   []stream.Element
-	left   int // spans not yet delivered; outs recycles at zero
+	worker  int
+	flush   bool
+	barrier bool
+	bar     stream.Element
+	seqs    []uint64
+	ends    []int
+	outs    []stream.Element
+	left    int // spans not yet delivered; outs recycles at zero
 }
 
 // runKeyPartitioned executes one two-input KeyPartitionable node (a
@@ -787,10 +1015,12 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 		go func(k int) {
 			defer workWG.Done()
 			op := kp.ClonePartition()
+			r.restoreOp(repName(id, k), op)
 			for t := range workCh[k] {
 				outs := r.pool.Get()
 				seqs := make([]uint64, 0, len(t.elems))
 				ends := make([]int, 0, len(t.elems))
+				var bar stream.Element
 				i := 0
 				if !crashed.Load() {
 					func() {
@@ -801,6 +1031,16 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 							}
 						}()
 						for ; i < len(t.elems); i++ {
+							if e := t.elems[i]; e.IsBarrier() {
+								// Snapshot this partition at the aligned cut;
+								// the barrier itself is reported out-of-band so
+								// it occupies no slot in the sequence merge.
+								if r.ctl != nil {
+									r.ctl.addSnap(e.Punct.Barrier, repName(id, k), op)
+								}
+								bar = e
+								continue
+							}
 							op.Push(int(t.ports[i]), t.elems[i], func(o stream.Element) {
 								outs = append(outs, o)
 							})
@@ -821,6 +1061,9 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 				}
 				r.pool.Put(t.elems)
 				mergeCh <- partReply{worker: k, seqs: seqs, ends: ends, outs: outs}
+				if bar.Punct != nil {
+					mergeCh <- partReply{worker: k, barrier: true, bar: bar}
+				}
 				r.sampleMem(id, op)
 			}
 			fout := r.pool.Get()
@@ -940,9 +1183,62 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 				}
 			}
 		}
+		if r.restore != nil {
+			// The port-merge buffers are part of the cut: elements that had
+			// arrived but could not yet be released in serial order.
+			if data := r.restore.Section(splitName(id)); data != nil {
+				dec := ckpt.NewDecoder(data)
+				for pt := 0; pt < 2; pt++ {
+					cnt := int(dec.Uvarint())
+					for i := 0; i < cnt; i++ {
+						qs[pt].q = append(qs[pt].q, dec.Element())
+					}
+				}
+				for pt := 0; pt < 2; pt++ {
+					pw[pt] = dec.Varint()
+					maxTs[pt] = dec.Varint()
+					synthed[pt] = dec.Varint()
+				}
+				if dec.Err() != nil {
+					r.restoreFailed(fmt.Errorf("exec: restore %s: %w", splitName(id), dec.Err()))
+				}
+			}
+		}
+		kbars := 0
 		for m := range r.chans[id] {
 			atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
 			for _, e := range m.elems {
+				if e.IsBarrier() {
+					kbars++
+					if kbars == r.inw[id] {
+						kbars = 0
+						// Push everything releasable to the replicas, then
+						// snapshot what must stay buffered and broadcast the
+						// barrier so each partition cuts after its share.
+						release(false)
+						if r.ctl != nil {
+							enc := &ckpt.Encoder{}
+							for pt := 0; pt < 2; pt++ {
+								q := qs[pt].q[qs[pt].head:]
+								enc.Uvarint(uint64(len(q)))
+								for _, qe := range q {
+									enc.Element(qe)
+								}
+							}
+							for pt := 0; pt < 2; pt++ {
+								enc.Varint(pw[pt])
+								enc.Varint(maxTs[pt])
+								enc.Varint(synthed[pt])
+							}
+							r.ctl.addBytes(e.Punct.Barrier, splitName(id), enc.Bytes())
+						}
+						for k := 0; k < p; k++ {
+							add(k, m.port, e, noSeq)
+							flushTask(k)
+						}
+					}
+					continue
+				}
 				if e.IsPunct() && e.Punct.Ts > pw[m.port] {
 					pw[m.port] = e.Punct.Ts
 				}
@@ -979,7 +1275,16 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 	held := make(map[uint64]span)
 	var next uint64
 	flushes := make([][]stream.Element, p)
+	kmbar := 0
 	for rep := range mergeCh {
+		if rep.barrier {
+			kmbar++
+			if kmbar == p {
+				kmbar = 0
+				w.add(rep.bar)
+			}
+			continue
+		}
 		if rep.flush {
 			flushes[rep.worker] = rep.outs
 			continue
@@ -1040,15 +1345,42 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 }
 
 // runSource feeds one source's elements into the graph in batches,
-// drawing bulk reads when the source supports them.
-func (r *concRun) runSource(s *sourceNode, maxElements int64, wg *sync.WaitGroup) {
+// drawing bulk reads when the source supports them. With checkpointing
+// active the source emits a barrier punctuation every ctl.every
+// elements and pauses until the epoch commits or aborts — the pause is
+// what aligns the cut: nothing new enters the graph while barriers
+// drain through it.
+func (r *concRun) runSource(idx int, s *sourceNode, maxElements int64, wg *sync.WaitGroup) {
 	defer wg.Done()
 	if len(s.out) == 0 {
 		return
 	}
+	if r.restore != nil {
+		// Fast-forward past the elements the checkpointed run consumed;
+		// the caller rebuilt the source from the beginning of its replay
+		// window.
+		skip := int64(r.restore.Meta[srcKey(idx)])
+		for k := int64(0); k < skip; k++ {
+			if _, ok := s.src.Next(); !ok {
+				r.restoreFailed(fmt.Errorf("exec: source %d exhausted after %d of %d replay elements", idx, k, skip))
+				break
+			}
+		}
+		s.count = skip
+	}
 	w := r.newEdgeWriter(s.out, -1) // sources cannot write the graph output
 	bulk, isBulk := s.src.(stream.BulkSource)
-	var sent int64
+	var sent, sinceBarrier int64
+	atBarrier := func() {
+		sinceBarrier = 0
+		epoch, ok := r.ctl.barrier()
+		if !ok {
+			return
+		}
+		r.ctl.sourceMeta(epoch, srcKey(idx), uint64(s.count))
+		w.add(stream.Punct(stream.BarrierPunct(epoch))) // punctuation: flushes the batch
+		r.ctl.wait(epoch)
+	}
 	for maxElements < 0 || sent < maxElements {
 		if r.g.halted.Load() {
 			break // fail-fast: stop feeding, let the pipeline drain
@@ -1058,6 +1390,9 @@ func (r *concRun) runSource(s *sourceNode, maxElements int64, wg *sync.WaitGroup
 			if maxElements >= 0 && int64(max) > maxElements-sent {
 				max = int(maxElements - sent)
 			}
+			if r.ctl != nil && int64(max) > r.ctl.every-sinceBarrier {
+				max = int(r.ctl.every - sinceBarrier)
+			}
 			tmp := r.pool.Get()
 			tmp, more := bulk.NextBatch(tmp, max)
 			for _, e := range tmp {
@@ -1065,7 +1400,11 @@ func (r *concRun) runSource(s *sourceNode, maxElements int64, wg *sync.WaitGroup
 			}
 			sent += int64(len(tmp))
 			s.count += int64(len(tmp))
+			sinceBarrier += int64(len(tmp))
 			r.pool.Put(tmp)
+			if r.ctl != nil && sinceBarrier >= r.ctl.every {
+				atBarrier()
+			}
 			if !more {
 				break
 			}
@@ -1083,8 +1422,17 @@ func (r *concRun) runSource(s *sourceNode, maxElements int64, wg *sync.WaitGroup
 			}
 			sent++
 			s.count++
+			sinceBarrier++
 			w.add(e)
+			if r.ctl != nil && sinceBarrier >= r.ctl.every {
+				atBarrier()
+			}
 		}
+	}
+	if r.ctl != nil {
+		// This source is done: a pending epoch can no longer receive its
+		// barrier, and future epochs would wait on it forever.
+		r.ctl.shutdown(fmt.Errorf("exec: source %d exhausted mid-epoch", idx))
 	}
 	w.flush()
 	r.closeDownstream(s.out)

@@ -109,6 +109,10 @@ type Graph struct {
 	halted atomic.Bool // FailFast tripped: stop admitting/feeding work
 	failMu sync.Mutex
 	failed []NodeFailure
+	// failHook is set by RunWith while checkpointing is active: a node
+	// failure must abort the pending barrier epoch or paused sources
+	// would wait on it forever.
+	failHook func()
 }
 
 // NewGraph builds an empty graph writing outputs to sink (may be nil).
@@ -161,6 +165,9 @@ func (g *Graph) recordPanic(id NodeID, n *node, r interface{}) {
 	g.failMu.Unlock()
 	if g.policy == FailFast {
 		g.halted.Store(true)
+	}
+	if g.failHook != nil {
+		g.failHook()
 	}
 }
 

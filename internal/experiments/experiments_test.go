@@ -431,3 +431,29 @@ func TestE21Shape(t *testing.T) {
 		t.Errorf("best batched throughput %v below v2 %v", best, v2)
 	}
 }
+
+func TestE22Shape(t *testing.T) {
+	tb := E22CrashRecovery(testScale, t.TempDir())
+	// Rows: reference, three kills, recovered.
+	if len(tb.Rows) != 5 {
+		t.Fatalf("E22 rows = %d, want 5:\n%s", len(tb.Rows), tb)
+	}
+	last := len(tb.Rows) - 1
+	if got := cell(t, tb, last, 0); got != "recovered" {
+		t.Fatalf("final phase = %q, want recovered:\n%s", got, tb)
+	}
+	if got := cell(t, tb, last, 6); got != "true" {
+		t.Errorf("exact = %s (output not byte-identical across crashes):\n%s", got, tb)
+	}
+	if lost := num(t, tb, last, 5); lost != 0 {
+		t.Errorf("lost = %v outputs across crashes", lost)
+	}
+	// At least one kill must land past a committed checkpoint with
+	// outputs in flight, or the replay-suppression path went untested.
+	if dupes := num(t, tb, last, 4); dupes == 0 {
+		t.Logf("warning: no duplicate outputs suppressed (kills landed before any output raced a checkpoint)")
+	}
+	if epochs := num(t, tb, last, 3); epochs < 3 {
+		t.Errorf("only %v checkpoint epochs committed; interval too coarse to exercise recovery", epochs)
+	}
+}

@@ -1,0 +1,134 @@
+package hancock
+
+// Crash-recovery regressions for the persistent signature store: the
+// on-disk states a killed process can leave behind (torn trailing
+// record, orphaned .tmp from a crash between write and rename) must
+// never corrupt reads, and the next MergeUpdate must restore a fully
+// clean generation. These are the same torn-write shapes the ckpt
+// store's manifest protocol defends against; SigStore relies on
+// fixed-size records plus rename atomicity instead.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func storeWithDays(t *testing.T, dir string, days ...map[uint64]DayStats) *SigStore {
+	t.Helper()
+	s, err := NewSigStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range days {
+		if err := s.MergeUpdate(0.5, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func collectAll(t *testing.T, s *SigStore) map[uint64]Signature {
+	t.Helper()
+	out := map[uint64]Signature{}
+	err := s.All(func(k uint64, sig Signature) bool {
+		out[k] = sig
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTornTrailingRecordIgnored simulates a process killed while
+// appending: the data file ends in a partial record. Reads must treat
+// the torn tail as end-of-file (fixed-size records make the floor
+// unambiguous), Get must still find every intact record, and the next
+// merge must rewrite a clean file that includes the re-applied update.
+func TestTornTrailingRecordIgnored(t *testing.T) {
+	dir := t.TempDir()
+	day := map[uint64]DayStats{1: {Calls: 10, DurSum: 100}, 5: {Calls: 5, DurSum: 50}, 9: {Calls: 9, DurSum: 90}}
+	s := storeWithDays(t, dir, day)
+
+	path := filepath.Join(dir, "signatures.dat")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-record: 3 intact records + half of a fourth.
+	torn := append(append([]byte(nil), raw...), raw[:recordSize/2]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if n, err := s.Len(); err != nil || n != 3 {
+		t.Fatalf("Len on torn file = %d, %v; want 3", n, err)
+	}
+	if sig, ok, err := s.Get(5); err != nil || !ok || sig.Calls == 0 {
+		t.Fatalf("Get(5) on torn file = %+v, %v, %v", sig, ok, err)
+	}
+	got := collectAll(t, s)
+	if len(got) != 3 {
+		t.Fatalf("All on torn file visited %d records, want 3", len(got))
+	}
+
+	// Recovery: the crashed day is re-applied; the merge pass streams
+	// only intact records and rewrites a clean generation.
+	if err := s.MergeUpdate(0.5, map[uint64]DayStats{5: {Calls: 2, DurSum: 20}}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size()%recordSize != 0 {
+		t.Fatalf("rewritten file size %d not a whole number of records", info.Size())
+	}
+	if got := collectAll(t, s); len(got) != 3 {
+		t.Fatalf("after recovery merge: %d records, want 3", len(got))
+	}
+}
+
+// TestCrashBeforeRenameKeepsOldGeneration simulates a kill between the
+// temp-file write and the rename: the orphaned .tmp must not shadow or
+// corrupt the committed file, and a retried merge must succeed and
+// clean it up.
+func TestCrashBeforeRenameKeepsOldGeneration(t *testing.T) {
+	dir := t.TempDir()
+	day1 := map[uint64]DayStats{1: {Calls: 10, DurSum: 100}, 2: {Calls: 20, DurSum: 200}}
+	s := storeWithDays(t, dir, day1)
+	before := collectAll(t, s)
+
+	// The crashed merge got as far as writing a (possibly partial)
+	// .tmp but never renamed it.
+	tmp := filepath.Join(dir, "signatures.dat.tmp")
+	if err := os.WriteFile(tmp, make([]byte, recordSize+7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen as a restarted process would: the committed generation is
+	// untouched by the orphan.
+	s2, err := NewSigStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectAll(t, s2); len(got) != len(before) {
+		t.Fatalf("orphaned .tmp changed visible records: %d, want %d", len(got), len(before))
+	}
+
+	// Retrying the interrupted day overwrites the orphan and commits.
+	if err := s2.MergeUpdate(0.5, map[uint64]DayStats{3: {Calls: 30, DurSum: 300}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("orphaned .tmp survived a successful merge: %v", err)
+	}
+	got := collectAll(t, s2)
+	if len(got) != 3 {
+		t.Fatalf("after retried merge: %d records, want 3", len(got))
+	}
+	if _, ok := got[3]; !ok {
+		t.Fatal("retried day's key missing after recovery")
+	}
+}

@@ -1,0 +1,73 @@
+package sched
+
+// Checkpoint support (ckpt.Snapshotter) for the scheduling simulator:
+// queue contents, arrival sequence counter, and the recorded series.
+// The policy is configuration, not state, and is re-supplied when the
+// simulator is rebuilt; the one stateful policy (RoundRobin's cursor)
+// is restored separately by callers that checkpoint mid-run with it.
+
+import (
+	"fmt"
+
+	"streamdb/internal/ckpt"
+)
+
+// Snapshot implements ckpt.Snapshotter.
+func (s *Sim) Snapshot(enc *ckpt.Encoder) error {
+	enc.Int(len(s.queues))
+	for _, q := range s.queues {
+		enc.Uvarint(uint64(len(q)))
+		for _, t := range q {
+			enc.Varint(t.seq)
+			enc.Float64(t.frac)
+		}
+	}
+	enc.Float64(s.now)
+	enc.Float64(s.busy)
+	enc.Varint(s.seq)
+	enc.Varint(s.Processed)
+	enc.Float64(s.Emitted)
+	enc.Float64(s.PeakBacklog)
+	enc.Uvarint(uint64(len(s.Ticks)))
+	for i := range s.Ticks {
+		enc.Float64(s.Ticks[i])
+		enc.Float64(s.Backlog[i])
+	}
+	return nil
+}
+
+// Restore implements ckpt.Snapshotter on a freshly built Sim of the
+// same chain.
+func (s *Sim) Restore(dec *ckpt.Decoder) error {
+	if n := dec.Int(); n != len(s.queues) {
+		return fmt.Errorf("sched: restore: snapshot has %d queues, chain has %d", n, len(s.queues))
+	}
+	for i := range s.queues {
+		n := dec.Uvarint()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		q := make([]qtuple, n)
+		for j := range q {
+			q[j] = qtuple{seq: dec.Varint(), frac: dec.Float64()}
+		}
+		s.queues[i] = q
+	}
+	s.now = dec.Float64()
+	s.busy = dec.Float64()
+	s.seq = dec.Varint()
+	s.Processed = dec.Varint()
+	s.Emitted = dec.Float64()
+	s.PeakBacklog = dec.Float64()
+	n := dec.Uvarint()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	s.Ticks = make([]float64, n)
+	s.Backlog = make([]float64, n)
+	for i := range s.Ticks {
+		s.Ticks[i] = dec.Float64()
+		s.Backlog[i] = dec.Float64()
+	}
+	return dec.Err()
+}

@@ -24,6 +24,8 @@ type Random struct {
 	sch     *tuple.Schema
 	rate    float64
 	rng     *rand.Rand
+	seed    int64 // retained so checkpoints can reconstruct rng state
+	draws   int64 // Float64 calls made; replayed on restore
 	in, out int64
 }
 
@@ -32,7 +34,7 @@ func NewRandom(name string, sch *tuple.Schema, rate float64, seed int64) (*Rando
 	if rate < 0 || rate > 1 {
 		return nil, fmt.Errorf("shed: drop rate %v out of [0,1]", rate)
 	}
-	return &Random{name: name, sch: sch, rate: rate, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Random{name: name, sch: sch, rate: rate, seed: seed, rng: rand.New(rand.NewSource(seed))}, nil
 }
 
 // Name implements ops.Operator.
@@ -51,6 +53,7 @@ func (r *Random) Push(_ int, e stream.Element, emit ops.Emit) {
 		return
 	}
 	r.in++
+	r.draws++
 	if r.rng.Float64() < r.rate {
 		return
 	}
@@ -91,6 +94,8 @@ type Semantic struct {
 	keep    expr.Expr
 	rate    float64
 	rng     *rand.Rand
+	seed    int64 // retained so checkpoints can reconstruct rng state
+	draws   int64 // Float64 calls made; replayed on restore
 	in, out int64
 	kept    int64
 }
@@ -103,7 +108,7 @@ func NewSemantic(name string, sch *tuple.Schema, keep expr.Expr, rate float64, s
 	if rate < 0 || rate > 1 {
 		return nil, fmt.Errorf("shed: drop rate %v out of [0,1]", rate)
 	}
-	return &Semantic{name: name, sch: sch, keep: keep, rate: rate, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Semantic{name: name, sch: sch, keep: keep, rate: rate, seed: seed, rng: rand.New(rand.NewSource(seed))}, nil
 }
 
 // Name implements ops.Operator.
@@ -128,6 +133,7 @@ func (s *Semantic) Push(_ int, e stream.Element, emit ops.Emit) {
 		emit(e)
 		return
 	}
+	s.draws++
 	if s.rng.Float64() < s.rate {
 		return
 	}

@@ -1,0 +1,81 @@
+package shed
+
+// Checkpoint support (ckpt.Snapshotter) for the load shedders. A
+// shedder's only hidden state is its PRNG position; the snapshot
+// records the seed and the number of draws made, and restore replays
+// that many draws against a fresh generator — cheap (one Float64 per
+// shed decision so far) and exact, so a restored run sheds the very
+// same tuples the original would have.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamdb/internal/ckpt"
+)
+
+// Snapshot implements ckpt.Snapshotter.
+func (r *Random) Snapshot(enc *ckpt.Encoder) error {
+	enc.Varint(r.seed)
+	enc.Varint(r.draws)
+	enc.Float64(r.rate)
+	enc.Varint(r.in)
+	enc.Varint(r.out)
+	return nil
+}
+
+// Restore implements ckpt.Snapshotter.
+func (r *Random) Restore(dec *ckpt.Decoder) error {
+	seed := dec.Varint()
+	draws := dec.Varint()
+	r.rate = dec.Float64()
+	r.in = dec.Varint()
+	r.out = dec.Varint()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if seed != r.seed {
+		return fmt.Errorf("shed: restore %s: snapshot seed %d, operator seed %d", r.name, seed, r.seed)
+	}
+	r.rng = replayRNG(seed, draws)
+	r.draws = draws
+	return nil
+}
+
+// Snapshot implements ckpt.Snapshotter.
+func (s *Semantic) Snapshot(enc *ckpt.Encoder) error {
+	enc.Varint(s.seed)
+	enc.Varint(s.draws)
+	enc.Float64(s.rate)
+	enc.Varint(s.in)
+	enc.Varint(s.out)
+	enc.Varint(s.kept)
+	return nil
+}
+
+// Restore implements ckpt.Snapshotter.
+func (s *Semantic) Restore(dec *ckpt.Decoder) error {
+	seed := dec.Varint()
+	draws := dec.Varint()
+	s.rate = dec.Float64()
+	s.in = dec.Varint()
+	s.out = dec.Varint()
+	s.kept = dec.Varint()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if seed != s.seed {
+		return fmt.Errorf("shed: restore %s: snapshot seed %d, operator seed %d", s.name, seed, s.seed)
+	}
+	s.rng = replayRNG(seed, draws)
+	s.draws = draws
+	return nil
+}
+
+func replayRNG(seed, draws int64) *rand.Rand {
+	rng := rand.New(rand.NewSource(seed))
+	for i := int64(0); i < draws; i++ {
+		rng.Float64()
+	}
+	return rng
+}

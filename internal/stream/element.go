@@ -27,6 +27,9 @@ func Punct(p *Punctuation) Element { return Element{Punct: p} }
 // IsPunct reports whether the element is a punctuation.
 func (e Element) IsPunct() bool { return e.Punct != nil }
 
+// IsBarrier reports whether the element is a checkpoint barrier.
+func (e Element) IsBarrier() bool { return e.Punct != nil && e.Punct.Barrier != 0 }
+
 // Ts returns the element's position in stream order.
 func (e Element) Ts() int64 {
 	if e.Punct != nil {
@@ -85,6 +88,19 @@ type Punctuation struct {
 	Ts int64
 	// Fields maps field index -> pattern. Unlisted fields are wildcards.
 	Fields map[int]Pattern
+	// Barrier, when nonzero, marks a checkpoint barrier for the given
+	// epoch. Barriers are an engine-level control signal (Chandy-Lamport
+	// style aligned snapshots): the execution layer intercepts them at
+	// every node and they are never pushed into operators, so Fields is
+	// always nil on a barrier.
+	Barrier int64
+}
+
+// BarrierPunct builds the checkpoint barrier for an epoch. The
+// execution layer emits one per source and forwards it through every
+// split/merge/partition lane; operators never see it.
+func BarrierPunct(epoch int64) *Punctuation {
+	return &Punctuation{Barrier: epoch}
 }
 
 // ProgressPunct builds the standard "all tuples with ordering attribute

@@ -81,6 +81,19 @@ func Limit(src Source, n int) Source {
 	}}
 }
 
+// Skip discards the first n elements of src: the recovery-side replay
+// primitive. A checkpoint records how many elements each source had
+// delivered at the barrier; rebuilding the graph over Skip(src, n)
+// resumes the stream exactly after the snapshot's cut.
+func Skip(src Source, n int64) Source {
+	for ; n > 0; n-- {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+	}
+	return src
+}
+
 // Drain pulls at most limit elements from src (all if limit < 0).
 func Drain(src Source, limit int) []Element {
 	var out []Element

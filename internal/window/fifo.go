@@ -127,6 +127,22 @@ func (f *Fifo) Each(fn func(*tuple.Tuple) bool) {
 	}
 }
 
+// AppendTo appends every live tuple oldest-first to dst and returns the
+// extended slice: the snapshot path of the checkpoint subsystem, which
+// serializes a window's contents without disturbing segment structure.
+func (f *Fifo) AppendTo(dst []*tuple.Tuple) []*tuple.Tuple {
+	if cap(dst)-len(dst) < f.count {
+		grown := make([]*tuple.Tuple, len(dst), len(dst)+f.count)
+		copy(grown, dst)
+		dst = grown
+	}
+	f.Each(func(t *tuple.Tuple) bool {
+		dst = append(dst, t)
+		return true
+	})
+	return dst
+}
+
 // Len reports the number of queued tuples.
 func (f *Fifo) Len() int { return f.count }
 
