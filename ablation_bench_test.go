@@ -176,6 +176,217 @@ func fmtBatch(prefix string, n int) string {
 	return fmt.Sprintf("%s%d", prefix, n)
 }
 
+// colReplaySource replays pre-transposed column batches, standing in
+// for a columnar transport (the v3 wire decodes straight into pooled
+// batches). Like decode output, each batch is handed out exclusively
+// owned — operators refine its selection vector in place, and the
+// engine's final Release is a no-op on the unpooled replay storage, so
+// the data survives across b.N iterations.
+type colReplaySource struct {
+	sch     *tuple.Schema
+	batches []*stream.Batch
+	at      int
+}
+
+func (c *colReplaySource) Schema() *tuple.Schema { return c.sch }
+func (c *colReplaySource) Next() (stream.Element, bool) {
+	return stream.Element{}, false
+}
+func (c *colReplaySource) NextColBatch(int) (*stream.Batch, bool) {
+	if c.at >= len(c.batches) {
+		return nil, false
+	}
+	b := c.batches[c.at]
+	c.at++
+	b.Sel = nil // undo the previous iteration's in-place refinement
+	b.Retain()
+	return b, c.at < len(c.batches)
+}
+
+// transposeElems builds the columnar replay image of elems once, so the
+// benchmark measures operator and engine cost, not transposition.
+func transposeElems(b *testing.B, sch *tuple.Schema, elems []stream.Element, bs int) []*stream.Batch {
+	b.Helper()
+	var batches []*stream.Batch
+	mk := func() *stream.Batch {
+		cb := &stream.Batch{Schema: sch, Ts: make([]int64, 0, bs), Cols: make([][]tuple.Value, sch.Arity())}
+		for c := range cb.Cols {
+			cb.Cols[c] = make([]tuple.Value, 0, bs)
+		}
+		return cb
+	}
+	cur := mk()
+	for _, e := range elems {
+		cur.AppendRow(e.Tuple)
+		if cur.Rows() == bs {
+			batches = append(batches, cur)
+			cur = mk()
+		}
+	}
+	if cur.Rows() > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
+}
+
+// BenchmarkAblationColumnar is the row-vs-columnar ablation (DESIGN.md
+// §12): the same pipelines run element-at-a-time through the row engine
+// and batch-at-a-time through column vectors with selection-vector
+// kernels. "filter" is the 3-way AND selection of the parallel-select
+// ablation; "paneagg" chains that filter into a pane-based sliding
+// GroupBy, so the columnar lane exercises the kernel, the batch edges,
+// and the columnar fold (dense key cache + typed update loops)
+// end-to-end. Both lanes replay identical pre-built input.
+func BenchmarkAblationColumnar(b *testing.B) {
+	// Per-stage input sizes. The filter ablation stays cache-resident
+	// (64k rows) so it measures per-row execution cost — the thing the
+	// columnar engine changes — not DRAM streaming bandwidth (identical
+	// for both lanes). The pane-agg ablation doubles that: its window
+	// span (below) then retires panes mid-run, so the fold is measured
+	// in steady state (recycled groups) rather than all-warmup.
+	const nFilter = 1 << 16
+	const nAgg = 1 << 17
+	const bs = 256
+	sch := tuple.NewSchema("B",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "g", Kind: tuple.KindInt},
+		tuple.Field{Name: "v", Kind: tuple.KindFloat},
+	)
+	elems := make([]stream.Element, nAgg)
+	for i := range elems {
+		// 256 tuples per tick, 64 groups, v decorrelated from g so the
+		// predicates below see per-conjunct (not degenerate) selectivity.
+		ts := int64(i) / 256
+		v := float64((i*31)%997) / 8
+		elems[i] = stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(int64(i%64)), tuple.Float(v)))
+	}
+	batches := transposeElems(b, sch, elems, bs)
+	// mkPred builds the 3-way AND of comparisons the parallel-select
+	// ablation uses (compiled fast lane on the row path, refinement
+	// kernels on the columnar path). vLo/vHi tune selectivity: the filter
+	// ablation keeps few survivors (scan-dominated, the columnar showcase)
+	// while the pane-agg ablation keeps most rows so the fold does the
+	// work.
+	mkPred := func(b *testing.B, vLo, vHi float64) expr.Expr {
+		b.Helper()
+		p1, err := expr.NewBin(expr.OpGe, expr.MustColumn(sch, "g"), expr.Constant(tuple.Int(8)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p2, err := expr.NewBin(expr.OpLt, expr.MustColumn(sch, "v"), expr.Constant(tuple.Float(vHi)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p3, err := expr.NewBin(expr.OpGe, expr.MustColumn(sch, "v"), expr.Constant(tuple.Float(vLo)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p12, err := expr.NewBin(expr.OpAnd, p1, p2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := expr.NewBin(expr.OpAnd, p12, p3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	mkGroupBy := func(b *testing.B) *agg.GroupBy {
+		b.Helper()
+		var aggs []agg.Spec
+		for _, name := range []string{"sum", "count", "avg"} {
+			f, err := agg.Lookup(name, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := agg.Spec{Fn: f, Name: name}
+			if name != "count" {
+				s.Arg = expr.MustColumn(sch, "v")
+			}
+			aggs = append(aggs, s)
+		}
+		gb, err := agg.NewGroupBy("q", sch,
+			[]expr.Expr{expr.MustColumn(sch, "g")}, []string{"g"},
+			aggs, window.Time(256, 64), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !gb.UsesPanes() {
+			b.Fatal("pane path not selected")
+		}
+		return gb
+	}
+	addSource := func(b *testing.B, g *exec.Graph, columnar bool, n int) int {
+		b.Helper()
+		if columnar {
+			return g.AddSource(&colReplaySource{sch: sch, batches: batches[:n/bs]})
+		}
+		return g.AddSource(stream.FromElements(sch, elems[:n]...))
+	}
+	for _, agg := range []bool{false, true} {
+		stage := "filter"
+		if agg {
+			stage = "paneagg"
+		}
+		for _, columnar := range []bool{false, true} {
+			mode := "row"
+			if columnar {
+				mode = "columnar"
+			}
+			nElems := nFilter
+			if agg {
+				nElems = nAgg
+			}
+			b.Run(stage+"/"+mode, func(b *testing.B) {
+				var n int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					g := exec.NewGraph(func(stream.Element) { n++ })
+					src := addSource(b, g, columnar, nElems)
+					// ~10% survivors for the pure filter (scan-dominated);
+					// ~80% feeding the aggregate, so the pane-agg ablation
+					// is dominated by the fold it measures.
+					vLo, vHi := 2.0, 15.0
+					if agg {
+						vLo, vHi = 2.0, 120.0
+					}
+					sel, err := ops.NewSelect("sel", sch, mkPred(b, vLo, vHi), -1, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last := g.AddOp(sel)
+					if err := g.ConnectSource(src, last, 0); err != nil {
+						b.Fatal(err)
+					}
+					if agg {
+						gid := g.AddOp(mkGroupBy(b))
+						if err := g.Connect(last, gid, 0); err != nil {
+							b.Fatal(err)
+						}
+						last = gid
+					}
+					if err := g.ConnectOut(last); err != nil {
+						b.Fatal(err)
+					}
+					opts := exec.RunOptions{BatchSize: bs, Columnar: columnar, ChanCap: 64}
+					if columnar {
+						// Columnar-aware sink: survivors are counted off
+						// the batch, never materialized into rows.
+						opts.ColSink = func(cb *stream.Batch) { n += int64(cb.N()) }
+					}
+					g.RunWith(-1, opts)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(nElems)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+				if n == 0 {
+					b.Fatal("no output")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationJoinInvalidation compares the lazy ring-buffer
 // invalidation against a worst-case small window, isolating expiry
 // cost (DESIGN.md: "hash windows with lazy invalidation").

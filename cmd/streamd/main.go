@@ -77,6 +77,7 @@ type lowConfig struct {
 	timeout   time.Duration // per-frame I/O deadline
 	faultRate float64       // injected drop rate (demo chaos)
 	wireBatch int           // >1: v3 schema-coded batch frames of this size
+	columnar  bool          // filter via selection-vector kernels over column batches
 }
 
 // runLow runs one observation point: raw traffic through the
@@ -125,12 +126,44 @@ func runLow(d *dsms.Decomposition, cfg lowConfig, n int, seed int64) (raw, parti
 		}
 	}
 	src := stream.Limit(stream.NewTrafficStream(seed, 100000, 5000), n)
-	for {
-		e, ok := src.Next()
-		if !ok || sendErr != nil {
-			break
+	if cfg.columnar {
+		// Columnar A/B lane (-columnar, the default): raw tuples
+		// transpose into column batches and the filter runs its
+		// selection-vector kernel; output is identical to the row loop
+		// below on the same input.
+		pool := stream.NewColPool(src.Schema(), 256)
+		cur := pool.Get()
+		flush := func() {
+			if cur.Rows() > 0 {
+				ll.PushBatch(cur, emit)
+				cur = pool.Get()
+			}
 		}
-		ll.Push(e, emit)
+		for {
+			e, ok := src.Next()
+			if !ok || sendErr != nil {
+				break
+			}
+			if e.IsPunct() {
+				flush()
+				ll.Push(e, emit)
+				continue
+			}
+			cur.AppendRow(e.Tuple)
+			if cur.Rows() >= pool.Size() {
+				flush()
+			}
+		}
+		flush()
+		cur.Release()
+	} else {
+		for {
+			e, ok := src.Next()
+			if !ok || sendErr != nil {
+				break
+			}
+			ll.Push(e, emit)
+		}
 	}
 	if sendErr == nil {
 		ll.Flush(emit)
@@ -309,8 +342,10 @@ func runHigh(d *dsms.Decomposition, ln net.Listener, cfg highConfig) {
 	// ServeBatches hands over whole decoded wire batches: one callback
 	// (and one buffer append) per v3 frame instead of per tuple. v2
 	// sessions arrive as single-tuple slices, so behavior is unchanged
-	// for old low-level nodes.
-	err = srv.ServeBatches(cfg.nodes, func(id string, tps []*tuple.Tuple) {
+	// for old low-level nodes. This server does not enable ZeroCopy, so
+	// the tuples are heap-allocated and safe to hold in the ingest
+	// buffers without pinning the (always-nil) decode arena.
+	err = srv.ServeBatches(cfg.nodes, func(id string, tps []*tuple.Tuple, _ *tuple.Arena) {
 		if batch == 1 {
 			push(id, tps)
 			return
@@ -369,6 +404,7 @@ func main() {
 	faultRate := flag.Float64("faultrate", 0, "demo: injected connection-drop rate per write (chaos)")
 	ingestBatch := flag.Int("ingestbatch", 64, "high/demo: partial records buffered per stream before entering the merge plan (1 = per-tuple)")
 	wireBatch := flag.Int("wirebatch", 16, "low/demo: tuples per wire v3 batch frame on the uplink (1 = legacy per-tuple v2 frames)")
+	columnar := flag.Bool("columnar", true, "low/demo: run the low-level filter through the columnar selection-vector kernel (false = row-at-a-time; output is identical)")
 	ckptDir := flag.String("checkpoint-dir", "", "high/demo: durable checkpoint directory (empty = disabled); on restart the merge state is recovered and sessions replay from the committed floor")
 	ckptEvery := flag.Int("checkpoint-interval", 5000, "high/demo: partial records between checkpoints")
 	flag.Parse()
@@ -384,7 +420,7 @@ func main() {
 		fmt.Printf("high-level node on %s, awaiting %d low-level nodes\n", ln.Addr(), *nodes)
 		runHigh(d, ln, highConfig{nodes: *nodes, idle: 2 * *timeout, batch: *ingestBatch, ckptDir: *ckptDir, ckptEvery: *ckptEvery})
 	case "low":
-		cfg := lowConfig{addr: *connect, retry: *retry, timeout: *timeout, wireBatch: *wireBatch}
+		cfg := lowConfig{addr: *connect, retry: *retry, timeout: *timeout, wireBatch: *wireBatch, columnar: *columnar}
 		raw, partials, st, err := runLow(d, cfg, *n, *seed)
 		if err != nil {
 			fatalf("%v", err)
@@ -407,6 +443,7 @@ func main() {
 					timeout:   *timeout,
 					faultRate: *faultRate,
 					wireBatch: *wireBatch,
+					columnar:  *columnar,
 				}
 				raw, partials, st, err := runLow(d, cfg, *n, seed)
 				if err != nil {

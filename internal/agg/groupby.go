@@ -73,6 +73,22 @@ type GroupBy struct {
 	// final rows, for a downstream PaneCombiner.
 	partial     bool
 	partialMark int64
+
+	// Columnar fast path (see colfold.go), planned lazily on the first
+	// ProcessBatch. colKey is the dense-cache key column (-1 = generic
+	// hash path); colRow/colVals are the gather scratch for rows that
+	// must take the tuple path (late arrivals, unplanned shapes).
+	colPlan    int8
+	colKey     int
+	colKeyKind tuple.Kind
+	colAggs    []colAgg
+	colRow     tuple.Tuple
+	colVals    []tuple.Value
+	// Run-fold scratch (colfold.go): resolved group pointers for one
+	// equal-timestamp run, and a dense row-index ramp for batches
+	// without a selection vector.
+	runGroups []*group
+	runRows   []int32
 }
 
 type groupTable struct {
@@ -81,6 +97,12 @@ type groupTable struct {
 	// comparing key values.
 	groups map[uint64][]*group
 	n      int
+	// cache direct-indexes groups by the raw payload of a single small
+	// scalar grouping key (see colfold.go), bypassing the hash chain on
+	// repeat keys. The FNV chain stays authoritative: the cache is filled
+	// from chain lookups and cleared whenever groups leave the table
+	// (removeMatching, recycleGroups), so snapshots never see it.
+	cache []*group
 }
 
 type group struct {
@@ -176,7 +198,12 @@ func (g *GroupBy) Push(_ int, e stream.Element, emit ops.Emit) {
 		}
 		return
 	}
-	t := e.Tuple
+	g.pushRow(e.Tuple, emit)
+}
+
+// pushRow routes one data tuple, shared by the row path (Push) and the
+// columnar path's fallback lane (ProcessBatch, colfold.go).
+func (g *GroupBy) pushRow(t *tuple.Tuple, emit ops.Emit) {
 	if t.Ts > g.watermark {
 		g.advance(t.Ts, emit)
 	}
@@ -234,36 +261,40 @@ func (g *GroupBy) evalKeys(t *tuple.Tuple) ([]tuple.Value, uint64) {
 	return keys, h
 }
 
-func (g *GroupBy) fold(tbl *groupTable, t *tuple.Tuple) {
-	keys, h := g.evalKeys(t)
-	var grp *group
+// locateGroup resolves keys (with their chain hash h) to the table's
+// group, creating one — recycled when possible — on first sight.
+func (g *GroupBy) locateGroup(tbl *groupTable, keys []tuple.Value, h uint64) *group {
 	for _, cand := range tbl.groups[h] {
 		if keysEqual(cand.keys, keys) {
-			grp = cand
-			break
+			return cand
 		}
 	}
-	if grp == nil {
-		if n := len(g.groupFree); n > 0 {
-			// Recycled group (states already reset): overwrite the owned
-			// key slice in place.
-			grp = g.groupFree[n-1]
-			g.groupFree = g.groupFree[:n-1]
-			grp.keys = append(grp.keys[:0], keys...)
-		} else {
-			// Keys live as long as the group: copy them out of the
-			// scratch buffer.
-			kc := make([]tuple.Value, len(keys))
-			copy(kc, keys)
-			states := make([]State, len(g.aggs))
-			for i, a := range g.aggs {
-				states[i] = a.Fn.New()
-			}
-			grp = &group{keys: kc, states: states}
+	var grp *group
+	if n := len(g.groupFree); n > 0 {
+		// Recycled group (states already reset): overwrite the owned
+		// key slice in place.
+		grp = g.groupFree[n-1]
+		g.groupFree = g.groupFree[:n-1]
+		grp.keys = append(grp.keys[:0], keys...)
+	} else {
+		// Keys live as long as the group: copy them out of the
+		// scratch buffer.
+		kc := make([]tuple.Value, len(keys))
+		copy(kc, keys)
+		states := make([]State, len(g.aggs))
+		for i, a := range g.aggs {
+			states[i] = a.Fn.New()
 		}
-		tbl.groups[h] = append(tbl.groups[h], grp)
-		tbl.n++
+		grp = &group{keys: kc, states: states}
 	}
+	tbl.groups[h] = append(tbl.groups[h], grp)
+	tbl.n++
+	return grp
+}
+
+func (g *GroupBy) fold(tbl *groupTable, t *tuple.Tuple) {
+	keys, h := g.evalKeys(t)
+	grp := g.locateGroup(tbl, keys, h)
 	for i, a := range g.aggs {
 		if a.Arg == nil {
 			grp.states[i].Add(tuple.Int(1))
@@ -469,6 +500,13 @@ func (tbl *groupTable) removeMatching(bounds []keyBound) []*group {
 			delete(tbl.groups, h)
 		} else {
 			tbl.groups[h] = keep
+		}
+	}
+	if len(done) > 0 && tbl.cache != nil {
+		// Removed groups may be dense-cached; drop the whole cache
+		// rather than match bounds twice (removal is punctuation-rare).
+		for i := range tbl.cache {
+			tbl.cache[i] = nil
 		}
 	}
 	return done

@@ -77,6 +77,11 @@ func recycleGroups(tbl *groupTable, free *[]*group) {
 		}
 		tbl.groups[h] = chain[:0]
 	}
+	for i := range tbl.cache {
+		// Recycled groups are reused by other tables; a stale dense-cache
+		// pointer here would resurrect them (see colfold.go).
+		tbl.cache[i] = nil
+	}
 	tbl.n = 0
 }
 
@@ -103,13 +108,29 @@ func (g *GroupBy) DisablePanes() *GroupBy {
 // them through panes would wrongly resurrect the original (already
 // emitted) pane data alongside the late data.
 func (g *GroupBy) foldPane(t *tuple.Tuple) {
+	p := g.locatePane(t.Ts)
+	if p == nil {
+		// Every window covering this tuple has closed already.
+		g.foldLateClosed(t)
+		return
+	}
+	g.fold(&p.groupTable, t)
+	if t.Ts < g.watermark {
+		g.foldLateClosed(t)
+	}
+}
+
+// locatePane resolves a timestamp to its open pane, creating (or
+// recycling) the pane and registering its window instances on first
+// touch; nil means every covering window has retired and the tuple must
+// take the late-side-table path. Shared by the row fold (foldPane) and
+// the columnar fold (colfold.go).
+func (g *GroupBy) locatePane(ts int64) *paneTable {
 	p := g.lastPane
-	if p == nil || t.Ts < p.start || t.Ts >= p.end {
-		id := g.paneAsn.Pane(t.Ts)
+	if p == nil || ts < p.start || ts >= p.end {
+		id := g.paneAsn.Pane(ts)
 		if g.paneAsn.Retired(id.Start, g.watermark) {
-			// Every window covering this tuple has closed already.
-			g.foldLateClosed(t)
-			return
+			return nil
 		}
 		p = g.panes[id.Start]
 		if p == nil {
@@ -140,10 +161,7 @@ func (g *GroupBy) foldPane(t *tuple.Tuple) {
 		}
 		g.lastPane = p
 	}
-	g.fold(&p.groupTable, t)
-	if t.Ts < g.watermark {
-		g.foldLateClosed(t)
-	}
+	return p
 }
 
 // foldLateClosed folds a late tuple into re-opened legacy tables for

@@ -53,6 +53,10 @@ func (d *Decomposition) PartialSchema() *tuple.Schema { return d.proto.OutSchema
 type LowLevel struct {
 	filter  *ops.Select
 	partial *agg.PartialAgg
+	// Columnar scratch: survivors of the filter kernel are gathered one
+	// row at a time into colRow for the partial fold.
+	colRow  tuple.Tuple
+	colVals []tuple.Value
 	// Reduction statistics.
 	RawIn       int64
 	PartialsOut int64
@@ -89,6 +93,47 @@ func (l *LowLevel) Push(e stream.Element, emit ops.Emit) {
 		return
 	}
 	l.partial.Push(0, e, count)
+}
+
+// PushBatch processes a column batch of raw tuples: the filter runs its
+// selection-vector kernel straight over the columns (rejected tuples are
+// never materialized as rows), and each survivor is gathered into a
+// scratch row for the partial fold. Consumes the caller's batch
+// reference; partial records leave through emit. Equivalent to calling
+// Push for every row in order.
+func (l *LowLevel) PushBatch(b *stream.Batch, emit ops.Emit) {
+	l.RawIn += int64(b.N())
+	count := func(out stream.Element) {
+		l.PartialsOut++
+		emit(out)
+	}
+	fold := func(fb *stream.Batch) {
+		if cap(l.colVals) < len(fb.Cols) {
+			l.colVals = make([]tuple.Value, len(fb.Cols))
+		}
+		l.colRow.Vals = l.colVals[:len(fb.Cols)]
+		row := func(r int) {
+			fb.GatherRow(r, &l.colRow)
+			// PartialAgg copies keys and aggregate inputs by value, so
+			// the scratch row can be reused immediately.
+			l.partial.Push(0, stream.Tup(&l.colRow), count)
+		}
+		if fb.Sel != nil {
+			for _, r := range fb.Sel {
+				row(int(r))
+			}
+		} else {
+			for r := 0; r < fb.Rows(); r++ {
+				row(r)
+			}
+		}
+		fb.Release()
+	}
+	if l.filter != nil {
+		l.filter.ProcessBatch(0, b, fold, count)
+		return
+	}
+	fold(b)
 }
 
 // Flush drains remaining partial state.

@@ -274,7 +274,7 @@ type SessionServer struct {
 	done      chan struct{}
 	target    int
 	emit      func(streamID string, t *tuple.Tuple)
-	emitBatch func(streamID string, tuples []*tuple.Tuple)
+	emitBatch func(streamID string, tuples []*tuple.Tuple, arena *tuple.Arena)
 	arenas    *tuple.ArenaPool
 }
 
@@ -316,9 +316,13 @@ func (s *SessionServer) Serve(streams int, emit func(streamID string, t *tuple.T
 
 // ServeBatches is Serve with a batch-granular sink: v3 BATCH frames
 // deliver their fresh tuples in one call, v2 DATA frames arrive as
-// one-tuple slices. The slice (and, under SessionConfig.ZeroCopy, the
-// tuples themselves) is only valid for the duration of the call.
-func (s *SessionServer) ServeBatches(streams int, emit func(streamID string, tuples []*tuple.Tuple)) error {
+// one-tuple slices. The slice is only valid for the duration of the
+// call. Under SessionConfig.ZeroCopy the tuples alias the pooled decode
+// arena passed alongside them: a sink that keeps them past the call
+// must Retain the arena (and Release once done) or copy the tuples out
+// before returning; arena is nil when the tuples are independently
+// heap-allocated (v2 frames, ZeroCopy off) and no pinning is needed.
+func (s *SessionServer) ServeBatches(streams int, emit func(streamID string, tuples []*tuple.Tuple, arena *tuple.Arena)) error {
 	s.mu.Lock()
 	s.target = streams
 	s.emitBatch = emit
@@ -682,7 +686,7 @@ func (s *SessionServer) apply(sess *session, seq uint64, payload []byte, scratch
 		s.mu.Unlock()
 		if emitBatch != nil {
 			scratch[0] = t
-			emitBatch(sess.id, scratch[:])
+			emitBatch(sess.id, scratch[:], nil) // heap tuple: no arena to pin
 			scratch[0] = nil
 		} else if emit != nil {
 			emit(sess.id, t)
@@ -722,10 +726,13 @@ func (s *SessionServer) applyBatch(sess *session, firstSeq, count uint64, payloa
 		return false
 	}
 	arena := &tuple.Arena{}
-	zero := s.cfg.ZeroCopy
-	if zero {
-		arena = s.arenas.Get()
-		defer s.arenas.Put(arena)
+	var pooled *tuple.Arena // handed to the sink so it can Retain
+	if s.cfg.ZeroCopy {
+		pooled = s.arenas.Get()
+		arena = pooled
+		// Put drops only the server's reference: a sink that Retained
+		// the arena keeps the decoded tuples alive past this frame.
+		defer s.arenas.Put(pooled)
 	}
 	ts, _, err := tuple.DecodeBatchInto(payload, s.schema, arena)
 	if err != nil || uint64(len(ts)) != count {
@@ -744,7 +751,7 @@ func (s *SessionServer) applyBatch(sess *session, firstSeq, count uint64, payloa
 	emitBatch := s.emitBatch
 	s.mu.Unlock()
 	if emitBatch != nil {
-		emitBatch(sess.id, fresh)
+		emitBatch(sess.id, fresh, pooled)
 	} else if emit != nil {
 		for _, t := range fresh {
 			emit(sess.id, t)

@@ -7,22 +7,40 @@ import (
 	"streamdb/internal/tuple"
 )
 
-// SessionSource adapts a SessionServer into a stream.BulkSource: the
-// batch frames the transport decodes feed exec.RunWith's batched
-// engine directly, with no per-tuple re-batching in between. It runs
-// ServeBatches on a background goroutine and hands whole frame batches
-// across a bounded queue; NextBatch blocks until tuples arrive or every
-// expected stream has completed.
+// SessionSource adapts a SessionServer into a stream.BulkSource (and
+// stream.ColSource): the batch frames the transport decodes feed
+// exec.RunWith's batched engine directly, with no per-tuple re-batching
+// in between. It runs ServeBatches on a background goroutine and hands
+// whole frame batches across a bounded queue; NextBatch/NextColBatch
+// block until tuples arrive or every expected stream has completed.
+//
+// Under SessionConfig.ZeroCopy the queued tuples alias the server's
+// pooled decode arenas. feed Retains each arena and pins it against the
+// absolute position of its last element, so the server's own Put (which
+// now only drops the server's reference) cannot recycle the storage
+// while the batch is queued; the pin is Released once the engine has
+// drained — and copied — past it.
 type SessionSource struct {
 	srv *SessionServer
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []stream.Element
-	head  int
-	bound int
-	done  bool
-	err   error
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []stream.Element
+	head     int
+	bound    int
+	done     bool
+	err      error
+	fed      int64 // elements ever appended (absolute)
+	consumed int64 // elements ever drained (absolute)
+	pins     []arenaPin
+	colPool  *stream.ColPool // lazily built for NextColBatch
+}
+
+// arenaPin holds one retained decode arena until every element decoded
+// into it (absolute positions up to end, exclusive) has been drained.
+type arenaPin struct {
+	arena *tuple.Arena
+	end   int64
 }
 
 // NewSessionSource starts serving `streams` sessions from srv and
@@ -48,15 +66,25 @@ func NewSessionSource(srv *SessionServer, streams, queueBound int) *SessionSourc
 	return s
 }
 
-// feed is the ServeBatches sink: it copies the batch into the queue
-// (the transport's slice and arena are reused after the call returns).
-func (s *SessionSource) feed(_ string, tuples []*tuple.Tuple) {
+// feed is the ServeBatches sink. The transport's slice is reused after
+// the call, so element headers are copied into the queue; the tuples
+// themselves are kept by reference, pinning their decode arena (when
+// pooled) until the engine drains them.
+func (s *SessionSource) feed(_ string, tuples []*tuple.Tuple, arena *tuple.Arena) {
+	if len(tuples) == 0 {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for len(s.queue)-s.head > s.bound {
 		s.cond.Wait()
 	}
 	s.queue = stream.AppendTuples(s.queue, tuples)
+	s.fed += int64(len(tuples))
+	if arena != nil {
+		arena.Retain()
+		s.pins = append(s.pins, arenaPin{arena: arena, end: s.fed})
+	}
 	s.cond.Broadcast()
 }
 
@@ -75,7 +103,10 @@ func (s *SessionSource) Next() (stream.Element, bool) {
 
 // NextBatch implements stream.BulkSource. It blocks until at least one
 // element is available (or every stream completed), then drains up to
-// max already-queued elements without further blocking.
+// max already-queued elements without further blocking. Arena-backed
+// tuples are copied into fresh storage on the way out — the pins they
+// leave behind are released here, after which the arenas may be zeroed
+// and reused at any time.
 func (s *SessionSource) NextBatch(dst []stream.Element, max int) ([]stream.Element, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -86,11 +117,55 @@ func (s *SessionSource) NextBatch(dst []stream.Element, max int) ([]stream.Eleme
 	if n > max {
 		n = max
 	}
-	for _, e := range s.queue[s.head : s.head+n] {
-		dst = append(dst, e)
+	if len(s.pins) > 0 {
+		// Some queued tuples alias pinned arenas; materialize the whole
+		// drained range (one []Tuple + one []Value allocation) so the
+		// engine's copies outlive the pins released below.
+		dst = appendMaterialized(dst, s.queue[s.head:s.head+n])
+	} else {
+		dst = append(dst, s.queue[s.head:s.head+n]...)
 	}
-	// Zero and compact the consumed prefix so the queue neither pins
-	// tuples nor grows without bound.
+	s.drainLocked(n)
+	return dst, len(s.queue) > s.head || !s.done
+}
+
+// NextColBatch implements stream.ColSource: the drained tuples
+// transpose straight into a pooled column batch — value copies, so the
+// arena pins release exactly as on the row path, with no row-tuple
+// materialization at all.
+func (s *SessionSource) NextColBatch(max int) (*stream.Batch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == s.head && !s.done {
+		s.cond.Wait()
+	}
+	n := len(s.queue) - s.head
+	if n > max {
+		n = max
+	}
+	if n == 0 {
+		return nil, false
+	}
+	if s.colPool == nil {
+		size := max
+		if size < 256 {
+			size = 256
+		}
+		s.colPool = stream.NewColPool(s.srv.schema, size)
+	}
+	b := s.colPool.Get()
+	for _, e := range s.queue[s.head : s.head+n] {
+		b.AppendRow(e.Tuple)
+	}
+	s.drainLocked(n)
+	return b, len(s.queue) > s.head || !s.done
+}
+
+// drainLocked advances past n consumed elements: the queue prefix is
+// zeroed (so it pins nothing against the collector) and compacted, and
+// every arena whose last element is now behind the drain point is
+// unpinned.
+func (s *SessionSource) drainLocked(n int) {
 	for i := s.head; i < s.head+n; i++ {
 		s.queue[i] = stream.Element{}
 	}
@@ -99,8 +174,40 @@ func (s *SessionSource) NextBatch(dst []stream.Element, max int) ([]stream.Eleme
 		s.queue = s.queue[:0]
 		s.head = 0
 	}
+	s.consumed += int64(n)
+	k := 0
+	for k < len(s.pins) && s.pins[k].end <= s.consumed {
+		s.pins[k].arena.Release()
+		k++
+	}
+	if k > 0 {
+		m := copy(s.pins, s.pins[k:])
+		for i := m; i < len(s.pins); i++ {
+			s.pins[i] = arenaPin{}
+		}
+		s.pins = s.pins[:m]
+	}
 	s.cond.Broadcast()
-	return dst, len(s.queue) > s.head || !s.done
+}
+
+// appendMaterialized deep-copies the elements' tuples into fresh
+// backing arrays shared across the batch, detaching them from any
+// decode arena. String payloads share their (immutable) bytes.
+func appendMaterialized(dst []stream.Element, src []stream.Element) []stream.Element {
+	nv := 0
+	for _, e := range src {
+		nv += len(e.Tuple.Vals)
+	}
+	tups := make([]tuple.Tuple, len(src))
+	vals := make([]tuple.Value, nv)
+	for i, e := range src {
+		t := e.Tuple
+		n := copy(vals, t.Vals)
+		tups[i] = tuple.Tuple{Ts: t.Ts, Vals: vals[:n:n]}
+		vals = vals[n:]
+		dst = append(dst, stream.Tup(&tups[i]))
+	}
+	return dst
 }
 
 // Err reports the ServeBatches result once every stream has completed

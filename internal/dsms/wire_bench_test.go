@@ -188,7 +188,7 @@ func benchServer(b *testing.B) (addr string, srv *SessionServer, wait func() int
 	var count int64
 	done := make(chan error, 1)
 	go func() {
-		done <- srv.ServeBatches(1, func(_ string, tuples []*tuple.Tuple) {
+		done <- srv.ServeBatches(1, func(_ string, tuples []*tuple.Tuple, _ *tuple.Arena) {
 			count += int64(len(tuples))
 		})
 	}()

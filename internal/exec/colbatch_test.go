@@ -1,0 +1,281 @@
+package exec
+
+// Byte-equivalence matrix for columnar execution: RunOptions.Columnar
+// must reproduce the row engine's output byte-for-byte in every lane —
+// single-node (native BatchOperator and row-adapter), replicated,
+// partial-replicated, fan-out — across batch sizes, with punctuations,
+// late tuples, checkpoint barriers, and restore-from-checkpoint in the
+// stream. Checkpoints must also interoperate across modes: a cut taken
+// by a row run restores into a columnar run and vice versa.
+
+import (
+	"fmt"
+	"testing"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/ops"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+	"streamdb/internal/window"
+)
+
+// TestColumnarMatchesRowPipeline drives Select -> Project (both
+// BatchOperators) and requires exact output equality with the row
+// engine, including replicated lanes where the splitter materializes.
+func TestColumnarMatchesRowPipeline(t *testing.T) {
+	var elems []stream.Element
+	for i := int64(0); i < 1000; i++ {
+		elems = append(elems, el(i, i%40))
+		if i%100 == 99 {
+			elems = append(elems, stream.Punct(stream.ProgressPunct(i, 0, tuple.Time(i))))
+		}
+	}
+	base := pipelineOutputs(t, elems, RunOptions{BatchSize: 1})
+	if len(base) == 0 {
+		t.Fatal("baseline produced nothing")
+	}
+	for _, cfg := range []RunOptions{
+		{BatchSize: 1, Columnar: true},
+		{BatchSize: 7, Columnar: true},
+		{BatchSize: 64, Columnar: true},
+		{BatchSize: 256, Columnar: true},
+		{BatchSize: 64, Parallelism: 4, ForceParallelism: true, Columnar: true},
+		{BatchSize: 1, Parallelism: 2, ForceParallelism: true, Columnar: true},
+	} {
+		got := pipelineOutputs(t, elems, cfg)
+		sameSeq(t, fmt.Sprintf("%+v", cfg), got, base)
+	}
+}
+
+// TestColumnarPaneEquivalence: the GroupBy columnar fold (dense key
+// cache, typed update loops) against the serial engine, on the pane
+// path and — via DisablePanes — the row-fallback lane, with stragglers
+// and punctuations in the stream. Parallel cases exercise column
+// batches routed through the partial-replication splitter.
+func TestColumnarPaneEquivalence(t *testing.T) {
+	elems := paneStream(4000, false)
+	for _, panes := range []bool{true, false} {
+		label := map[bool]string{true: "panes", false: "legacy"}[panes]
+		_, base := runPaneGraph(t, paneGroupBy(t, window.Time(80, 20), []string{"sum", "count", "avg"}, panes), elems, nil)
+		if len(base) == 0 {
+			t.Fatal("baseline produced nothing")
+		}
+		cfgs := []RunOptions{
+			{BatchSize: 1, Columnar: true},
+			{BatchSize: 7, Columnar: true},
+			{BatchSize: 64, Columnar: true},
+			{BatchSize: 256, Columnar: true},
+		}
+		if panes {
+			cfgs = append(cfgs,
+				RunOptions{BatchSize: 64, Parallelism: 4, ForceParallelism: true, Columnar: true},
+				RunOptions{BatchSize: 32, Parallelism: 3, ForceParallelism: true, Columnar: true})
+		}
+		for _, cfg := range cfgs {
+			gb := paneGroupBy(t, window.Time(80, 20), []string{"sum", "count", "avg"}, panes)
+			_, got := runPaneGraph(t, gb, elems, &cfg)
+			sameSeq(t, fmt.Sprintf("%s %+v", label, cfg), got, base)
+		}
+	}
+}
+
+// TestColumnarDeepStragglers: tuples far behind the watermark must take
+// the late-side-table path out of the columnar fold exactly as they do
+// out of the row fold (single-copy lanes only; see paneStream).
+func TestColumnarDeepStragglers(t *testing.T) {
+	elems := paneStream(2000, true)
+	_, base := runPaneGraph(t, paneGroupBy(t, window.Time(80, 20), []string{"sum", "count"}, true), elems, nil)
+	for _, bs := range []int{1, 7, 64} {
+		cfg := RunOptions{BatchSize: bs, Columnar: true}
+		_, got := runPaneGraph(t, paneGroupBy(t, window.Time(80, 20), []string{"sum", "count"}, true), elems, &cfg)
+		sameSeq(t, fmt.Sprintf("columnar bs=%d", bs), got, base)
+	}
+}
+
+// TestColumnarFanout shards the sink per writer and fans one Select
+// output to two Projects, so shared column batches (Retain + WithSel
+// views) feed both branches; each branch must match its row-engine
+// sequence exactly.
+func TestColumnarFanout(t *testing.T) {
+	var elems []stream.Element
+	for i := int64(0); i < 800; i++ {
+		elems = append(elems, el(i, i%40))
+		if i%90 == 89 {
+			elems = append(elems, stream.Punct(stream.ProgressPunct(i, 0, tuple.Time(i))))
+		}
+	}
+	run := func(columnar bool) map[NodeID][]string {
+		got := map[NodeID][]string{}
+		g := NewGraph(nil)
+		src := g.AddSource(stream.FromElements(sch, elems...))
+		sel := g.AddOp(mustSelect(t, 10))
+		mk := func(name string, factor int64) NodeID {
+			outSch := tuple.NewSchema(name,
+				tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+				tuple.Field{Name: "v2", Kind: tuple.KindInt},
+			)
+			e, err := expr.NewBin(expr.OpMul, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(factor)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			proj, err := ops.NewProject(name, outSch, []expr.Expr{expr.MustColumn(sch, "time"), e})
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := g.AddOp(proj)
+			if err := g.Connect(sel, id, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.ConnectOut(id); err != nil {
+				t.Fatal(err)
+			}
+			return id
+		}
+		mk("p2", 2)
+		mk("p3", 3)
+		if err := g.ConnectSource(src, sel, 0); err != nil {
+			t.Fatal(err)
+		}
+		g.RunWith(-1, RunOptions{
+			BatchSize: 32,
+			Columnar:  columnar,
+			SinkPerWriter: func(id NodeID) Sink {
+				return func(e stream.Element) { got[id] = append(got[id], e.String()) }
+			},
+		})
+		return got
+	}
+	base := run(false)
+	got := run(true)
+	if len(base) != 2 || len(got) != 2 {
+		t.Fatalf("expected 2 sharded sinks, got %d and %d", len(base), len(got))
+	}
+	for id, want := range base {
+		sameSeq(t, fmt.Sprintf("branch %d", id), got[id], want)
+	}
+}
+
+// TestColumnarCheckpointResume is the crash drill with column batches in
+// flight, plus cross-mode restores: the cut is mode-agnostic.
+func TestColumnarCheckpointResume(t *testing.T) {
+	elems := paneStream(3000, false)
+	var base []string
+	g := ckptPaneGraph(t, elems, func(e stream.Element) { base = append(base, fmtElem(e)) })
+	g.Run(-1)
+	if len(base) == 0 {
+		t.Fatal("baseline produced nothing")
+	}
+
+	col := RunOptions{BatchSize: 32, Columnar: true}
+	row := RunOptions{BatchSize: 32}
+	par := RunOptions{BatchSize: 32, Parallelism: 3, ForceParallelism: true, Columnar: true}
+	for _, tc := range []struct {
+		label         string
+		crash, resume RunOptions
+	}{
+		{"columnar/columnar", col, col},
+		{"columnar/row", col, row},
+		{"row/columnar", row, col},
+		{"parallel columnar", par, par},
+	} {
+		store := ckptStore(t)
+		first, commits := runWithCkpt(t, elems, 1100, tc.crash, store, 149, nil)
+		if commits == 0 {
+			t.Fatalf("%s: crash run committed no epochs", tc.label)
+		}
+		c, err := store.Latest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == nil {
+			t.Fatalf("%s: no checkpoint recovered", tc.label)
+		}
+		if int(c.OutSeq) > len(first) {
+			t.Fatalf("%s: OutSeq %d beyond delivered %d", tc.label, c.OutSeq, len(first))
+		}
+		second, _ := runWithCkpt(t, elems, -1, tc.resume, store, 149, c)
+		got := append(append([]string{}, first[:c.OutSeq]...), second...)
+		sameSeq(t, tc.label+" stitched", got, base)
+	}
+}
+
+// colBatchSource replays pre-built column batches through the
+// stream.ColSource contract, standing in for a columnar transport.
+type colBatchSource struct {
+	schema  *tuple.Schema
+	batches []*stream.Batch
+	rows    []stream.Element // row view for the restore fast-forward
+	at      int
+}
+
+func (c *colBatchSource) Schema() *tuple.Schema { return c.schema }
+func (c *colBatchSource) Next() (stream.Element, bool) {
+	if c.at >= len(c.rows) {
+		return stream.Element{}, false
+	}
+	e := c.rows[c.at]
+	c.at++
+	return e, true
+}
+func (c *colBatchSource) NextColBatch(max int) (*stream.Batch, bool) {
+	if len(c.batches) == 0 {
+		return nil, false
+	}
+	b := c.batches[0]
+	c.batches = c.batches[1:]
+	return b, len(c.batches) > 0
+}
+
+// TestColSourceFeedsGraph: batches delivered by a ColSource flow into
+// the graph identically to the same rows from a bulk source.
+func TestColSourceFeedsGraph(t *testing.T) {
+	var elems []stream.Element
+	for i := int64(0); i < 500; i++ {
+		elems = append(elems, el(i, i%40))
+	}
+	base := pipelineOutputs(t, elems, RunOptions{BatchSize: 1})
+
+	pool := stream.NewColPool(sch, 64)
+	var batches []*stream.Batch
+	cur := pool.Get()
+	for _, e := range elems {
+		cur.AppendRow(e.Tuple)
+		if cur.Rows() == 64 {
+			batches = append(batches, cur)
+			cur = pool.Get()
+		}
+	}
+	if cur.Rows() > 0 {
+		batches = append(batches, cur)
+	} else {
+		cur.Release()
+	}
+	var got []string
+	g := NewGraph(func(e stream.Element) { got = append(got, e.String()) })
+	src := g.AddSource(&colBatchSource{schema: sch, batches: batches, rows: elems})
+	sel := g.AddOp(mustSelect(t, 10))
+	outSch := tuple.NewSchema("P",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "v2", Kind: tuple.KindInt},
+	)
+	dbl, err := expr.NewBin(expr.OpMul, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := ops.NewProject("proj", outSch, []expr.Expr{expr.MustColumn(sch, "time"), dbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := g.AddOp(proj)
+	if err := g.ConnectSource(src, sel, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(sel, pr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ConnectOut(pr); err != nil {
+		t.Fatal(err)
+	}
+	g.RunWith(-1, RunOptions{BatchSize: 64, Columnar: true})
+	sameSeq(t, "colsource", got, base)
+}

@@ -95,11 +95,40 @@ type RunOptions struct {
 	// element flows, and fast-forwards each source past the elements
 	// the checkpointed run consumed.
 	Restore *ckpt.Checkpoint
+	// Columnar moves data tuples through the graph as column batches
+	// (see columnar.go): sources transpose (or decode, for
+	// stream.ColSource) into stream.Batch vectors, ops.BatchOperator
+	// nodes consume them natively, and row⇄column adapters bridge every
+	// other boundary. Punctuations and barriers always stay on the row
+	// path. Results are element-for-element identical to the row engine;
+	// checkpoints interoperate both ways.
+	Columnar bool
+	// ColSink, when set with Columnar, receives column batches that
+	// reach the graph output without leaving the batch lane, instead of
+	// having them materialized row-by-row into the Sink. Batches are
+	// delivered serially from the merged output consumer, interleaved in
+	// stream order with row elements (punctuations, aggregate records,
+	// ...), which still go to the Sink. The batch is valid only for the
+	// duration of the call: the engine releases it afterwards, so a sink
+	// that keeps it must Retain. Ignored when SinkPerWriter is set (the
+	// sharded sinks are row-shaped).
+	ColSink func(*stream.Batch)
 }
 
+// sinkMsg is one unit of merged graph output: a row batch destined for
+// the Sink, or a column batch destined for ColSink (the reference
+// travels with the message; the consumer releases it).
+type sinkMsg struct {
+	elems []stream.Element
+	col   *stream.Batch
+}
+
+// batchMsg is one edge transfer: either a row batch (elems) or a column
+// batch (col), never both. Column batches carry data tuples only.
 type batchMsg struct {
 	port  int
 	elems []stream.Element
+	col   *stream.Batch
 }
 
 // concRun carries the shared state of one RunWith invocation.
@@ -111,9 +140,11 @@ type concRun struct {
 	pending []int64 // queued elements per node, for MaxQueue sampling
 	maxQ    []int64
 	maxMem  []int64
+	memTick []int64 // per-node message count, for strided MemSize polls
 	writers []int
 	closeMu sync.Mutex
-	sinkCh  chan []stream.Element // nil when SinkPerWriter is set
+	sinkCh  chan sinkMsg // nil when SinkPerWriter is set
+	colSink func(*stream.Batch)
 
 	// Checkpointing state: ctl coordinates barrier epochs (nil when
 	// disabled), inw is the initial writer count per node (writers[]
@@ -165,6 +196,7 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 		pending: make([]int64, len(g.nodes)),
 		maxQ:    make([]int64, len(g.nodes)),
 		maxMem:  make([]int64, len(g.nodes)),
+		memTick: make([]int64, len(g.nodes)),
 		writers: make([]int, len(g.nodes)),
 	}
 	for i := range r.chans {
@@ -223,13 +255,21 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 
 	var sinkWG sync.WaitGroup
 	if opts.SinkPerWriter == nil {
-		r.sinkCh = make(chan []stream.Element, 2*len(g.nodes)+4)
+		r.sinkCh = make(chan sinkMsg, 2*len(g.nodes)+4)
+		r.colSink = opts.ColSink
 		sinkWG.Add(1)
 		go func() {
 			defer sinkWG.Done()
 			var delivered int64
 			sinkBars := 0
-			for b := range r.sinkCh {
+			for m := range r.sinkCh {
+				if m.col != nil {
+					delivered += int64(m.col.N())
+					r.colSink(m.col)
+					m.col.Release()
+					continue
+				}
+				b := m.elems
 				for _, e := range b {
 					if e.IsBarrier() {
 						// Engine-internal: count the cut, never deliver.
@@ -332,7 +372,22 @@ func (r *concRun) closeDownstream(edges []edge) {
 	}
 }
 
+// memStride bounds how often an operator's MemSize is polled on the
+// data path. MemSize can be O(live state) — GroupBy walks every open
+// pane and group — so polling it per message puts state-proportional
+// work on the hot loop; the high-water mark only needs sampling.
+const memStride = 64
+
 func (r *concRun) sampleMem(id NodeID, op ops.Operator) {
+	if atomic.AddInt64(&r.memTick[id], 1)%memStride != 1 {
+		return
+	}
+	atomicMax(&r.maxMem[id], int64(op.MemSize()))
+}
+
+// sampleMemNow polls unconditionally — used off the hot path (flush),
+// where state is at its post-run peak and must be recorded.
+func (r *concRun) sampleMemNow(id NodeID, op ops.Operator) {
 	atomicMax(&r.maxMem[id], int64(op.MemSize()))
 }
 
@@ -394,7 +449,7 @@ func (w *edgeWriter) flush() {
 				}
 				w.r.pool.Put(out)
 			} else {
-				w.r.sinkCh <- out
+				w.r.sinkCh <- sinkMsg{elems: out}
 			}
 		} else {
 			w.r.sendTo(ed.to, ed.port, out)
@@ -415,8 +470,33 @@ func (r *concRun) runNode(id NodeID, n *node, wg *sync.WaitGroup) {
 		n.stats.Out++
 		w.add(out)
 	}
+	emitB := func(b *stream.Batch) {
+		n.stats.Out += int64(b.N())
+		w.addBatch(b)
+	}
+	bop, isBatchOp := n.op.(ops.BatchOperator)
 	crashed := n.detached
 	bars := 0
+	pushCol := func(m batchMsg) (ok bool) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				r.g.recordPanic(id, n, rec)
+				ok = false
+			}
+		}()
+		if isBatchOp {
+			bop.ProcessBatch(m.port, m.col, emitB, emit)
+			return true
+		}
+		// Row-only operator: materialize and replay element-wise.
+		rows := m.col.AppendRows(r.pool.Get())
+		m.col.Release()
+		for _, e := range rows {
+			n.op.Push(m.port, e, emit)
+		}
+		r.pool.Put(rows)
+		return true
+	}
 	pushBatch := func(m batchMsg) (ok bool) {
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -444,6 +524,20 @@ func (r *concRun) runNode(id NodeID, n *node, wg *sync.WaitGroup) {
 		return true
 	}
 	for m := range r.chans[id] {
+		if m.col != nil {
+			// Column batches carry data only: no barrier bookkeeping.
+			atomic.AddInt64(&r.pending[id], -int64(m.col.N()))
+			if crashed {
+				m.col.Release()
+				continue
+			}
+			n.stats.In += int64(m.col.N())
+			if !pushCol(m) {
+				crashed = true
+			}
+			r.sampleMem(id, n.op)
+			continue
+		}
 		atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
 		if crashed {
 			// Discard data, but keep the barrier protocol alive: a node
@@ -480,7 +574,7 @@ func (r *concRun) runNode(id NodeID, n *node, wg *sync.WaitGroup) {
 			}()
 			n.op.Flush(emit)
 		}()
-		r.sampleMem(id, n.op)
+		r.sampleMemNow(id, n.op)
 	}
 	w.flush()
 	r.closeDownstream(n.out)
@@ -581,7 +675,14 @@ func (r *concRun) runReplicated(id NodeID, n *node, rep ops.Replicable, wg *sync
 		k := 0
 		bars := 0
 		for m := range r.chans[id] {
-			atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
+			if m.col != nil {
+				// Mixed row/column output would break the sequence merge;
+				// this lane stays row-only.
+				atomic.AddInt64(&r.pending[id], -int64(m.col.N()))
+				m = r.materialize(m)
+			} else {
+				atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
+			}
 			var bar stream.Element
 			if l := len(m.elems); l > 0 && m.elems[l-1].IsBarrier() {
 				bar = m.elems[l-1]
@@ -691,9 +792,13 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 			defer workWG.Done()
 			op := pa.ClonePartial()
 			r.restoreOp(repName(id, k), op)
+			bop, isBatchOp := op.(ops.BatchOperator)
 			process := func(t batchMsg) (out []stream.Element) {
 				out = r.pool.Get()
 				if crashed.Load() {
+					if t.col != nil {
+						t.col.Release()
+					}
 					return out // node detached: discard input
 				}
 				defer func() {
@@ -702,6 +807,27 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 						crashed.Store(true)
 					}
 				}()
+				emit := func(o stream.Element) {
+					out = append(out, o)
+				}
+				if t.col != nil {
+					atomic.AddInt64(&n.stats.In, int64(t.col.N()))
+					if isBatchOp {
+						bop.ProcessBatch(t.port, t.col, func(ob *stream.Batch) {
+							// Replica output feeds the row-shaped merge.
+							out = ob.AppendRows(out)
+							ob.Release()
+						}, emit)
+						return out
+					}
+					rows := t.col.AppendRows(r.pool.Get())
+					t.col.Release()
+					for _, e := range rows {
+						op.Push(t.port, e, emit)
+					}
+					r.pool.Put(rows)
+					return out
+				}
 				atomic.AddInt64(&n.stats.In, int64(len(t.elems)))
 				for _, e := range t.elems {
 					if e.IsBarrier() {
@@ -714,15 +840,15 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 						out = append(out, e)
 						continue
 					}
-					op.Push(t.port, e, func(o stream.Element) {
-						out = append(out, o)
-					})
+					op.Push(t.port, e, emit)
 				}
 				return out
 			}
 			for t := range workCh[k] {
 				out := process(t)
-				r.pool.Put(t.elems)
+				if t.col == nil {
+					r.pool.Put(t.elems)
+				}
 				if len(out) > 0 {
 					partCh <- partMsg{worker: k, elems: out}
 				} else {
@@ -760,6 +886,19 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 		k := 0
 		bars := 0
 		for m := range r.chans[id] {
+			if m.col != nil {
+				// Data-only column batch: round-robin it whole. Replica
+				// output (partial records, progress punctuations) is
+				// row-shaped either way, so the merger is unaffected.
+				atomic.AddInt64(&r.pending[id], -int64(m.col.N()))
+				if m.col.N() == 0 {
+					m.col.Release()
+					continue
+				}
+				workCh[k] <- m
+				k = (k + 1) % p
+				continue
+			}
 			atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
 			var bar stream.Element
 			if l := len(m.elems); l > 0 && m.elems[l-1].IsBarrier() {
@@ -926,7 +1065,7 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 			comb.Flush(emit)
 		}()
 	}
-	r.sampleMem(id, comb)
+	r.sampleMemNow(id, comb)
 	w.flush()
 	r.closeDownstream(n.out)
 }
@@ -1078,7 +1217,7 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 					op.Flush(func(o stream.Element) { fout = append(fout, o) })
 				}()
 			}
-			r.sampleMem(id, op)
+			r.sampleMemNow(id, op)
 			mergeCh <- partReply{worker: k, flush: true, outs: fout}
 		}(k)
 	}
@@ -1206,7 +1345,13 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 		}
 		kbars := 0
 		for m := range r.chans[id] {
-			atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
+			if m.col != nil {
+				// Joins keep the row path: materialize into the port merge.
+				atomic.AddInt64(&r.pending[id], -int64(m.col.N()))
+				m = r.materialize(m)
+			} else {
+				atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
+			}
 			for _, e := range m.elems {
 				if e.IsBarrier() {
 					kbars++
@@ -1370,6 +1515,26 @@ func (r *concRun) runSource(idx int, s *sourceNode, maxElements int64, wg *sync.
 	}
 	w := r.newEdgeWriter(s.out, -1) // sources cannot write the graph output
 	bulk, isBulk := s.src.(stream.BulkSource)
+	var cw *colWriter
+	var colSrc stream.ColSource
+	if r.opts.Columnar {
+		if sch := s.src.Schema(); sch != nil {
+			// Transpose row sources into column batches on the same
+			// boundaries the row engine would have flushed at (full
+			// batch, punctuation), so batch shapes match across modes.
+			cw = &colWriter{w: w, pool: stream.NewColPool(sch, r.opts.BatchSize)}
+			if cs, ok := s.src.(stream.ColSource); ok {
+				colSrc = cs // already columnar: skip the transpose
+			}
+		}
+	}
+	push := func(e stream.Element) {
+		if cw != nil {
+			cw.push(e)
+			return
+		}
+		w.add(e)
+	}
 	var sent, sinceBarrier int64
 	atBarrier := func() {
 		sinceBarrier = 0
@@ -1378,6 +1543,9 @@ func (r *concRun) runSource(idx int, s *sourceNode, maxElements int64, wg *sync.
 			return
 		}
 		r.ctl.sourceMeta(epoch, srcKey(idx), uint64(s.count))
+		if cw != nil {
+			cw.flushCol() // the barrier must not overtake open columns
+		}
 		w.add(stream.Punct(stream.BarrierPunct(epoch))) // punctuation: flushes the batch
 		r.ctl.wait(epoch)
 	}
@@ -1385,7 +1553,33 @@ func (r *concRun) runSource(idx int, s *sourceNode, maxElements int64, wg *sync.
 		if r.g.halted.Load() {
 			break // fail-fast: stop feeding, let the pipeline drain
 		}
-		if isBulk {
+		if colSrc != nil {
+			max := r.opts.BatchSize
+			if maxElements >= 0 && int64(max) > maxElements-sent {
+				max = int(maxElements - sent)
+			}
+			if r.ctl != nil && int64(max) > r.ctl.every-sinceBarrier {
+				max = int(r.ctl.every - sinceBarrier)
+			}
+			cb, more := colSrc.NextColBatch(max)
+			k := 0
+			if cb != nil {
+				k = cb.N()
+				w.addBatch(cb)
+			}
+			sent += int64(k)
+			s.count += int64(k)
+			sinceBarrier += int64(k)
+			if r.ctl != nil && sinceBarrier >= r.ctl.every {
+				atBarrier()
+			}
+			if !more {
+				break
+			}
+			if k < max {
+				w.flush() // momentarily idle: don't hold the edge batch
+			}
+		} else if isBulk {
 			max := r.opts.BatchSize
 			if maxElements >= 0 && int64(max) > maxElements-sent {
 				max = int(maxElements - sent)
@@ -1396,7 +1590,7 @@ func (r *concRun) runSource(idx int, s *sourceNode, maxElements int64, wg *sync.
 			tmp := r.pool.Get()
 			tmp, more := bulk.NextBatch(tmp, max)
 			for _, e := range tmp {
-				w.add(e)
+				push(e)
 			}
 			sent += int64(len(tmp))
 			s.count += int64(len(tmp))
@@ -1413,6 +1607,9 @@ func (r *concRun) runSource(idx int, s *sourceNode, maxElements int64, wg *sync.
 				// push-fed queue) means it is momentarily idle: push
 				// the partial edge batch downstream now instead of
 				// holding elements until the batch fills.
+				if cw != nil {
+					cw.flushCol()
+				}
 				w.flush()
 			}
 		} else {
@@ -1423,7 +1620,7 @@ func (r *concRun) runSource(idx int, s *sourceNode, maxElements int64, wg *sync.
 			sent++
 			s.count++
 			sinceBarrier++
-			w.add(e)
+			push(e)
 			if r.ctl != nil && sinceBarrier >= r.ctl.every {
 				atBarrier()
 			}
@@ -1433,6 +1630,9 @@ func (r *concRun) runSource(idx int, s *sourceNode, maxElements int64, wg *sync.
 		// This source is done: a pending epoch can no longer receive its
 		// barrier, and future epochs would wait on it forever.
 		r.ctl.shutdown(fmt.Errorf("exec: source %d exhausted mid-epoch", idx))
+	}
+	if cw != nil {
+		cw.flushCol()
 	}
 	w.flush()
 	r.closeDownstream(s.out)

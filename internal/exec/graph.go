@@ -351,7 +351,10 @@ func (g *Graph) dispatch(w work, queue *[]work) {
 		n.stats.MaxQueue = l
 	}
 	g.safePush(w.to, n, w.port, w.e, queue)
-	if !n.detached {
+	// MemSize can be O(live state), so the high-water mark is sampled on
+	// a stride, not per element; Run takes an exact final sample after
+	// every operator's Flush.
+	if !n.detached && n.stats.In%64 == 1 {
 		if m := n.op.MemSize(); m > n.stats.MaxMemory {
 			n.stats.MaxMemory = m
 		}
@@ -387,6 +390,11 @@ func (g *Graph) flush(queue *[]work) {
 		}
 		g.safeFlush(NodeID(id), n, queue)
 		g.drain(queue)
+		// Exact post-flush sample: state peaks here, and the strided
+		// dispatch-time sampling may have skipped the true maximum.
+		if m := n.op.MemSize(); m > n.stats.MaxMemory {
+			n.stats.MaxMemory = m
+		}
 	}
 }
 

@@ -102,25 +102,77 @@ func CompilePredicate(e Expr) Pred {
 type exactPred func(*tuple.Tuple) (val, ok bool)
 
 // compileExact is CompilePredicate for contexts (NOT) that must
-// distinguish "false" from "unknown, use the fallback".
+// distinguish "false" from "unknown, use the fallback". It covers
+// comparisons in both operand orders plus AND/OR/NOT compositions of
+// them, with exact three-valued semantics: a conjunction with one
+// definite false operand is definitely false (and dually for OR) even
+// when the other operand cannot be evaluated exactly, which is
+// precisely the dominance rule of SQL's three-valued logic.
 func compileExact(e Expr) exactPred {
-	b, ok := e.(*Bin)
-	if !ok || !b.Op.Comparison() {
-		return nil
+	switch x := e.(type) {
+	case *Bin:
+		switch {
+		case x.Op == OpAnd || x.Op == OpOr:
+			l, r := compileExact(x.L), compileExact(x.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			if x.Op == OpAnd {
+				return func(t *tuple.Tuple) (bool, bool) {
+					lv, lok := l(t)
+					if lok && !lv {
+						return false, true // false AND anything = false
+					}
+					rv, rok := r(t)
+					if rok && !rv {
+						return false, true // anything AND false = false
+					}
+					if lok && rok {
+						return true, true
+					}
+					return false, false
+				}
+			}
+			return func(t *tuple.Tuple) (bool, bool) {
+				lv, lok := l(t)
+				if lok && lv {
+					return true, true // true OR anything = true
+				}
+				rv, rok := r(t)
+				if rok && rv {
+					return true, true // anything OR true = true
+				}
+				if lok && rok {
+					return false, true
+				}
+				return false, false
+			}
+		case x.Op.Comparison():
+			if c, ok := x.L.(*Col); ok {
+				if lit, ok := x.R.(*Lit); ok {
+					return compileRawCmp(c, x.Op, lit.Val)
+				}
+			}
+			if lit, ok := x.L.(*Lit); ok {
+				if c, ok := x.R.(*Col); ok {
+					return compileRawCmp(c, flipCmp(x.Op), lit.Val)
+				}
+			}
+		}
+	case *Not:
+		inner := compileExact(x.E)
+		if inner == nil {
+			return nil
+		}
+		return func(t *tuple.Tuple) (bool, bool) {
+			v, ok := inner(t)
+			if !ok {
+				return false, false
+			}
+			return !v, true
+		}
 	}
-	c, ok := b.L.(*Col)
-	if !ok {
-		return nil
-	}
-	lit, ok := b.R.(*Lit)
-	if !ok {
-		return nil
-	}
-	cmp := compileRawCmp(c, b.Op, lit.Val)
-	if cmp == nil {
-		return nil
-	}
-	return cmp
+	return nil
 }
 
 // flipCmp mirrors a comparison so `lit op col` becomes `col op' lit`.
@@ -184,45 +236,58 @@ func compileCmp(whole Expr, c *Col, op BinOp, lit tuple.Value) Pred {
 //     sorts below every non-INT-negative value (TIME and UINT raw bits
 //     are never treated as negative).
 func compileRawCmp(c *Col, op BinOp, lit tuple.Value) exactPred {
+	sign := compileSign(c.Typ, lit)
+	if sign == nil {
+		return nil
+	}
 	idx, colKind, mask := c.Index, c.Typ, cmpMask(op)
-	// wrap guards the closure: fall back (ok=false) when the column is
-	// out of range or the runtime kind deviates from the schema.
-	wrap := func(sign func(v tuple.Value) uint8) exactPred {
-		return func(t *tuple.Tuple) (bool, bool) {
-			if idx >= len(t.Vals) {
-				return false, false
-			}
-			v := t.Vals[idx]
-			if v.Kind != colKind {
-				return false, false
-			}
-			return mask>>sign(v)&1 != 0, true
+	return func(t *tuple.Tuple) (bool, bool) {
+		if idx >= len(t.Vals) {
+			return false, false
 		}
+		v := t.Vals[idx]
+		if v.Kind != colKind {
+			return false, false
+		}
+		return mask>>sign(v)&1 != 0, true
 	}
-	signedSign := func(x, l int64) uint8 {
-		if x < l {
-			return 0
-		} else if x > l {
-			return 2
-		}
-		return 1
+}
+
+func signedSign(x, l int64) uint8 {
+	if x < l {
+		return 0
+	} else if x > l {
+		return 2
 	}
-	unsignedSign := func(x, l uint64) uint8 {
-		if x < l {
-			return 0
-		} else if x > l {
-			return 2
-		}
-		return 1
+	return 1
+}
+
+func unsignedSign(x, l uint64) uint8 {
+	if x < l {
+		return 0
+	} else if x > l {
+		return 2
 	}
-	floatSign := func(x, l float64) uint8 {
-		// NaN falls through to 1 ("equal"), matching compareNumeric.
-		if x < l {
-			return 0
-		} else if x > l {
-			return 2
-		}
-		return 1
+	return 1
+}
+
+func floatSign(x, l float64) uint8 {
+	// NaN falls through to 1 ("equal"), matching compareNumeric.
+	if x < l {
+		return 0
+	} else if x > l {
+		return 2
+	}
+	return 1
+}
+
+// compileSign builds the kind-specialized three-way comparison of a
+// column value of kind colKind (already verified by the caller) against
+// lit, returning the sign+1 in {0,1,2}; nil when the kind pair has no
+// fast lane. Shared by the scalar fast lane and the column kernels.
+func compileSign(colKind tuple.Kind, lit tuple.Value) func(v tuple.Value) uint8 {
+	wrap := func(sign func(v tuple.Value) uint8) func(v tuple.Value) uint8 {
+		return sign
 	}
 	switch colKind {
 	case tuple.KindInt:

@@ -1,0 +1,232 @@
+package expr
+
+// Column kernels must be exactly EvalBool over every row: the compiled
+// kernel is checked against the generic evaluator on the same
+// adversarial grid the scalar fast lane uses (NULLs, runtime kind
+// deviations, boundary values), plus randomized batches, under both a
+// nil selection (dense scan) and sparse input selections — including
+// the in-place dst-aliases-sel refinement the Select operator performs.
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamdb/internal/tuple"
+)
+
+// kernelBatch transposes tuples into the column layout kernels consume.
+func kernelBatch(tuples []*tuple.Tuple) (cols [][]tuple.Value, ts []int64) {
+	arity := fastSch.Arity()
+	cols = make([][]tuple.Value, arity)
+	for _, tp := range tuples {
+		ts = append(ts, tp.Ts)
+		for c := 0; c < arity; c++ {
+			cols[c] = append(cols[c], tp.Vals[c])
+		}
+	}
+	return cols, ts
+}
+
+// wantSel is the reference result: EvalBool row by row over the input
+// selection (or all rows when sel is nil).
+func wantSel(e Expr, tuples []*tuple.Tuple, sel []int32) []int32 {
+	out := []int32{}
+	if sel == nil {
+		for r := range tuples {
+			if EvalBool(e, tuples[r]) {
+				out = append(out, int32(r))
+			}
+		}
+		return out
+	}
+	for _, r := range sel {
+		if EvalBool(e, tuples[r]) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func selEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// kernelTuples extends the scalar lane's adversarial grid with
+// randomized rows so batches are long enough to exercise the loops.
+func kernelTuples() []*tuple.Tuple {
+	out := fastTuples()
+	rng := rand.New(rand.NewSource(42))
+	val := func(k int) tuple.Value {
+		switch k {
+		case 0:
+			return tuple.Null
+		case 1:
+			return tuple.Int(rng.Int63n(20) - 10)
+		case 2:
+			return tuple.Uint(uint64(rng.Int63n(20)))
+		case 3:
+			return tuple.Float(float64(rng.Int63n(40))/4 - 5)
+		default:
+			return tuple.Time(rng.Int63n(50))
+		}
+	}
+	for i := 0; i < 200; i++ {
+		ts := rng.Int63n(100)
+		vals := []tuple.Value{tuple.Time(ts)}
+		// Mostly schema-conforming values, occasionally a deviating kind
+		// or NULL, so the typed loops and their fallback branch both run.
+		mix := func(conform int) tuple.Value {
+			if rng.Intn(10) == 0 {
+				return val(rng.Intn(5))
+			}
+			return val(conform)
+		}
+		vals = append(vals, mix(1), mix(2), mix(3))
+		out = append(out, tuple.New(ts, vals...))
+	}
+	return out
+}
+
+func TestKernelMatchesEvalBool(t *testing.T) {
+	tuples := kernelTuples()
+	cols, ts := kernelBatch(tuples)
+	var sparse []int32 // every third row, a sparse input selection
+	for r := 0; r < len(tuples); r += 3 {
+		sparse = append(sparse, int32(r))
+	}
+	checked := 0
+	for _, cn := range []string{"time", "i", "u", "f"} {
+		for _, lit := range fastLits() {
+			for _, op := range cmpOps {
+				for _, flip := range []bool{false, true} {
+					var l, r Expr
+					if flip {
+						l, r = Constant(lit), MustColumn(fastSch, cn)
+					} else {
+						l, r = MustColumn(fastSch, cn), Constant(lit)
+					}
+					e, err := NewBin(op, l, r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					kern := CompileKernel(e, fastSch.Arity())
+					for _, sel := range [][]int32{nil, sparse} {
+						got := kern(cols, ts, sel, nil)
+						want := wantSel(e, tuples, sel)
+						if !selEqual(got, want) {
+							t.Fatalf("%s %v lit=%s flip=%v sel=%v: kernel %v, EvalBool %v",
+								cn, op, lit, flip, sel != nil, got, want)
+						}
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no kernels checked")
+	}
+	t.Logf("verified %d kernels against EvalBool", checked)
+}
+
+func TestKernelBooleanComposition(t *testing.T) {
+	cmp := func(cn string, op BinOp, lit tuple.Value) Expr {
+		e, err := NewBin(op, MustColumn(fastSch, cn), Constant(lit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	parts := []Expr{
+		cmp("i", OpGt, tuple.Int(0)),
+		cmp("u", OpLe, tuple.Uint(7)),
+		cmp("f", OpNe, tuple.Float(7)),
+		cmp("time", OpGe, tuple.Time(3)),
+	}
+	var exprs []Expr
+	for i := range parts {
+		for j := range parts {
+			and, err := NewBin(OpAnd, parts[i], parts[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			or, err := NewBin(OpOr, parts[i], parts[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			nested, err := NewBin(OpOr, and, or)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exprs = append(exprs, and, or, nested, &Not{E: parts[i]})
+		}
+	}
+	tuples := kernelTuples()
+	cols, ts := kernelBatch(tuples)
+	var sparse []int32
+	for r := 1; r < len(tuples); r += 2 {
+		sparse = append(sparse, int32(r))
+	}
+	for ei, e := range exprs {
+		kern := CompileKernel(e, fastSch.Arity())
+		for _, sel := range [][]int32{nil, sparse} {
+			got := kern(cols, ts, sel, nil)
+			want := wantSel(e, tuples, sel)
+			if !selEqual(got, want) {
+				t.Fatalf("expr %d sel=%v: kernel %v, EvalBool %v", ei, sel != nil, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelInPlaceRefinement: the Select operator refines an exclusive
+// batch's selection in place — dst aliases sel. AND's sequential
+// refinement and OR's merge-union must both tolerate that aliasing.
+func TestKernelInPlaceRefinement(t *testing.T) {
+	cmp := func(cn string, op BinOp, lit tuple.Value) Expr {
+		e, err := NewBin(op, MustColumn(fastSch, cn), Constant(lit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	and, err := NewBin(OpAnd, cmp("i", OpGt, tuple.Int(-5)), cmp("u", OpLt, tuple.Uint(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := NewBin(OpOr, cmp("i", OpGt, tuple.Int(5)), cmp("f", OpLt, tuple.Float(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := NewBin(OpAnd, and, or)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := kernelTuples()
+	cols, ts := kernelBatch(tuples)
+	for name, e := range map[string]Expr{"and": and, "or": or, "nested": both} {
+		kern := CompileKernel(e, fastSch.Arity())
+		sel := make([]int32, 0, len(tuples))
+		for r := 0; r < len(tuples); r++ {
+			sel = append(sel, int32(r))
+		}
+		want := wantSel(e, tuples, sel)
+		got := kern(cols, ts, sel, sel[:0]) // dst aliases sel
+		if !selEqual(got, want) {
+			t.Fatalf("%s in-place: kernel %v, EvalBool %v", name, got, want)
+		}
+		// Refine the survivors again: idempotent for a pure predicate.
+		again := kern(cols, ts, got, got[:0])
+		if !selEqual(again, want) {
+			t.Fatalf("%s re-refine: kernel %v, want %v", name, again, want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package ops
+
+import (
+	"streamdb/internal/expr"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// Columnar operator surface. Operators that can consume whole column
+// batches implement BatchOperator next to the row-at-a-time Operator
+// interface; the concurrent engine feeds them stream.Batch values and
+// row⇄column adapters bridge everything else. Punctuations (and
+// checkpoint barriers) never travel in batches — they stay on the row
+// path through Push — so batch implementations handle data rows only.
+
+// EmitBatch receives columnar operator output. The callee takes
+// ownership of the caller's reference.
+type EmitBatch func(*stream.Batch)
+
+// BatchOperator is implemented by operators with a columnar fast path.
+// ProcessBatch consumes the caller's reference on b (retaining first if
+// it emits b onward and also needs it afterwards). Row output — final
+// aggregation records, progress punctuations — goes through emit;
+// columnar output through emitB. The engine preserves the relative
+// order of emitB and emit calls.
+type BatchOperator interface {
+	Operator
+	ProcessBatch(port int, b *stream.Batch, emitB EmitBatch, emit Emit)
+}
+
+// ProcessBatch implements BatchOperator: the kernel refines the
+// selection vector in place when this operator holds the sole
+// reference, and through an aliased view when the batch is shared.
+func (s *Select) ProcessBatch(_ int, b *stream.Batch, emitB EmitBatch, _ Emit) {
+	n := b.N()
+	s.in += int64(n)
+	if s.kern == nil {
+		s.kern = expr.CompileKernel(s.pred, s.sch.Arity())
+	}
+	excl := b.Exclusive()
+	var dst []int32
+	if excl {
+		if b.Sel != nil {
+			dst = b.Sel[:0]
+		} else {
+			dst = b.SelBuf()
+		}
+	} else {
+		dst = make([]int32, 0, n)
+	}
+	res := s.kern(b.Cols, b.Ts, b.Sel, dst)
+	s.out += int64(len(res))
+	if len(res) == 0 {
+		b.Release()
+		return
+	}
+	if excl {
+		b.Sel = res
+		emitB(b)
+		return
+	}
+	v := b.WithSel(res)
+	b.Release()
+	emitB(v)
+}
+
+// ProcessBatch implements BatchOperator: bare-column projections copy
+// the selected rows of the chosen columns into a pooled dense output
+// batch (column-at-a-time, no per-row dispatch); computed expressions
+// gather each row once and evaluate. The output batch is dense (no
+// selection vector), so downstream kernels scan it contiguously.
+func (p *Project) ProcessBatch(_ int, b *stream.Batch, emitB EmitBatch, _ Emit) {
+	rows := b.N()
+	if rows == 0 {
+		b.Release()
+		return
+	}
+	if p.pool == nil {
+		size := b.Rows()
+		if size < 64 {
+			size = 64
+		}
+		p.pool = stream.NewColPool(p.sch, size)
+	}
+	out := p.pool.Get()
+	if p.colIdx != nil {
+		if b.Sel == nil {
+			out.Ts = append(out.Ts, b.Ts...)
+			for i, ci := range p.colIdx {
+				out.Cols[i] = append(out.Cols[i], b.Cols[ci]...)
+			}
+		} else {
+			for _, r := range b.Sel {
+				out.Ts = append(out.Ts, b.Ts[r])
+			}
+			for i, ci := range p.colIdx {
+				src := b.Cols[ci]
+				dst := out.Cols[i]
+				for _, r := range b.Sel {
+					dst = append(dst, src[r])
+				}
+				out.Cols[i] = dst
+			}
+		}
+	} else {
+		if cap(p.scratch) < len(b.Cols) {
+			p.scratch = make([]tuple.Value, len(b.Cols))
+		}
+		p.srow.Vals = p.scratch[:len(b.Cols)]
+		row := func(r int) {
+			b.GatherRow(r, &p.srow)
+			out.Ts = append(out.Ts, p.srow.Ts)
+			for i, ex := range p.exprs {
+				out.Cols[i] = append(out.Cols[i], ex.Eval(&p.srow))
+			}
+		}
+		if b.Sel == nil {
+			for r := 0; r < b.Rows(); r++ {
+				row(r)
+			}
+		} else {
+			for _, r := range b.Sel {
+				row(int(r))
+			}
+		}
+	}
+	b.Release()
+	emitB(out)
+}

@@ -108,7 +108,8 @@ type PartialAggregable interface {
 type Select struct {
 	name string
 	pred expr.Expr
-	fast expr.Pred // compiled fast lane; nil when the shape has no specialization
+	fast expr.Pred         // compiled fast lane; nil when the shape has no specialization
+	kern expr.ColumnKernel // columnar kernel, compiled lazily (stateful: one per instance)
 	sch  *tuple.Schema
 	in   int64
 	out  int64
@@ -180,10 +181,13 @@ func (s *Select) UnitCost() float64 { return s.cost }
 func (s *Select) Predicate() expr.Expr { return s.pred }
 
 // Clone implements Replicable: selection is stateless apart from its
-// observation counters, which start fresh on the clone.
+// observation counters, which start fresh on the clone. The column
+// kernel carries private scratch buffers, so the clone compiles its
+// own on first use.
 func (s *Select) Clone() Operator {
 	c := *s
 	c.in, c.out = 0, 0
+	c.kern = nil
 	return &c
 }
 
@@ -194,6 +198,12 @@ type Project struct {
 	name  string
 	exprs []expr.Expr
 	sch   *tuple.Schema
+
+	// Columnar path state (see batch.go).
+	colIdx  []int // bare-column projection indexes; nil when any expr computes
+	pool    *stream.ColPool
+	srow    tuple.Tuple
+	scratch []tuple.Value
 }
 
 // NewProject builds a projection. Output field i is exprs[i] named
@@ -208,7 +218,7 @@ func NewProject(name string, out *tuple.Schema, exprs []expr.Expr) (*Project, er
 				out.Fields[i].Name, out.Fields[i].Kind, e.Kind())
 		}
 	}
-	return &Project{name: name, exprs: exprs, sch: out}, nil
+	return &Project{name: name, exprs: exprs, sch: out, colIdx: expr.CompileCols(exprs)}, nil
 }
 
 // Name implements Operator.
@@ -248,8 +258,12 @@ func (p *Project) Selectivity() float64 { return 1 }
 func (p *Project) UnitCost() float64 { return float64(len(p.exprs)) }
 
 // Clone implements Replicable: projection holds no per-tuple state.
+// The columnar scratch row is per-instance; the clone grows its own.
 func (p *Project) Clone() Operator {
 	c := *p
+	c.pool = nil
+	c.srow = tuple.Tuple{}
+	c.scratch = nil
 	return &c
 }
 

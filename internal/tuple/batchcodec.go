@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Batch encoding (wire format v3). Where the self-describing per-tuple
@@ -95,10 +96,20 @@ func AppendEncodeBatch(buf []byte, s *Schema, tuples []*Tuple) ([]byte, error) {
 // steady-state decode allocation-free for string-free schemas (STRING
 // payloads still copy out of the wire buffer — aliasing it would be
 // unsafe once the transport reuses it).
+//
+// Pooled arenas are reference counted: ArenaPool.Get hands out an arena
+// holding one reference, and a consumer that keeps the decoded tuples
+// beyond the producer's emit call (e.g. a source queue feeding the
+// engine) Retains it. Only the last Release zeroes the storage and
+// returns the arena to its pool, so a retained batch is never
+// invalidated by early reuse.
 type Arena struct {
 	vals   []Value
 	tuples []Tuple
 	ptrs   []*Tuple
+
+	refs atomic.Int32
+	home *ArenaPool
 }
 
 // Reset forgets everything decoded so far, keeping the backing arrays
@@ -128,9 +139,26 @@ func (a *Arena) release() {
 	a.Reset()
 }
 
-// ArenaPool is a freelist of decode arenas for callers that can bound
-// tuple lifetime (the tuples of a batch are consumed before the arena
-// is returned).
+// Retain adds a reference, pinning every tuple decoded into the arena
+// until the matching Release.
+func (a *Arena) Retain() { a.refs.Add(1) }
+
+// Release drops one reference. The last release zeroes the storage and,
+// for a pooled arena, makes it available for reuse; every tuple decoded
+// into it becomes invalid at that point.
+func (a *Arena) Release() {
+	if a.refs.Add(-1) != 0 {
+		return
+	}
+	a.release()
+	if a.home != nil {
+		a.home.pool.Put(a)
+	}
+}
+
+// ArenaPool is a freelist of decode arenas. Get hands out an arena with
+// one reference held by the caller; Put drops that reference, and the
+// arena is only reused once every Retain has been matched by a Release.
 type ArenaPool struct {
 	pool sync.Pool
 }
@@ -142,15 +170,18 @@ func NewArenaPool() *ArenaPool {
 	return p
 }
 
-// Get returns an empty arena.
-func (p *ArenaPool) Get() *Arena { return p.pool.Get().(*Arena) }
-
-// Put recycles an arena. Every tuple previously decoded into it becomes
-// invalid.
-func (p *ArenaPool) Put(a *Arena) {
-	a.release()
-	p.pool.Put(a)
+// Get returns an empty arena holding one reference for the caller.
+func (p *ArenaPool) Get() *Arena {
+	a := p.pool.Get().(*Arena)
+	a.home = p
+	a.refs.Store(1)
+	return a
 }
+
+// Put drops the caller's reference (Release). Unless a consumer still
+// holds a Retain, every tuple previously decoded into the arena becomes
+// invalid.
+func (p *ArenaPool) Put(a *Arena) { a.Release() }
 
 // growValues extends s by extra elements, reallocating only when the
 // capacity is exhausted.
