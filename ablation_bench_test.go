@@ -505,6 +505,110 @@ func BenchmarkAblationPartitionedJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationColumnarJoin reruns the partitioned-join workload
+// with hash windows on both sides and toggles RunOptions.Columnar:
+// same hash-split router and seq-restoring merge, but the columnar
+// lane hashes the key column once per batch at the splitter, routes
+// row-index spans that share the retained batch, bulk-inserts run
+// segments into the window, and probes whole selection vectors with
+// column-wise gather into arena batches (DESIGN.md §13). Sources
+// replay pre-transposed batches and the sink is columnar-aware, so
+// the row/columnar delta is engine + operator cost, not
+// transposition. The win is per-tuple overhead elimination — hashing,
+// routing, window insert, probe dispatch — so it compounds with
+// partition width instead of competing with it.
+func BenchmarkAblationColumnarJoin(b *testing.B) {
+	const nPerPort = 8192
+	const bs = 64
+	a := tuple.NewSchema("A",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "k", Kind: tuple.KindInt})
+	bb := tuple.NewSchema("B",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "k", Kind: tuple.KindInt})
+	mkElems := func(keys, salt int64) ([]stream.Element, []stream.Element) {
+		lr := [2][]stream.Element{}
+		for port := int64(0); port < 2; port++ {
+			elems := make([]stream.Element, nPerPort)
+			for i := range elems {
+				ts := 2*int64(i) + port
+				k := (int64(i)*2654435761 + salt + port) % keys
+				elems[i] = stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(k)))
+			}
+			lr[port] = elems
+		}
+		return lr[0], lr[1]
+	}
+	for _, keys := range []int64{4, 1000, 1000000} {
+		// Same cardinality grid and window sizing as the row-lane
+		// partitioned-join ablation so the two benches stay comparable.
+		rng := int64(4096)
+		if keys == 4 {
+			rng = 1024
+		}
+		left, right := mkElems(keys, keys)
+		lb := transposeElems(b, a, left, bs)
+		rb := transposeElems(b, bb, right, bs)
+		for _, p := range []int{1, 2, 4} {
+			for _, columnar := range []bool{false, true} {
+				mode := "row"
+				if columnar {
+					mode = "columnar"
+				}
+				b.Run(fmt.Sprintf("keys%d/P%d/%s", keys, p, mode), func(b *testing.B) {
+					var n int64
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						g := exec.NewGraph(func(stream.Element) { n++ })
+						var sl, sr int
+						if columnar {
+							sl = g.AddSource(&colReplaySource{sch: a, batches: lb})
+							sr = g.AddSource(&colReplaySource{sch: bb, batches: rb})
+						} else {
+							sl = g.AddSource(stream.FromElements(a, left...))
+							sr = g.AddSource(stream.FromElements(bb, right...))
+						}
+						j, err := ops.NewWindowJoin("j", a, bb,
+							ops.JoinConfig{Window: window.Time(rng, rng), Method: ops.JoinHash, Key: []int{1}},
+							ops.JoinConfig{Window: window.Time(rng, rng), Method: ops.JoinHash, Key: []int{1}},
+							nil)
+						if err != nil {
+							b.Fatal(err)
+						}
+						id := g.AddOp(j)
+						if err := g.ConnectSource(sl, id, 0); err != nil {
+							b.Fatal(err)
+						}
+						if err := g.ConnectSource(sr, id, 1); err != nil {
+							b.Fatal(err)
+						}
+						if err := g.ConnectOut(id); err != nil {
+							b.Fatal(err)
+						}
+						opts := exec.RunOptions{
+							BatchSize: bs, Parallelism: p,
+							ForceParallelism: true, PartitionJoins: true,
+							Columnar: columnar,
+						}
+						if columnar {
+							// Columnar-aware sink: join output batches are
+							// counted off the batch, never materialized.
+							opts.ColSink = func(cb *stream.Batch) { n += int64(cb.N()) }
+						}
+						g.RunWith(-1, opts)
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(2*nPerPort)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+					if keys < 1000000 && n == 0 {
+						b.Fatal("no join output")
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkAblationPanes compares pane-based sliding-window aggregation
 // against the legacy per-window path on a range = 64·slide sliding
 // sum/count/avg (DESIGN.md §8). Legacy folds every tuple into all 64

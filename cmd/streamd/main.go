@@ -404,7 +404,7 @@ func main() {
 	faultRate := flag.Float64("faultrate", 0, "demo: injected connection-drop rate per write (chaos)")
 	ingestBatch := flag.Int("ingestbatch", 64, "high/demo: partial records buffered per stream before entering the merge plan (1 = per-tuple)")
 	wireBatch := flag.Int("wirebatch", 16, "low/demo: tuples per wire v3 batch frame on the uplink (1 = legacy per-tuple v2 frames)")
-	columnar := flag.Bool("columnar", true, "low/demo: run the low-level filter through the columnar selection-vector kernel (false = row-at-a-time; output is identical)")
+	columnar := flag.Bool("columnar", true, "low/demo: run the low-level filter through the columnar selection-vector kernel (false = row-at-a-time; output is identical). The same lane drives exec-engine window joins: single INT/UINT/TIME equijoin keys vectorize, anything else (generic or multi-column keys, rows-windows, MaxTuples) falls back to the row path — observable per node via NodeStats.Batches/RowFallbacks")
 	ckptDir := flag.String("checkpoint-dir", "", "high/demo: durable checkpoint directory (empty = disabled); on restart the merge state is recovered and sessions replay from the committed floor")
 	ckptEvery := flag.Int("checkpoint-interval", 5000, "high/demo: partial records between checkpoints")
 	flag.Parse()
@@ -432,6 +432,11 @@ func main() {
 			fatalf("%v", err)
 		}
 		defer ln.Close()
+		if *columnar {
+			fmt.Println("columnar lane on: low-level filters run selection-vector kernels;" +
+				" engine window joins vectorize on single INT/UINT/TIME equijoin keys and" +
+				" fall back to the row path otherwise (see NodeStats.Batches/RowFallbacks)")
+		}
 		var wg sync.WaitGroup
 		for i := 0; i < *nodes; i++ {
 			wg.Add(1)

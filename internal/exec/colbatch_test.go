@@ -10,6 +10,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"streamdb/internal/expr"
@@ -105,6 +106,9 @@ func TestColumnarFanout(t *testing.T) {
 		}
 	}
 	run := func(columnar bool) map[NodeID][]string {
+		// Per-writer sinks run on their writers' goroutines concurrently;
+		// the shared result map needs the lock even for distinct keys.
+		var mu sync.Mutex
 		got := map[NodeID][]string{}
 		g := NewGraph(nil)
 		src := g.AddSource(stream.FromElements(sch, elems...))
@@ -140,7 +144,11 @@ func TestColumnarFanout(t *testing.T) {
 			BatchSize: 32,
 			Columnar:  columnar,
 			SinkPerWriter: func(id NodeID) Sink {
-				return func(e stream.Element) { got[id] = append(got[id], e.String()) }
+				return func(e stream.Element) {
+					mu.Lock()
+					got[id] = append(got[id], e.String())
+					mu.Unlock()
+				}
 			},
 		})
 		return got

@@ -292,16 +292,28 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 
 	needSections := 0
 	var wg sync.WaitGroup
+	fbStart := make([]int64, len(g.nodes))
 	for id := range g.nodes {
 		n := g.nodes[id]
 		wg.Add(1)
 		n.stats.Replicas = 1
 		n.stats.Routed = nil
+		n.stats.Batches = 0
+		n.stats.RowFallbacks = 0
+		if cf, ok := n.op.(colFallbacker); ok {
+			fbStart[id] = cf.ColFallbacks()
+		}
 		if (opts.Parallelism > 1 || opts.PartitionJoins) && n.op.NumInputs() == 2 && !n.detached {
 			if kp, ok := n.op.(ops.KeyPartitionable); ok && kp.CanPartition() {
 				n.stats.Replicas = opts.Parallelism
 				n.stats.Routed = make([]int64, opts.Parallelism)
 				needSections += opts.Parallelism + 1 // P replicas + splitter queues
+				if opts.Columnar {
+					if cp, ok := n.op.(ops.ColPartitionable); ok {
+						go r.runKeyPartitionedCol(NodeID(id), n, cp, &wg)
+						continue
+					}
+				}
 				go r.runKeyPartitioned(NodeID(id), n, kp, &wg)
 				continue
 			}
@@ -336,7 +348,10 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 		close(r.sinkCh)
 		sinkWG.Wait()
 	}
-	// Fold the sampled per-run maxima into the persistent node stats.
+	// Fold the sampled per-run maxima into the persistent node stats,
+	// plus each operator's own columnar-plan fallbacks (partition
+	// replicas fold theirs into the parent at Flush, so the delta over
+	// this run covers every lane).
 	for i, n := range g.nodes {
 		if q := int(r.maxQ[i]); q > n.stats.MaxQueue {
 			n.stats.MaxQueue = q
@@ -344,8 +359,17 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 		if m := int(r.maxMem[i]); m > n.stats.MaxMemory {
 			n.stats.MaxMemory = m
 		}
+		if cf, ok := n.op.(colFallbacker); ok {
+			n.stats.RowFallbacks += cf.ColFallbacks() - fbStart[i]
+		}
 	}
 }
+
+// colFallbacker is implemented by operators that count how many
+// columnar batches/spans their own plan rerouted through the row path
+// (ops.WindowJoin); the engine surfaces the per-run delta in
+// NodeStats.RowFallbacks.
+type colFallbacker interface{ ColFallbacks() int64 }
 
 // sendTo delivers one batch to a node's input channel, sampling the
 // queue depth (in elements) for MaxQueue.
@@ -484,11 +508,13 @@ func (r *concRun) runNode(id NodeID, n *node, wg *sync.WaitGroup) {
 				ok = false
 			}
 		}()
+		n.stats.Batches++
 		if isBatchOp {
 			bop.ProcessBatch(m.port, m.col, emitB, emit)
 			return true
 		}
 		// Row-only operator: materialize and replay element-wise.
+		n.stats.RowFallbacks++
 		rows := m.col.AppendRows(r.pool.Get())
 		m.col.Release()
 		for _, e := range rows {
@@ -679,6 +705,8 @@ func (r *concRun) runReplicated(id NodeID, n *node, rep ops.Replicable, wg *sync
 				// Mixed row/column output would break the sequence merge;
 				// this lane stays row-only.
 				atomic.AddInt64(&r.pending[id], -int64(m.col.N()))
+				n.stats.Batches++
+				n.stats.RowFallbacks++
 				m = r.materialize(m)
 			} else {
 				atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
@@ -812,6 +840,7 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 				}
 				if t.col != nil {
 					atomic.AddInt64(&n.stats.In, int64(t.col.N()))
+					atomic.AddInt64(&n.stats.Batches, 1)
 					if isBatchOp {
 						bop.ProcessBatch(t.port, t.col, func(ob *stream.Batch) {
 							// Replica output feeds the row-shaped merge.
@@ -820,6 +849,7 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 						}, emit)
 						return out
 					}
+					atomic.AddInt64(&n.stats.RowFallbacks, 1)
 					rows := t.col.AppendRows(r.pool.Get())
 					t.col.Release()
 					for _, e := range rows {
@@ -1346,8 +1376,11 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 		kbars := 0
 		for m := range r.chans[id] {
 			if m.col != nil {
-				// Joins keep the row path: materialize into the port merge.
+				// Row-mode lane (no ColPartitionable, or Columnar off):
+				// materialize into the port merge.
 				atomic.AddInt64(&r.pending[id], -int64(m.col.N()))
+				n.stats.Batches++
+				n.stats.RowFallbacks++
 				m = r.materialize(m)
 			} else {
 				atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))

@@ -54,6 +54,16 @@ type NodeStats struct {
 	// Panics counts operator panics converted into node failures by the
 	// execution layer's isolation boundary.
 	Panics int64
+	// Batches counts column batches delivered to this node on the last
+	// concurrent columnar run (per-replica deliveries summed).
+	Batches int64
+	// RowFallbacks counts columnar units that collapsed back to
+	// row-at-a-time processing at this node: batches materialized by the
+	// engine for row-only lanes, plus batches/spans an operator's own
+	// columnar plan rerouted through its row path (e.g. a join outside
+	// the fast envelope). Zero on an all-columnar run — the observability
+	// hook for "did my pipeline actually stay columnar?".
+	RowFallbacks int64
 }
 
 // FailurePolicy selects what the engine does when an operator panics.

@@ -247,8 +247,9 @@ func growSel(dst []int32, n int) []int32 {
 }
 
 // intRunFn / floatRunFn pick the comparison loop for one kernel: the
-// four inequality masks get loops whose pass bit is a single direct
-// comparison; Eq/Ne keep the generic mask-indexed sign loop.
+// six comparison masks get loops whose pass bit is a direct comparison
+// (or two, for float Eq/Ne); anything else keeps the generic
+// mask-indexed sign loop.
 type intRunFn func(col []tuple.Value, sel []int32, mask uint8, lit int64, dst []int32) ([]int32, bool)
 
 type floatRunFn func(col []tuple.Value, sel []int32, mask uint8, lit float64, dst []int32) ([]int32, bool)
@@ -257,10 +258,14 @@ func intRunFor(mask uint8) intRunFn {
 	switch mask {
 	case 0b001: // Lt
 		return intLtRun
+	case 0b010: // Eq
+		return intEqRun
 	case 0b011: // Le
 		return intLeRun
 	case 0b100: // Gt
 		return intGtRun
+	case 0b101: // Ne
+		return intNeRun
 	case 0b110: // Ge
 		return intGeRun
 	}
@@ -271,10 +276,14 @@ func floatRunFor(mask uint8) floatRunFn {
 	switch mask {
 	case 0b001: // Lt
 		return floatLtRun
+	case 0b010: // Eq
+		return floatEqRun
 	case 0b011: // Le
 		return floatLeRun
 	case 0b100: // Gt
 		return floatGtRun
+	case 0b101: // Ne
+		return floatNeRun
 	case 0b110: // Ge
 		return floatGeRun
 	}
@@ -419,6 +428,48 @@ func intGeRun(col []tuple.Value, sel []int32, _ uint8, lit int64, dst []int32) (
 	return dst[:k], bad == 0
 }
 
+func intEqRun(col []tuple.Value, sel []int32, _ uint8, lit int64, dst []int32) ([]int32, bool) {
+	k := len(dst)
+	var bad uint8
+	if sel == nil {
+		dst = growSel(dst, len(col))[:k+len(col)]
+		for r := 0; r < len(col); r++ {
+			bad |= b2u(col[r].Kind != tuple.KindInt)
+			dst[k] = int32(r)
+			k += int(b2u(int64(col[r].Raw()) == lit))
+		}
+		return dst[:k], bad == 0
+	}
+	dst = growSel(dst, len(sel))[:k+len(sel)]
+	for _, ri := range sel {
+		bad |= b2u(col[ri].Kind != tuple.KindInt)
+		dst[k] = ri
+		k += int(b2u(int64(col[ri].Raw()) == lit))
+	}
+	return dst[:k], bad == 0
+}
+
+func intNeRun(col []tuple.Value, sel []int32, _ uint8, lit int64, dst []int32) ([]int32, bool) {
+	k := len(dst)
+	var bad uint8
+	if sel == nil {
+		dst = growSel(dst, len(col))[:k+len(col)]
+		for r := 0; r < len(col); r++ {
+			bad |= b2u(col[r].Kind != tuple.KindInt)
+			dst[k] = int32(r)
+			k += int(b2u(int64(col[r].Raw()) != lit))
+		}
+		return dst[:k], bad == 0
+	}
+	dst = growSel(dst, len(sel))[:k+len(sel)]
+	for _, ri := range sel {
+		bad |= b2u(col[ri].Kind != tuple.KindInt)
+		dst[k] = ri
+		k += int(b2u(int64(col[ri].Raw()) != lit))
+	}
+	return dst[:k], bad == 0
+}
+
 func uintCmpKernel(idx int, colKind tuple.Kind, mask uint8, lit uint64, fb rowFallback) ColumnKernel {
 	var scratch []int32
 	return func(cols [][]tuple.Value, ts []int64, sel []int32, dst []int32) []int32 {
@@ -531,7 +582,10 @@ func floatCmpRun(col []tuple.Value, sel []int32, mask uint8, lit float64, dst []
 // The specialized float loops keep the NaN-counts-as-equal convention
 // by construction: Lt/Gt use the direct comparison (false for NaN, and
 // "equal" does not pass), Le/Ge use the negated opposite comparison
-// (true for NaN, and "equal" passes).
+// (true for NaN, and "equal" passes), Eq/Ne combine both direct
+// comparisons so a NaN cell — below nothing, above nothing — passes Eq
+// and fails Ne, exactly like compareNumeric's sign 1. IEEE `NaN == x`
+// is false, so a plain == here would silently diverge from EvalBool.
 
 func floatLtRun(col []tuple.Value, sel []int32, _ uint8, lit float64, dst []int32) ([]int32, bool) {
 	k := len(dst)
@@ -613,6 +667,52 @@ func floatGeRun(col []tuple.Value, sel []int32, _ uint8, lit float64, dst []int3
 		bad |= b2u(col[ri].Kind != tuple.KindFloat)
 		dst[k] = ri
 		k += 1 - int(b2u(col[ri].Fl() < lit))
+	}
+	return dst[:k], bad == 0
+}
+
+func floatEqRun(col []tuple.Value, sel []int32, _ uint8, lit float64, dst []int32) ([]int32, bool) {
+	k := len(dst)
+	var bad uint8
+	if sel == nil {
+		dst = growSel(dst, len(col))[:k+len(col)]
+		for r := 0; r < len(col); r++ {
+			bad |= b2u(col[r].Kind != tuple.KindFloat)
+			x := col[r].Fl()
+			dst[k] = int32(r)
+			k += 1 - int(b2u(x < lit)|b2u(x > lit))
+		}
+		return dst[:k], bad == 0
+	}
+	dst = growSel(dst, len(sel))[:k+len(sel)]
+	for _, ri := range sel {
+		bad |= b2u(col[ri].Kind != tuple.KindFloat)
+		x := col[ri].Fl()
+		dst[k] = ri
+		k += 1 - int(b2u(x < lit)|b2u(x > lit))
+	}
+	return dst[:k], bad == 0
+}
+
+func floatNeRun(col []tuple.Value, sel []int32, _ uint8, lit float64, dst []int32) ([]int32, bool) {
+	k := len(dst)
+	var bad uint8
+	if sel == nil {
+		dst = growSel(dst, len(col))[:k+len(col)]
+		for r := 0; r < len(col); r++ {
+			bad |= b2u(col[r].Kind != tuple.KindFloat)
+			x := col[r].Fl()
+			dst[k] = int32(r)
+			k += int(b2u(x < lit) | b2u(x > lit))
+		}
+		return dst[:k], bad == 0
+	}
+	dst = growSel(dst, len(sel))[:k+len(sel)]
+	for _, ri := range sel {
+		bad |= b2u(col[ri].Kind != tuple.KindFloat)
+		x := col[ri].Fl()
+		dst[k] = ri
+		k += int(b2u(x < lit) | b2u(x > lit))
 	}
 	return dst[:k], bad == 0
 }

@@ -1,0 +1,109 @@
+package expr
+
+// PR 8 adds direct-comparison specializations for the EQ/NE masks on
+// INT and FLOAT (equality is the dominant residual shape in joins).
+// The broad kernel grid already covers Eq/Ne; these tests pin the
+// subtle cell — NaN — explicitly, because a naive `x == lit` loop
+// would silently diverge from EvalBool: the generic comparator orders
+// by `<`/`>` and reports "equal" (0) when neither holds, so a NaN cell
+// PASSES Eq and FAILS Ne against every literal, the opposite of IEEE.
+
+import (
+	"math"
+	"testing"
+
+	"streamdb/internal/tuple"
+)
+
+func eqNeKernel(t *testing.T, op BinOp, lit tuple.Value) ColumnKernel {
+	t.Helper()
+	e, err := NewBin(op, MustColumn(fastSch, "f"), Constant(lit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := CompileKernel(e, fastSch.Arity())
+	if k == nil {
+		t.Fatalf("no kernel compiled for f %v %s", op, lit)
+	}
+	return k
+}
+
+func TestKernelEqNeNaNExact(t *testing.T) {
+	mk := func(vals ...tuple.Value) *tuple.Tuple { return tuple.New(0, vals...) }
+	rows := []*tuple.Tuple{
+		mk(tuple.Time(0), tuple.Int(1), tuple.Uint(1), tuple.Float(7)),
+		mk(tuple.Time(1), tuple.Int(2), tuple.Uint(2), tuple.Float(math.NaN())),
+		mk(tuple.Time(2), tuple.Int(3), tuple.Uint(3), tuple.Float(-7)),
+		mk(tuple.Time(3), tuple.Int(4), tuple.Uint(4), tuple.Float(math.Inf(1))),
+		mk(tuple.Time(4), tuple.Int(5), tuple.Uint(5), tuple.Float(0)),
+	}
+	cols, ts := kernelBatch(rows)
+	for _, lit := range []tuple.Value{
+		tuple.Float(7), tuple.Float(math.NaN()), tuple.Float(math.Inf(1)), tuple.Float(0),
+		tuple.Int(7), // mixed-kind literal still specializes via AsFloat
+	} {
+		for _, op := range []BinOp{OpEq, OpNe} {
+			kern := eqNeKernel(t, op, lit)
+			for _, sel := range [][]int32{nil, {0, 1, 3}} {
+				got := kern(cols, ts, sel, nil)
+				want := wantSel(mustBin(t, op, MustColumn(fastSch, "f"), Constant(lit)), rows, sel)
+				if !selEqual(got, want) {
+					t.Errorf("f %v %s sel=%v: kernel %v, EvalBool %v", op, lit, sel != nil, got, want)
+				}
+			}
+		}
+	}
+	// Pin the convention itself, not just agreement: the NaN cell (row 1)
+	// survives Eq and is dropped by Ne for any non-NaN literal.
+	eq := eqNeKernel(t, OpEq, tuple.Float(7))
+	ne := eqNeKernel(t, OpNe, tuple.Float(7))
+	if got := eq(cols, ts, nil, nil); !selEqual(got, []int32{0, 1}) {
+		t.Errorf("Eq 7 over NaN batch = %v, want [0 1] (NaN passes Eq)", got)
+	}
+	if got := ne(cols, ts, nil, nil); !selEqual(got, []int32{2, 3, 4}) {
+		t.Errorf("Ne 7 over NaN batch = %v, want [2 3 4] (NaN fails Ne)", got)
+	}
+	// A NaN literal compares "equal" to every cell under the ordered
+	// convention: Eq keeps all rows, Ne keeps none.
+	eqNaN := eqNeKernel(t, OpEq, tuple.Float(math.NaN()))
+	neNaN := eqNeKernel(t, OpNe, tuple.Float(math.NaN()))
+	if got := eqNaN(cols, ts, nil, nil); !selEqual(got, []int32{0, 1, 2, 3, 4}) {
+		t.Errorf("Eq NaN = %v, want all rows", got)
+	}
+	if got := neNaN(cols, ts, nil, nil); len(got) != 0 {
+		t.Errorf("Ne NaN = %v, want none", got)
+	}
+}
+
+// TestKernelEqNeIntExtremes: the INT specialization compares raw signed
+// payloads directly; the extremes must agree with EvalBool, including
+// against literals of other integral kinds where the generic path
+// promotes carefully around wraparound.
+func TestKernelEqNeIntExtremes(t *testing.T) {
+	mk := func(vals ...tuple.Value) *tuple.Tuple { return tuple.New(0, vals...) }
+	rows := []*tuple.Tuple{
+		mk(tuple.Time(0), tuple.Int(math.MaxInt64), tuple.Uint(0), tuple.Float(0)),
+		mk(tuple.Time(1), tuple.Int(math.MinInt64), tuple.Uint(0), tuple.Float(0)),
+		mk(tuple.Time(2), tuple.Int(-1), tuple.Uint(0), tuple.Float(0)),
+		mk(tuple.Time(3), tuple.Int(0), tuple.Uint(0), tuple.Float(0)),
+		mk(tuple.Time(4), tuple.Int(1), tuple.Uint(0), tuple.Float(0)),
+	}
+	cols, ts := kernelBatch(rows)
+	for _, lit := range []tuple.Value{
+		tuple.Int(math.MaxInt64), tuple.Int(math.MinInt64), tuple.Int(-1), tuple.Int(0),
+		tuple.Uint(math.MaxUint64), tuple.Uint(1 << 63), tuple.Time(-1),
+	} {
+		for _, op := range []BinOp{OpEq, OpNe} {
+			e := mustBin(t, op, MustColumn(fastSch, "i"), Constant(lit))
+			kern := CompileKernel(e, fastSch.Arity())
+			if kern == nil {
+				t.Fatalf("no kernel for i %v %s", op, lit)
+			}
+			got := kern(cols, ts, nil, nil)
+			want := wantSel(e, rows, nil)
+			if !selEqual(got, want) {
+				t.Errorf("i %v %s: kernel %v, EvalBool %v", op, lit, got, want)
+			}
+		}
+	}
+}

@@ -173,16 +173,22 @@ func (s *sideState) insert(t *tuple.Tuple) {
 	}
 	s.fifo.Push(t)
 	if s.index != nil {
-		h := s.hashOf(t)
-		if b, ok := s.index[h]; ok {
-			s.index[h] = append(b, t)
-		} else if n := len(s.freeBuckets); n > 0 {
-			b = s.freeBuckets[n-1]
-			s.freeBuckets = s.freeBuckets[:n-1]
-			s.index[h] = append(b, t)
-		} else {
-			s.index[h] = append(make([]*tuple.Tuple, 0, 4), t)
-		}
+		s.indexInsert(s.hashOf(t), t)
+	}
+}
+
+// indexInsert appends t to its hash bucket, recycling emptied buckets
+// through the freelist. h must equal s.hashOf(t); the columnar path
+// passes the batch-hashed value instead of recomputing it per row.
+func (s *sideState) indexInsert(h uint64, t *tuple.Tuple) {
+	if b, ok := s.index[h]; ok {
+		s.index[h] = append(b, t)
+	} else if n := len(s.freeBuckets); n > 0 {
+		b = s.freeBuckets[n-1]
+		s.freeBuckets = s.freeBuckets[:n-1]
+		s.index[h] = append(b, t)
+	} else {
+		s.index[h] = append(make([]*tuple.Tuple, 0, 4), t)
 	}
 }
 
@@ -242,6 +248,16 @@ type WindowJoin struct {
 	// Flush so the original's introspection covers the whole run.
 	parent *WindowJoin
 	folded bool
+
+	// Columnar state (joincol.go). colPlan gates the batch-native path
+	// once per instance; colFallbacks counts batches/spans rerouted
+	// through the row path, folded into the parent like the other
+	// counters so the engine can surface fallback observability.
+	colPlan      int8
+	colPool      *stream.ColPool
+	colKern      expr.ColumnKernel
+	col          colJoinScratch
+	colFallbacks int64
 }
 
 // JoinConfig configures one side of a WindowJoin.
@@ -431,6 +447,7 @@ func (j *WindowJoin) Flush(Emit) {
 	j.folded = true
 	atomic.AddInt64(&p.probes, j.probes)
 	atomic.AddInt64(&p.emitted, j.emitted)
+	atomic.AddInt64(&p.colFallbacks, j.colFallbacks)
 	for s := 0; s < 2; s++ {
 		atomic.AddInt64(&p.received[s], j.received[s])
 		atomic.AddInt64(&p.sides[s].expired, j.sides[s].expired)

@@ -42,6 +42,11 @@ type XJoin struct {
 	// parent is set on partition replicas: Stats counters fold into it
 	// at the end of Flush's cleanup phase.
 	parent *XJoin
+
+	// Columnar state (joincol.go).
+	colPool *stream.ColPool
+	colKern expr.ColumnKernel
+	col     colJoinScratch
 }
 
 type xtuple struct {

@@ -119,6 +119,21 @@ func (b *Batch) GatherRow(r int, dst *tuple.Tuple) {
 	}
 }
 
+// AppendSpan bulk-appends physical rows [lo, hi) of src (the selection
+// vector, if any, is ignored — span producers emit dense batches) onto
+// the end of b: the reassembly primitive of the columnar sequence-
+// restoring merge, which stitches per-replica output spans back into
+// batches with one copy per column instead of one per value.
+func (b *Batch) AppendSpan(src *Batch, lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	b.Ts = append(b.Ts, src.Ts[lo:hi]...)
+	for c := range b.Cols {
+		b.Cols[c] = append(b.Cols[c], src.Cols[c][lo:hi]...)
+	}
+}
+
 // AppendRows materializes the live rows as fresh heap-owned tuples
 // appended to dst: one backing array for all values and one for all
 // tuple headers, so the cost is two allocations per batch regardless

@@ -1,0 +1,91 @@
+package tuple
+
+import "testing"
+
+// The column hash kernels feed the vectorized join build/probe and the
+// batch-native partition router. They must agree bit-for-bit with the
+// row-path hashes (Key1 for the single fast-kind key, Key for the
+// general multi-column walk): the router computes hash%P once per
+// batch, and the serial reference computes it per tuple — any
+// divergence silently re-partitions keys and breaks the byte-
+// equivalence matrices.
+
+func hashColSchema() *Schema {
+	return NewSchema("H",
+		Field{Name: "time", Kind: KindTime, Ordering: true},
+		Field{Name: "k", Kind: KindInt},
+		Field{Name: "u", Kind: KindUint},
+		Field{Name: "s", Kind: KindString},
+	)
+}
+
+func hashColTuples() []*Tuple {
+	vals := []int64{0, 1, -1, 42, -42, 1 << 40, -(1 << 40), 1<<63 - 1, -1 << 63}
+	var out []*Tuple
+	for i, v := range vals {
+		out = append(out, New(int64(i),
+			Time(int64(i)), Int(v), Uint(uint64(v)), String("s")))
+	}
+	// NULL and a deviating runtime kind in the key column.
+	out = append(out,
+		New(100, Time(100), Null, Uint(7), String("x")),
+		New(101, Time(101), Float(2.5), Uint(8), String("y")),
+	)
+	return out
+}
+
+func TestHashColMatchesKey1(t *testing.T) {
+	tuples := hashColTuples()
+	col := make([]Value, len(tuples))
+	for i, tp := range tuples {
+		col[i] = tp.Vals[1]
+	}
+	out := make([]uint64, len(col))
+	HashCol(col, out)
+	for i, tp := range tuples {
+		if want := tp.Key1(1); out[i] != want {
+			t.Errorf("row %d (%s): HashCol %x, Key1 %x", i, col[i], out[i], want)
+		}
+	}
+}
+
+func TestHashColRowsMatchesKey1(t *testing.T) {
+	tuples := hashColTuples()
+	col := make([]Value, len(tuples))
+	for i, tp := range tuples {
+		col[i] = tp.Vals[1]
+	}
+	rows := []int32{0, 2, 3, 7, 8, 10}
+	out := make([]uint64, len(rows))
+	HashColRows(col, rows, out)
+	for i, r := range rows {
+		if want := tuples[r].Key1(1); out[i] != want {
+			t.Errorf("sel %d row %d: HashColRows %x, Key1 %x", i, r, out[i], want)
+		}
+	}
+}
+
+func TestHashColsRowsMatchesKey(t *testing.T) {
+	tuples := hashColTuples()
+	sch := hashColSchema()
+	cols := make([][]Value, sch.Arity())
+	for c := range cols {
+		cols[c] = make([]Value, len(tuples))
+		for i, tp := range tuples {
+			cols[c][i] = tp.Vals[c]
+		}
+	}
+	rows := make([]int32, len(tuples))
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	for _, keys := range [][]int{{1}, {2}, {3}, {1, 2}, {3, 1}, {0, 1, 2, 3}} {
+		out := make([]uint64, len(rows))
+		HashColsRows(cols, keys, rows, out)
+		for i, r := range rows {
+			if want := tuples[r].Key(keys); out[i] != want {
+				t.Errorf("keys %v row %d: HashColsRows %x, Key %x", keys, r, out[i], want)
+			}
+		}
+	}
+}

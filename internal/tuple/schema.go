@@ -224,13 +224,54 @@ func FastKeyKind(k Kind) bool {
 // value hashes as payload 0; NULL equals nothing, so a collision with
 // Int(0) costs one KeyEqual rejection, never a wrong match.
 func (t *Tuple) Key1(i int) uint64 {
-	x := t.Vals[i].num + 0x9e3779b97f4a7c15
+	return splitmix64(t.Vals[i].num)
+}
+
+func splitmix64(v uint64) uint64 {
+	x := v + 0x9e3779b97f4a7c15
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return x
+}
+
+// HashCol is the column-kernel form of Key1: it writes the payload hash
+// of every value of col into the parallel out slice, whose length must
+// be at least len(col). The loop body is pure integer arithmetic — no
+// branches, no per-row dispatch — so a batch's key column hashes in one
+// sweep. The FastKeyKind gating contract of Key1 applies unchanged.
+func HashCol(col []Value, out []uint64) {
+	_ = out[:len(col)]
+	for r := range col {
+		out[r] = splitmix64(col[r].num)
+	}
+}
+
+// HashColRows is HashCol restricted to the listed row indexes: out[i]
+// receives the hash of col[rows[i]]. len(out) must be >= len(rows).
+func HashColRows(col []Value, rows []int32, out []uint64) {
+	_ = out[:len(rows)]
+	for i, r := range rows {
+		out[i] = splitmix64(col[r].num)
+	}
+}
+
+// HashColsRows is the generic-key column form of Key: for each listed
+// row it FNV-combines Value.Hash over the key columns (cols[keys[0]],
+// cols[keys[1]], ...), writing into the parallel out slice. It matches
+// Tuple.Key(keys) exactly for tuples gathered from the same columns.
+func HashColsRows(cols [][]Value, keys []int, rows []int32, out []uint64) {
+	_ = out[:len(rows)]
+	for i, r := range rows {
+		h := uint64(1469598103934665603)
+		for _, c := range keys {
+			h ^= cols[c][r].Hash()
+			h *= 1099511628211
+		}
+		out[i] = h
+	}
 }
 
 // KeyEqual reports whether two tuples agree on the listed field positions

@@ -73,6 +73,32 @@ func (f *Fifo) Push(t *tuple.Tuple) {
 	f.bytes += t.MemSize()
 }
 
+// PushRun appends a run of tuples at the tail, copying segment-sized
+// chunks instead of re-checking the tail boundary per tuple: the bulk
+// lane of the columnar join insert, where a whole equal-timestamp run
+// lands in the window at once. Equivalent to calling Push in order.
+func (f *Fifo) PushRun(run []*tuple.Tuple) {
+	for len(run) > 0 {
+		if f.tail == nil {
+			f.tail = f.getSeg()
+			f.head = f.tail
+			f.headIdx, f.tailIdx = 0, 0
+		} else if f.tailIdx == fifoSegLen {
+			s := f.getSeg()
+			f.tail.next = s
+			f.tail = s
+			f.tailIdx = 0
+		}
+		n := copy(f.tail.elems[f.tailIdx:], run)
+		f.tailIdx += n
+		f.count += n
+		for _, t := range run[:n] {
+			f.bytes += t.MemSize()
+		}
+		run = run[n:]
+	}
+}
+
 // Front returns the oldest tuple, or nil when empty.
 func (f *Fifo) Front() *tuple.Tuple {
 	if f.count == 0 {
