@@ -702,3 +702,114 @@ func BenchmarkAblationQuantiles(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkAblationAdaptive prices the adaptive controller against the
+// static engine on the same below-capacity pipelines: an unpaced replay
+// keeps every queue near-full or near-empty by engine rhythm alone, the
+// controller ticks at its default cadence, and — because adaptation
+// only reads atomics the engine already maintains and the workloads
+// never cross the shedding threshold — the two configurations should
+// sit within noise of each other. The adaptive join cell additionally
+// carries the live-rescale machinery (quiesce/snapshot/restore protocol
+// compiled in, splitter re-checking wantP per message), so it bounds
+// the standing tax of making a key-partitioned replica set re-splittable.
+func BenchmarkAblationAdaptive(b *testing.B) {
+	const nElems = 200000
+	sch, elems := replayElems(b, nElems)
+	// Three select cells: static p=1 (the plain lane), static p=2 (the
+	// replication lane the adaptive pool ceiling also engages), and
+	// adaptive with ceiling 2. The controller's own tax is the
+	// static-p2 -> adaptive delta; the static-p1 -> static-p2 delta is
+	// the pre-existing price of the seq-tagged replication merge.
+	for _, cell := range []struct {
+		mode  string
+		par   int
+		adapt bool
+	}{{"static", 1, false}, {"static-p2", 2, false}, {"adaptive", 1, true}} {
+		cell := cell
+		b.Run("select/"+cell.mode, func(b *testing.B) {
+			var n int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := replayFilterGraph(b, sch, elems, func(stream.Element) { n++ })
+				opts := exec.RunOptions{BatchSize: 64,
+					Parallelism: cell.par, ForceParallelism: true}
+				if cell.adapt {
+					opts.Adapt = &exec.AdaptConfig{MaxParallelism: 2}
+				}
+				g.RunWith(-1, opts)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(nElems)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+			if n == 0 {
+				b.Fatal("no output")
+			}
+		})
+	}
+
+	const nPerPort = 8192
+	a := tuple.NewSchema("A",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "k", Kind: tuple.KindInt})
+	bb := tuple.NewSchema("B",
+		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
+		tuple.Field{Name: "k", Kind: tuple.KindInt})
+	mk := func(port int64) []stream.Element {
+		elems := make([]stream.Element, nPerPort)
+		for i := range elems {
+			ts := 2*int64(i) + port
+			k := (int64(i)*2654435761 + port) % 1000
+			elems[i] = stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(k)))
+		}
+		return elems
+	}
+	left, right := mk(0), mk(1)
+	for _, adaptive := range []bool{false, true} {
+		mode := "static"
+		if adaptive {
+			mode = "adaptive"
+		}
+		b.Run("partjoin/"+mode, func(b *testing.B) {
+			var n int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := exec.NewGraph(func(stream.Element) { n++ })
+				sl := g.AddSource(stream.FromElements(a, left...))
+				sr := g.AddSource(stream.FromElements(bb, right...))
+				j, err := ops.NewWindowJoin("j", a, bb,
+					ops.JoinConfig{Window: window.Time(4096, 4096), Method: ops.JoinHash, Key: []int{1}},
+					ops.JoinConfig{Window: window.Time(4096, 4096), Method: ops.JoinHash, Key: []int{1}},
+					nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				id := g.AddOp(j)
+				if err := g.ConnectSource(sl, id, 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := g.ConnectSource(sr, id, 1); err != nil {
+					b.Fatal(err)
+				}
+				if err := g.ConnectOut(id); err != nil {
+					b.Fatal(err)
+				}
+				opts := exec.RunOptions{
+					BatchSize: 64, Parallelism: 2,
+					ForceParallelism: true, PartitionJoins: true,
+				}
+				if adaptive {
+					opts.Parallelism = 1
+					opts.Adapt = &exec.AdaptConfig{MaxParallelism: 2}
+				}
+				g.RunWith(-1, opts)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(2*nPerPort)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+			if n == 0 {
+				b.Fatal("no join output")
+			}
+		})
+	}
+}

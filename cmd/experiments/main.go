@@ -1,5 +1,5 @@
 // Command experiments regenerates every figure, table and worked
-// example of the tutorial (the E1-E22 index in DESIGN.md) and prints
+// example of the tutorial (the E1-E25 index in DESIGN.md) and prints
 // them in paper shape.
 //
 // Usage:
@@ -59,6 +59,7 @@ func main() {
 		{"E20", func() *experiments.Table { return experiments.E20PartitionedJoins(s) }},
 		{"E21", func() *experiments.Table { return experiments.E21TransportWire(s) }},
 		{"E22", func() *experiments.Table { return experiments.E22CrashRecovery(s, tmp()) }},
+		{"E25", func() *experiments.Table { return experiments.E25AdaptiveOverload(s) }},
 	}
 
 	want := map[string]bool{}

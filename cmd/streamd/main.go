@@ -28,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -191,11 +192,12 @@ func reportLow(seed int64, raw, partials int64, st dsms.ReconnectStats) {
 // highConfig carries the merge-point tuning and durability flags
 // shared by high and demo modes.
 type highConfig struct {
-	nodes     int
-	idle      time.Duration
-	batch     int    // ingest micro-batch per stream (1 = per-tuple)
-	ckptDir   string // durable checkpoint directory; "" = disabled
-	ckptEvery int    // partial records between checkpoints
+	nodes      int
+	idle       time.Duration
+	batch      int           // ingest micro-batch per stream (1 = per-tuple)
+	ckptDir    string        // durable checkpoint directory; "" = disabled
+	ckptEvery  int           // partial records between checkpoints
+	statsEvery time.Duration // period between NodeStats JSON dumps; 0 = off
 }
 
 // runHigh runs the merge point: a SessionServer that dedupes resumed
@@ -297,6 +299,34 @@ func runHigh(d *dsms.Decomposition, ln net.Listener, cfg highConfig) {
 	srv := dsms.NewSessionServer(ln, d.PartialSchema(), scfg)
 
 	var mu sync.Mutex
+	// -stats: a ticker goroutine dumps every node's counters as one JSON
+	// line to stderr. The dump takes the ingest mutex, so the graph is
+	// quiescent (between Pump calls) exactly as AllStats requires; under
+	// an adaptive run the snapshot includes the controller's live batch
+	// target, replica width, and shed rate per node.
+	statsDone := make(chan struct{})
+	if cfg.statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(cfg.statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-statsDone:
+					return
+				case <-t.C:
+					mu.Lock()
+					b, err := json.Marshal(g.AllStats())
+					mu.Unlock()
+					if err != nil {
+						logf("stats: %v", err)
+						continue
+					}
+					logf("stats %s", b)
+				}
+			}
+		}()
+	}
+	defer close(statsDone)
 	var received, sinceCkpt int64
 	checkpoint := func() { // called with mu held, between Pump calls
 		epoch++
@@ -407,6 +437,7 @@ func main() {
 	columnar := flag.Bool("columnar", true, "low/demo: run the low-level filter through the columnar selection-vector kernel (false = row-at-a-time; output is identical). The same lane drives exec-engine window joins: single INT/UINT/TIME equijoin keys vectorize, anything else (generic or multi-column keys, rows-windows, MaxTuples) falls back to the row path — observable per node via NodeStats.Batches/RowFallbacks")
 	ckptDir := flag.String("checkpoint-dir", "", "high/demo: durable checkpoint directory (empty = disabled); on restart the merge state is recovered and sessions replay from the committed floor")
 	ckptEvery := flag.Int("checkpoint-interval", 5000, "high/demo: partial records between checkpoints")
+	stats := flag.Duration("stats", 0, "high/demo: period between per-node NodeStats JSON dumps on stderr (0 = disabled); each line snapshots In/Out/MaxQueue/MaxMemory/Routed/Batches/RowFallbacks plus the adaptive controller's live BatchTarget, Replicas, ShedRate and Rescales")
 	flag.Parse()
 
 	d := decomposition()
@@ -418,7 +449,7 @@ func main() {
 		}
 		defer ln.Close()
 		fmt.Printf("high-level node on %s, awaiting %d low-level nodes\n", ln.Addr(), *nodes)
-		runHigh(d, ln, highConfig{nodes: *nodes, idle: 2 * *timeout, batch: *ingestBatch, ckptDir: *ckptDir, ckptEvery: *ckptEvery})
+		runHigh(d, ln, highConfig{nodes: *nodes, idle: 2 * *timeout, batch: *ingestBatch, ckptDir: *ckptDir, ckptEvery: *ckptEvery, statsEvery: *stats})
 	case "low":
 		cfg := lowConfig{addr: *connect, retry: *retry, timeout: *timeout, wireBatch: *wireBatch, columnar: *columnar}
 		raw, partials, st, err := runLow(d, cfg, *n, *seed)
@@ -458,7 +489,7 @@ func main() {
 				reportLow(seed, raw, partials, st)
 			}(int64(i + 1))
 		}
-		runHigh(d, ln, highConfig{nodes: *nodes, idle: 2 * *timeout, batch: *ingestBatch, ckptDir: *ckptDir, ckptEvery: *ckptEvery})
+		runHigh(d, ln, highConfig{nodes: *nodes, idle: 2 * *timeout, batch: *ingestBatch, ckptDir: *ckptDir, ckptEvery: *ckptEvery, statsEvery: *stats})
 		wg.Wait()
 	default:
 		fatalf("unknown mode %q", *mode)

@@ -1,0 +1,81 @@
+package adaptive
+
+// Checkpoint support (ckpt.Snapshotter) for the eddy. The routing
+// state that matters across a restart or rescale is the learned
+// ordering plus the decayed per-filter statistics: a restored eddy
+// must keep routing tuples through the same order and keep adapting
+// from the same observation counts, so the plan does not "forget"
+// the distribution it already learned.
+
+import (
+	"fmt"
+	"math"
+
+	"streamdb/internal/ckpt"
+)
+
+// Snapshot implements ckpt.Snapshotter.
+func (e *Eddy) Snapshot(enc *ckpt.Encoder) error {
+	enc.Uvarint(uint64(len(e.filters)))
+	for _, i := range e.order {
+		enc.Uvarint(uint64(i))
+	}
+	for _, f := range e.filters {
+		enc.Float64(f.seen)
+		enc.Float64(f.passed)
+	}
+	enc.Varint(int64(e.since))
+	enc.Varint(e.evals)
+	enc.Varint(e.in)
+	enc.Varint(e.out)
+	return nil
+}
+
+// Restore implements ckpt.Snapshotter. The receiver must have been
+// built with the same filter set (count and order of construction) as
+// the snapshotted eddy; names are not persisted.
+func (e *Eddy) Restore(dec *ckpt.Decoder) error {
+	n := int(dec.Uvarint())
+	order := make([]int, n)
+	for k := range order {
+		order[k] = int(dec.Uvarint())
+	}
+	seen := make([]float64, n)
+	passed := make([]float64, n)
+	for i := 0; i < n; i++ {
+		seen[i] = dec.Float64()
+		passed[i] = dec.Float64()
+	}
+	since := int(dec.Varint())
+	evals := dec.Varint()
+	in := dec.Varint()
+	out := dec.Varint()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(e.filters) {
+		return fmt.Errorf("adaptive: restore: snapshot has %d filters, eddy has %d", n, len(e.filters))
+	}
+	used := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n || used[i] {
+			return fmt.Errorf("adaptive: restore: invalid filter order")
+		}
+		used[i] = true
+	}
+	for i, f := range e.filters {
+		if math.IsNaN(seen[i]) || math.IsNaN(passed[i]) || seen[i] < 0 || passed[i] < 0 {
+			return fmt.Errorf("adaptive: restore: invalid statistics for filter %s", f.Name)
+		}
+	}
+	e.order = order
+	for i, f := range e.filters {
+		f.seen = seen[i]
+		f.passed = passed[i]
+	}
+	e.since = since
+	e.evals = evals
+	e.in = in
+	e.out = out
+	return nil
+}

@@ -1,0 +1,93 @@
+package adaptive
+
+// The eddy's Snapshot/Restore round-trip must preserve the learned
+// routing: a restored eddy keeps the same filter order and keeps
+// adapting from the same decayed statistics, so the continuation of a
+// restored run routes exactly as the uninterrupted run would — the
+// property the adaptive rescale path depends on when replica state
+// moves between workers.
+
+import (
+	"testing"
+
+	"streamdb/internal/ckpt"
+)
+
+func TestEddySnapshotRestoreContinues(t *testing.T) {
+	build := func() *Eddy {
+		fa := filt(t, "fa", "a", 0, 1)    // never true: should rank first
+		fb := filt(t, "fb", "b", 1000, 1) // always true
+		e, err := NewEddy([]*Filter{fb, fa}, 0.5, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	orig := build()
+	for i := int64(0); i < 200; i++ {
+		orig.Process(row(i, 5, 5))
+	}
+	enc := &ckpt.Encoder{}
+	if err := orig.Snapshot(enc); err != nil {
+		t.Fatal(err)
+	}
+	restored := build()
+	if err := restored.Restore(ckpt.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Order(), orig.Order(); got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("restored order = %v, want %v", got, want)
+	}
+	// Both continuations must behave identically: same routing decisions,
+	// same statistics evolution.
+	for i := int64(200); i < 400; i++ {
+		if a, b := orig.Process(row(i, 5, 5)), restored.Process(row(i, 5, 5)); a != b {
+			t.Fatalf("tuple %d: original %v, restored %v", i, a, b)
+		}
+	}
+	oi, oo, oe := orig.Stats()
+	ri, ro, re := restored.Stats()
+	if oi != ri || oo != ro || oe != re {
+		t.Errorf("diverged stats: original (%d,%d,%d), restored (%d,%d,%d)", oi, oo, oe, ri, ro, re)
+	}
+}
+
+func TestEddyRestoreRejectsMismatch(t *testing.T) {
+	two, err := NewEddy([]*Filter{filt(t, "fa", "a", 50, 1), filt(t, "fb", "b", 50, 1)}, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := &ckpt.Encoder{}
+	if err := two.Snapshot(enc); err != nil {
+		t.Fatal(err)
+	}
+	one, err := NewEddy([]*Filter{filt(t, "fa", "a", 50, 1)}, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := one.Restore(ckpt.NewDecoder(enc.Bytes())); err == nil {
+		t.Error("restore into an eddy with a different filter count must fail")
+	}
+
+	// A corrupted permutation (duplicate index) must be rejected before
+	// any state is mutated.
+	bad := &ckpt.Encoder{}
+	bad.Uvarint(2)
+	bad.Uvarint(0)
+	bad.Uvarint(0) // duplicate
+	for i := 0; i < 2; i++ {
+		bad.Float64(1)
+		bad.Float64(1)
+	}
+	bad.Varint(0)
+	bad.Varint(0)
+	bad.Varint(0)
+	bad.Varint(0)
+	fresh, err := NewEddy([]*Filter{filt(t, "fa", "a", 50, 1), filt(t, "fb", "b", 50, 1)}, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(ckpt.NewDecoder(bad.Bytes())); err == nil {
+		t.Error("restore with a duplicate filter order must fail")
+	}
+}

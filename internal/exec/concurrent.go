@@ -103,6 +103,13 @@ type RunOptions struct {
 	// path. Results are element-for-element identical to the row engine;
 	// checkpoints interoperate both ways.
 	Columnar bool
+	// Adapt enables the feedback-driven adaptive controller (see
+	// adapt.go): per-edge micro-batch targets, live growth/shrink of
+	// replica sets, and pre-emptive semantic shedding, all steered by
+	// queue-occupancy feedback on a fixed cadence. Mutually exclusive
+	// with Checkpoint and Restore, which pin the lane layout for the
+	// whole run — when either is set the controller is disabled.
+	Adapt *AdaptConfig
 	// ColSink, when set with Columnar, receives column batches that
 	// reach the graph output without leaving the batch lane, instead of
 	// having them materialized row-by-row into the Sink. Batches are
@@ -155,6 +162,28 @@ type concRun struct {
 	inw     []int
 	outW    int
 	restore *ckpt.Checkpoint
+
+	// adapt is the adaptive controller's shared state (nil on static
+	// runs). Lanes spawn adapt.maxP workers and route data over the
+	// active prefix the controller maintains.
+	adapt *adaptState
+}
+
+// poolWidth is the worker-pool size parallel lanes spawn: the adaptive
+// ceiling, or the static Parallelism.
+func (r *concRun) poolWidth() int {
+	if r.adapt != nil {
+		return r.adapt.maxP
+	}
+	return r.opts.Parallelism
+}
+
+// activeWidth is the replica count splitters route data over right now.
+func (r *concRun) activeWidth(id NodeID) int {
+	if r.adapt != nil {
+		return int(atomic.LoadInt32(&r.adapt.actP[id]))
+	}
+	return r.opts.Parallelism
 }
 
 func atomicMax(addr *int64, v int64) {
@@ -198,6 +227,16 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 		maxMem:  make([]int64, len(g.nodes)),
 		memTick: make([]int64, len(g.nodes)),
 		writers: make([]int, len(g.nodes)),
+	}
+	if opts.Adapt != nil && opts.Checkpoint == nil && opts.Restore == nil {
+		maxP := opts.Adapt.MaxParallelism
+		if maxP <= 0 {
+			maxP = runtime.GOMAXPROCS(0)
+		}
+		if maxP < opts.Parallelism {
+			maxP = opts.Parallelism
+		}
+		r.adapt = newAdaptState(g, opts, maxP)
 	}
 	for i := range r.chans {
 		r.chans[i] = make(chan batchMsg, opts.ChanCap)
@@ -293,6 +332,14 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 	needSections := 0
 	var wg sync.WaitGroup
 	fbStart := make([]int64, len(g.nodes))
+	// The adaptive pool ceiling also gates lane eligibility: with the
+	// controller on, scalable lanes engage even at Parallelism 1 so the
+	// controller can grow them later (they start at width 1 and stay
+	// byte-identical to the static engine).
+	scaleW := opts.Parallelism
+	if r.adapt != nil {
+		scaleW = r.adapt.maxP
+	}
 	for id := range g.nodes {
 		n := g.nodes[id]
 		wg.Add(1)
@@ -300,14 +347,21 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 		n.stats.Routed = nil
 		n.stats.Batches = 0
 		n.stats.RowFallbacks = 0
+		n.stats.BatchTarget = 0
+		n.stats.ShedRate = 0
+		n.stats.Rescales = 0
 		if cf, ok := n.op.(colFallbacker); ok {
 			fbStart[id] = cf.ColFallbacks()
 		}
-		if (opts.Parallelism > 1 || opts.PartitionJoins) && n.op.NumInputs() == 2 && !n.detached {
+		if (opts.Parallelism > 1 || opts.PartitionJoins || scaleW > 1) && n.op.NumInputs() == 2 && !n.detached {
 			if kp, ok := n.op.(ops.KeyPartitionable); ok && kp.CanPartition() {
 				n.stats.Replicas = opts.Parallelism
-				n.stats.Routed = make([]int64, opts.Parallelism)
+				n.stats.Routed = make([]int64, r.poolWidth())
 				needSections += opts.Parallelism + 1 // P replicas + splitter queues
+				if r.adapt != nil {
+					r.adapt.kind[id] = laneKeyPart
+					_, r.adapt.rescaler[id] = n.op.(ops.StateRescaler)
+				}
 				if opts.Columnar {
 					if cp, ok := n.op.(ops.ColPartitionable); ok {
 						go r.runKeyPartitionedCol(NodeID(id), n, cp, &wg)
@@ -318,15 +372,21 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 				continue
 			}
 		}
-		if opts.Parallelism > 1 && n.op.NumInputs() == 1 && !n.detached {
+		if scaleW > 1 && n.op.NumInputs() == 1 && !n.detached {
 			if pa, ok := n.op.(ops.PartialAggregable); ok && pa.CanPartial() {
 				n.stats.Replicas = opts.Parallelism
 				needSections += opts.Parallelism + 2 // P replicas + combiner + merge queues
+				if r.adapt != nil {
+					r.adapt.kind[id] = lanePartial
+				}
 				go r.runPartialReplicated(NodeID(id), n, pa, &wg)
 				continue
 			}
 			if rep, ok := n.op.(ops.Replicable); ok {
 				n.stats.Replicas = opts.Parallelism
+				if r.adapt != nil {
+					r.adapt.kind[id] = laneRepl
+				}
 				// Stateless: no sections, the barrier just flows through.
 				go r.runReplicated(NodeID(id), n, rep, &wg)
 				continue
@@ -339,11 +399,17 @@ func (g *Graph) RunWith(maxElements int64, opts RunOptions) {
 		r.ctl.needSections = needSections
 		r.ctl.needSink = r.outW
 	}
+	if r.adapt != nil {
+		r.adapt.start(r)
+	}
 	for i, s := range g.sources {
 		wg.Add(1)
 		go r.runSource(i, s, maxElements, &wg)
 	}
 	wg.Wait()
+	if r.adapt != nil {
+		r.adapt.stop()
+	}
 	if r.sinkCh != nil {
 		close(r.sinkCh)
 		sinkWG.Wait()
@@ -424,10 +490,18 @@ type edgeWriter struct {
 	sink  Sink // per-writer sink for ed.to < 0; nil = merged sink channel
 	buf   []stream.Element
 	size  int
+	// tgt, when non-nil, is the adaptive controller's batch-target slot
+	// for this producer; size re-reads it at flush boundaries, so the
+	// per-element append path pays nothing for adaptivity.
+	tgt *int64
 }
 
 func (r *concRun) newEdgeWriter(edges []edge, owner NodeID) *edgeWriter {
 	w := &edgeWriter{r: r, edges: edges, size: r.opts.BatchSize, buf: r.pool.Get()}
+	if r.adapt != nil && owner >= 0 {
+		w.tgt = &r.adapt.batchTgt[owner]
+		w.size = int(atomic.LoadInt64(w.tgt))
+	}
 	if r.opts.SinkPerWriter != nil {
 		for _, ed := range edges {
 			if ed.to < 0 {
@@ -478,6 +552,9 @@ func (w *edgeWriter) flush() {
 		} else {
 			w.r.sendTo(ed.to, ed.port, out)
 		}
+	}
+	if w.tgt != nil {
+		w.size = int(atomic.LoadInt64(w.tgt))
 	}
 }
 
@@ -622,7 +699,7 @@ type repTask struct {
 // empty, even after a crash), so the merge sequence never stalls.
 func (r *concRun) runReplicated(id NodeID, n *node, rep ops.Replicable, wg *sync.WaitGroup) {
 	defer wg.Done()
-	p := r.opts.Parallelism
+	p := r.poolWidth()
 	workCh := make([]chan repTask, p)
 	for i := range workCh {
 		workCh[i] = make(chan repTask, 2)
@@ -700,7 +777,18 @@ func (r *concRun) runReplicated(id NodeID, n *node, rep ops.Replicable, wg *sync
 		var seq uint64
 		k := 0
 		bars := 0
+		act := r.activeWidth(id)
 		for m := range r.chans[id] {
+			if r.adapt != nil {
+				// Stateless clones: the active set may change at any batch
+				// boundary — the sequence merge restores order regardless.
+				if na := int(atomic.LoadInt32(&r.adapt.actP[id])); na != act {
+					act = na
+					if k >= act {
+						k = 0
+					}
+				}
+			}
 			if m.col != nil {
 				// Mixed row/column output would break the sequence merge;
 				// this lane stays row-only.
@@ -719,7 +807,7 @@ func (r *concRun) runReplicated(id NodeID, n *node, rep ops.Replicable, wg *sync
 			if len(m.elems) > 0 {
 				workCh[k] <- repTask{seq: seq, port: m.port, elems: m.elems}
 				seq++
-				k = (k + 1) % p
+				k = (k + 1) % act
 			} else {
 				r.pool.Put(m.elems)
 			}
@@ -729,7 +817,7 @@ func (r *concRun) runReplicated(id NodeID, n *node, rep ops.Replicable, wg *sync
 					bars = 0
 					workCh[k] <- repTask{seq: seq, port: m.port, elems: append(r.pool.Get(), bar)}
 					seq++
-					k = (k + 1) % p
+					k = (k + 1) % act
 				}
 			}
 		}
@@ -805,7 +893,7 @@ type partMsg struct {
 // would have emitted by time M, in the same order.
 func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggregable, wg *sync.WaitGroup) {
 	defer wg.Done()
-	p := r.opts.Parallelism
+	p := r.poolWidth()
 	workCh := make([]chan batchMsg, p)
 	for i := range workCh {
 		workCh[i] = make(chan batchMsg, 2)
@@ -915,7 +1003,22 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 	go func() {
 		k := 0
 		bars := 0
+		act := r.activeWidth(id)
 		for m := range r.chans[id] {
+			if r.adapt != nil {
+				// Partial replicas merge through the combiner regardless of
+				// which worker held which share, so the active data set may
+				// change at any batch boundary. Punctuations and barriers
+				// still broadcast to the whole pool: idle replicas must keep
+				// their watermarks advancing or the min-watermark merge
+				// stalls.
+				if na := int(atomic.LoadInt32(&r.adapt.actP[id])); na != act {
+					act = na
+					if k >= act {
+						k = 0
+					}
+				}
+			}
 			if m.col != nil {
 				// Data-only column batch: round-robin it whole. Replica
 				// output (partial records, progress punctuations) is
@@ -926,7 +1029,7 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 					continue
 				}
 				workCh[k] <- m
-				k = (k + 1) % p
+				k = (k + 1) % act
 				continue
 			}
 			atomic.AddInt64(&r.pending[id], -int64(len(m.elems)))
@@ -945,7 +1048,7 @@ func (r *concRun) runPartialReplicated(id NodeID, n *node, pa ops.PartialAggrega
 			}
 			if len(m.elems) > 0 {
 				workCh[k] <- m
-				k = (k + 1) % p
+				k = (k + 1) % act
 			} else {
 				r.pool.Put(m.elems)
 			}
@@ -1106,11 +1209,69 @@ const noSeq = ^uint64(0)
 
 // partTask is one routed run of the merged input destined for a single
 // join replica: parallel arrays of elements, their input ports and
-// their global data sequence numbers.
+// their global data sequence numbers. A task with resc set instead asks
+// the worker to take part in a live re-split (see rescaleOp).
 type partTask struct {
 	elems []stream.Element
 	ports []uint8
 	seqs  []uint64
+	resc  *rescaleOp
+}
+
+// applyRescale is one pool worker's half of a live key-partition
+// re-split: snapshot the current replica into its section slot, signal
+// the splitter, wait for the full section set, then rebuild this
+// worker's slice of the key space at the new width with a fresh clone.
+// Errors and panics detach the node but always complete the handshake
+// (Done before any return), so the quiesced splitter cannot deadlock on
+// a failed replica. Workers beyond the new active width come back with
+// an empty clone — their old tuples now live under other replicas'
+// hashes.
+func (r *concRun) applyRescale(rs *rescaleOp, k int, id NodeID, n *node, op ops.Operator, clone func() ops.Operator, crashed *atomic.Bool) ops.Operator {
+	var data []byte
+	if !crashed.Load() {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					r.g.recordPanic(id, n, rec)
+					crashed.Store(true)
+				}
+			}()
+			if s, ok := op.(ckpt.Snapshotter); ok {
+				enc := &ckpt.Encoder{}
+				if err := s.Snapshot(enc); err != nil {
+					panic(err)
+				}
+				data = enc.Bytes()
+			}
+		}()
+	}
+	rs.sections[k] = data
+	rs.snapWG.Done()
+	<-rs.ready
+	if crashed.Load() {
+		return op
+	}
+	nop := clone()
+	if k < rs.newAct {
+		if sr, ok := nop.(ops.StateRescaler); ok {
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						r.g.recordPanic(id, n, rec)
+						crashed.Store(true)
+					}
+				}()
+				if err := sr.RestorePartition(rs.sections, k, rs.newAct); err != nil {
+					panic(err)
+				}
+			}()
+			if crashed.Load() {
+				return op
+			}
+		}
+	}
+	return nop
 }
 
 // partReply carries one task's outputs back to the merger:
@@ -1170,7 +1331,7 @@ type partReply struct {
 // so the merge never stalls on a failed replica.
 func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable, wg *sync.WaitGroup) {
 	defer wg.Done()
-	p := r.opts.Parallelism
+	p := r.poolWidth()
 	workCh := make([]chan partTask, p)
 	for i := range workCh {
 		workCh[i] = make(chan partTask, 2)
@@ -1186,6 +1347,11 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 			op := kp.ClonePartition()
 			r.restoreOp(repName(id, k), op)
 			for t := range workCh[k] {
+				if t.resc != nil {
+					op = r.applyRescale(t.resc, k, id, n, op,
+						func() ops.Operator { return kp.ClonePartition() }, &crashed)
+					continue
+				}
 				outs := r.pool.Get()
 				seqs := make([]uint64, 0, len(t.elems))
 				ends := make([]int, 0, len(t.elems))
@@ -1277,6 +1443,7 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 		maxTs := [2]int64{math.MinInt64, math.MinInt64}   // max released data ts per port
 		synthed := [2]int64{math.MinInt64, math.MinInt64} // last synthesized watermark per port
 		var seq uint64
+		act := r.activeWidth(id)
 		open := make([]partTask, p)
 		add := func(k, port int, e stream.Element, s uint64) {
 			t := &open[k]
@@ -1295,10 +1462,36 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 			open[k] = partTask{}
 		}
 		broadcast := func(port int, e stream.Element) {
-			for k := 0; k < p; k++ {
+			// Only active replicas need progress: idle workers' state is
+			// rebuilt wholesale (watermarks included) when a re-split brings
+			// them in.
+			for k := 0; k < act; k++ {
 				add(k, port, e, noSeq)
 				flushTask(k)
 			}
+		}
+		// doRescale quiesces the replica set and re-splits it at the new
+		// width: flush everything routed so far, hand every pool worker a
+		// rescale task, wait for all snapshots, then release the restore
+		// and route over the new active set. Nothing is routed while the
+		// handshake runs, so each old replica snapshots at a task boundary
+		// with no in-flight input — the same aligned-cut property the
+		// checkpoint path relies on.
+		doRescale := func(want int) {
+			for k := 0; k < p; k++ {
+				flushTask(k)
+			}
+			rs := &rescaleOp{sections: make([][]byte, p), newAct: want, ready: make(chan struct{})}
+			rs.snapWG.Add(p)
+			for k := 0; k < p; k++ {
+				workCh[k] <- partTask{resc: rs}
+			}
+			rs.snapWG.Wait()
+			close(rs.ready)
+			act = want
+			atomic.StoreInt32(&r.adapt.actP[id], int32(want))
+			n.stats.Replicas = want
+			n.stats.Rescales++
 		}
 		route := func(port int, e stream.Element) {
 			n.stats.In++
@@ -1319,7 +1512,7 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 			} else if ts > maxTs[port] {
 				maxTs[port] = ts
 			}
-			k := int(kp.PartitionHash(port, e.Tuple) % uint64(p))
+			k := int(kp.PartitionHash(port, e.Tuple) % uint64(act))
 			n.stats.Routed[k]++
 			add(k, port, e, seq)
 			seq++
@@ -1375,6 +1568,11 @@ func (r *concRun) runKeyPartitioned(id NodeID, n *node, kp ops.KeyPartitionable,
 		}
 		kbars := 0
 		for m := range r.chans[id] {
+			if r.adapt != nil {
+				if want := int(atomic.LoadInt32(&r.adapt.wantP[id])); want != act && want >= 1 && want <= p {
+					doRescale(want)
+				}
+			}
 			if m.col != nil {
 				// Row-mode lane (no ColPartitionable, or Columnar off):
 				// materialize into the port merge.
@@ -1547,6 +1745,13 @@ func (r *concRun) runSource(idx int, s *sourceNode, maxElements int64, wg *sync.
 		s.count = skip
 	}
 	w := r.newEdgeWriter(s.out, -1) // sources cannot write the graph output
+	if r.adapt != nil {
+		// Sources own the batch-target slots after the nodes; controller
+		// shrinkage shows up both in flush boundaries and in the bulk-read
+		// size below.
+		w.tgt = &r.adapt.batchTgt[len(r.g.nodes)+idx]
+		w.size = int(atomic.LoadInt64(w.tgt))
+	}
 	bulk, isBulk := s.src.(stream.BulkSource)
 	var cw *colWriter
 	var colSrc stream.ColSource
@@ -1594,6 +1799,9 @@ func (r *concRun) runSource(idx int, s *sourceNode, maxElements int64, wg *sync.
 			if r.ctl != nil && int64(max) > r.ctl.every-sinceBarrier {
 				max = int(r.ctl.every - sinceBarrier)
 			}
+			if max > w.size {
+				max = w.size // controller-shrunk micro-batches
+			}
 			cb, more := colSrc.NextColBatch(max)
 			k := 0
 			if cb != nil {
@@ -1619,6 +1827,9 @@ func (r *concRun) runSource(idx int, s *sourceNode, maxElements int64, wg *sync.
 			}
 			if r.ctl != nil && int64(max) > r.ctl.every-sinceBarrier {
 				max = int(r.ctl.every - sinceBarrier)
+			}
+			if max > w.size {
+				max = w.size // controller-shrunk micro-batches
 			}
 			tmp := r.pool.Get()
 			tmp, more := bulk.NextBatch(tmp, max)

@@ -64,6 +64,36 @@ type NodeStats struct {
 	// the fast envelope). Zero on an all-columnar run — the observability
 	// hook for "did my pipeline actually stay columnar?".
 	RowFallbacks int64
+	// BatchTarget is the adaptive controller's current micro-batch
+	// target for this node's output edges (0 on non-adaptive runs or
+	// while the target sits at RunOptions.BatchSize).
+	BatchTarget int
+	// ShedRate is the controller-imposed drop rate on this node (only
+	// nonzero for in-graph shedders under an adaptive run past
+	// capacity).
+	ShedRate float64
+	// Rescales counts live key-partition re-splits applied to this node
+	// by the adaptive controller on the last concurrent run.
+	Rescales int64
+}
+
+// NamedStats pairs a node with its counters for introspection dumps
+// (streamd -stats serializes a slice of these as JSON).
+type NamedStats struct {
+	Node NodeID `json:"node"`
+	Op   string `json:"op"`
+	NodeStats
+}
+
+// AllStats snapshots every node's counters with names attached. Call it
+// only while the graph is quiescent (between Pump calls, or after a
+// concurrent run returns) — the counters are not synchronized.
+func (g *Graph) AllStats() []NamedStats {
+	out := make([]NamedStats, len(g.nodes))
+	for i, n := range g.nodes {
+		out[i] = NamedStats{Node: NodeID(i), Op: n.op.Name(), NodeStats: n.stats}
+	}
+	return out
 }
 
 // FailurePolicy selects what the engine does when an operator panics.

@@ -52,6 +52,7 @@ type colPartTask struct {
 	rows  []int32
 	ports []uint8
 	seqs  []uint64
+	resc  *rescaleOp // live re-split request (no data when set)
 }
 
 // colPartReply carries one task's outputs back to the merger:
@@ -99,7 +100,7 @@ func (ent *colPQEntry) row(i int) int32 {
 
 func (r *concRun) runKeyPartitionedCol(id NodeID, n *node, cp ops.ColPartitionable, wg *sync.WaitGroup) {
 	defer wg.Done()
-	p := r.opts.Parallelism
+	p := r.poolWidth()
 	workCh := make([]chan colPartTask, p)
 	for i := range workCh {
 		workCh[i] = make(chan colPartTask, 2)
@@ -117,6 +118,11 @@ func (r *concRun) runKeyPartitionedCol(id NodeID, n *node, cp ops.ColPartitionab
 			r.restoreOp(repName(id, k), op)
 			outPool := stream.NewColPool(outSchema, r.opts.BatchSize)
 			for t := range workCh[k] {
+				if t.resc != nil {
+					op = r.applyRescale(t.resc, k, id, n, op,
+						func() ops.Operator { return cp.ClonePartition() }, &crashed)
+					continue
+				}
 				out := outPool.Get()
 				seqs := make([]uint64, 0, len(t.ports))
 				ends := make([]int32, 0, len(t.ports))
@@ -245,6 +251,7 @@ func (r *concRun) runKeyPartitionedCol(id NodeID, n *node, cp ops.ColPartitionab
 		maxTs := [2]int64{math.MinInt64, math.MinInt64}
 		synthed := [2]int64{math.MinInt64, math.MinInt64}
 		var seq uint64
+		act := r.activeWidth(id)
 		var hashRamp []int32
 		open := make([]colPartTask, p)
 		addElem := func(k, port int, e stream.Element, s uint64) {
@@ -270,10 +277,31 @@ func (r *concRun) runKeyPartitionedCol(id NodeID, n *node, cp ops.ColPartitionab
 			open[k] = colPartTask{}
 		}
 		broadcast := func(port int, e stream.Element) {
-			for k := 0; k < p; k++ {
+			// Active replicas only: idle workers' state (watermarks
+			// included) is rebuilt wholesale when a re-split brings them in.
+			for k := 0; k < act; k++ {
 				addElem(k, port, e, noSeq)
 				flushTask(k)
 			}
+		}
+		// doRescale mirrors the row lane: quiesce, snapshot all replicas,
+		// restore each active replica's slice of the key space at the new
+		// width, then route over the new active set.
+		doRescale := func(want int) {
+			for k := 0; k < p; k++ {
+				flushTask(k)
+			}
+			rs := &rescaleOp{sections: make([][]byte, p), newAct: want, ready: make(chan struct{})}
+			rs.snapWG.Add(p)
+			for k := 0; k < p; k++ {
+				workCh[k] <- colPartTask{resc: rs}
+			}
+			rs.snapWG.Wait()
+			close(rs.ready)
+			act = want
+			atomic.StoreInt32(&r.adapt.actP[id], int32(want))
+			n.stats.Replicas = want
+			n.stats.Rescales++
 		}
 		routeElem := func(port int, e stream.Element) {
 			n.stats.In++
@@ -291,7 +319,7 @@ func (r *concRun) runKeyPartitionedCol(id NodeID, n *node, cp ops.ColPartitionab
 			} else if ts > maxTs[port] {
 				maxTs[port] = ts
 			}
-			k := int(cp.PartitionHash(port, e.Tuple) % uint64(p))
+			k := int(cp.PartitionHash(port, e.Tuple) % uint64(act))
 			n.stats.Routed[k]++
 			addElem(k, port, e, seq)
 			seq++
@@ -312,7 +340,7 @@ func (r *concRun) runKeyPartitionedCol(id NodeID, n *node, cp ops.ColPartitionab
 			} else if ts > maxTs[port] {
 				maxTs[port] = ts
 			}
-			k := int(ent.hs[idx] % uint64(p))
+			k := int(ent.hs[idx] % uint64(act))
 			n.stats.Routed[k]++
 			t := &open[k]
 			if t.ports == nil {
@@ -478,6 +506,11 @@ func (r *concRun) runKeyPartitionedCol(id NodeID, n *node, cp ops.ColPartitionab
 		}
 		kbars := 0
 		for m := range r.chans[id] {
+			if r.adapt != nil {
+				if want := int(atomic.LoadInt32(&r.adapt.wantP[id])); want != act && want >= 1 && want <= p {
+					doRescale(want)
+				}
+			}
 			if m.col != nil {
 				atomic.AddInt64(&r.pending[id], -int64(m.col.N()))
 				n.stats.Batches++

@@ -457,3 +457,26 @@ func TestE22Shape(t *testing.T) {
 		t.Errorf("only %v checkpoint epochs committed; interval too coarse to exercise recovery", epochs)
 	}
 }
+
+func TestE25Shape(t *testing.T) {
+	tb := E25AdaptiveOverload(testScale)
+	// Rows: 0 static p=1, 1 static p=ceiling, 2 adaptive.
+	if d := num(t, tb, 0, 2); d != 100 {
+		t.Errorf("static config delivered %v%%, want 100 (backpressure, not loss)", d)
+	}
+	if q := num(t, tb, 2, 3); q < 90 {
+		t.Errorf("adaptive QoS-weighted output = %v%%, want >= 90", q)
+	}
+	if aq, sq := num(t, tb, 2, 4), num(t, tb, 0, 4); aq > sq {
+		t.Errorf("adaptive max queue %v exceeds static %v: controller failed to bound queues", aq, sq)
+	}
+	identity := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "byte-identical") && strings.HasSuffix(n, "true") {
+			identity = true
+		}
+	}
+	if !identity {
+		t.Error("below-capacity adaptive run not byte-identical to the serial engine")
+	}
+}

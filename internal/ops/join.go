@@ -258,6 +258,10 @@ type WindowJoin struct {
 	colKern      expr.ColumnKernel
 	col          colJoinScratch
 	colFallbacks int64
+	// Cold-probe heuristic bookkeeping (joincol.go colDecide): rows seen
+	// and emitted-counter mark since the last fast-vs-cold decision.
+	colRowsSince int64
+	colEmitMark  int64
 }
 
 // JoinConfig configures one side of a WindowJoin.

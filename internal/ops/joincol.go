@@ -65,8 +65,48 @@ type ColPartitionable interface {
 const (
 	colJoinNone = int8(iota) // not planned yet
 	colJoinFast              // vectorized probe/insert straight off the columns
-	colJoinRow               // gather each row, rerun the row path
+	colJoinRow               // gather each row, rerun the row path (envelope miss; permanent)
+	colJoinCold              // demoted to the row path by the cold-probe heuristic; recheckable
 )
+
+// Cold-probe heuristic thresholds (colDecide). The vectorized probe
+// pays slab materialization and a pairs pipeline per row; that only
+// amortizes when probes actually match. On cold workloads — large
+// high-cardinality windows where nearly every probe misses (the
+// documented 1M-key no-match regression, 0.55x vs the row path) — the
+// row path's bare hash-miss is cheaper, so instances demote themselves
+// when the observed match rate collapses and re-promote on drift.
+const (
+	colDecideEvery   = 1024     // rows between match-rate re-evaluations
+	colColdMinWindow = 1024     // smallest resident window that may demote
+	colColdRate      = 1.0 / 64 // demote below this emitted-pairs-per-row rate
+	colWarmRate      = 1.0 / 16 // promote back above this rate (hysteresis)
+)
+
+// colDecide re-evaluates the fast-vs-cold choice every colDecideEvery
+// rows. Both paths maintain identical join state (the slab tuples land
+// in the same FIFO and index), so flipping the plan mid-stream is
+// semantically invisible; demoted batches are counted in colFallbacks
+// like any other row rerouting.
+func (j *WindowJoin) colDecide(rows int) {
+	j.colRowsSince += int64(rows)
+	if j.colRowsSince < colDecideEvery {
+		return
+	}
+	rate := float64(j.emitted-j.colEmitMark) / float64(j.colRowsSince)
+	j.colRowsSince = 0
+	j.colEmitMark = j.emitted
+	switch j.colPlan {
+	case colJoinFast:
+		if rate < colColdRate && j.sides[0].fifo.Len()+j.sides[1].fifo.Len() >= colColdMinWindow {
+			j.colPlan = colJoinCold
+		}
+	case colJoinCold:
+		if rate > colWarmRate {
+			j.colPlan = colJoinFast
+		}
+	}
+}
 
 // colJoinScratch is the per-instance scratch of the columnar join path.
 // All slices are reused across batches; none survive a call except as
@@ -303,7 +343,11 @@ func (j *WindowJoin) ProcessBatch(port int, b *stream.Batch, emitB EmitBatch, em
 	if j.colPlan != colJoinFast {
 		j.colFallbacks++
 		elems := b.AppendRows(j.col.elems[:0])
+		rows := 0
 		for _, e := range elems {
+			if !e.IsPunct() {
+				rows++
+			}
 			j.Push(port, e, emit)
 		}
 		for i := range elems {
@@ -311,6 +355,9 @@ func (j *WindowJoin) ProcessBatch(port int, b *stream.Batch, emitB EmitBatch, em
 		}
 		j.col.elems = elems[:0]
 		b.Release()
+		if j.colPlan == colJoinCold {
+			j.colDecide(rows)
+		}
 		return
 	}
 	rows := rampRows(b, &j.col.ramp)
@@ -327,6 +374,7 @@ func (j *WindowJoin) ProcessBatch(port int, b *stream.Batch, emitB EmitBatch, em
 	}
 	out := j.colPool.Get()
 	j.processColRows(port, b, rows, out, nil)
+	j.colDecide(len(rows))
 	b.Release()
 	if out.Rows() > 0 {
 		emitB(out)
@@ -349,7 +397,9 @@ func (j *WindowJoin) ProcessColSpan(port int, b *stream.Batch, rows []int32, out
 			// ProcessBatch case); the span contract always tracks.
 			ends = make([]int32, 0, len(rows))
 		}
-		return j.processColRows(port, b, rows, out, ends)
+		ends = j.processColRows(port, b, rows, out, ends)
+		j.colDecide(len(rows))
+		return ends
 	}
 	j.colFallbacks++
 	tups := j.col.slab.materialize(b, rows)
@@ -357,6 +407,9 @@ func (j *WindowJoin) ProcessColSpan(port int, b *stream.Batch, rows []int32, out
 	for i := range tups {
 		j.Push(port, stream.Tup(&tups[i]), emit)
 		ends = append(ends, int32(out.Rows()))
+	}
+	if j.colPlan == colJoinCold {
+		j.colDecide(len(tups))
 	}
 	return ends
 }

@@ -1,0 +1,213 @@
+package ops
+
+// StateRescaler contract tests: a replica set re-split from P to P'
+// through Snapshot + RestorePartition must keep processing as if no
+// rescale had happened — the union of the new replicas' outputs equals
+// the unpartitioned reference's output multiset, folded counters
+// survive on replica 0, and malformed rescales are rejected before any
+// state is mutated.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streamdb/internal/ckpt"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+	"streamdb/internal/window"
+)
+
+// rescaleStep is one interleaved input element: port 0 or 1.
+type rescaleStep struct {
+	port int
+	t    *tuple.Tuple
+}
+
+func rescaleTrace(n int, keys uint32, seed int64) []rescaleStep {
+	rng := rand.New(rand.NewSource(seed))
+	steps := make([]rescaleStep, n)
+	for i := range steps {
+		steps[i] = rescaleStep{
+			port: rng.Intn(2),
+			t:    ab(int64(i), uint32(rng.Int31n(int32(keys)))),
+		}
+	}
+	return steps
+}
+
+// runResc drives a set of replicas through an interleaved trace: data
+// hashed to hash%len(reps), punctuations broadcast. Returns per-replica
+// output multisets merged into one.
+func runResc(kp KeyPartitionable, reps []Operator, steps []rescaleStep, out map[string]int) {
+	p := uint64(len(reps))
+	for _, s := range steps {
+		k := kp.PartitionHash(s.port, s.t) % p
+		reps[k].Push(s.port, stream.Tup(s.t), func(e stream.Element) {
+			if !e.IsPunct() {
+				out[e.Tuple.String()]++
+			}
+		})
+	}
+}
+
+func TestWindowJoinRescaleMultisetEquivalence(t *testing.T) {
+	steps := rescaleTrace(2000, 8, 21)
+	collect := func(m map[string]int) func(stream.Element) {
+		return func(e stream.Element) {
+			if !e.IsPunct() {
+				m[e.Tuple.String()]++
+			}
+		}
+	}
+
+	// Reference: one unpartitioned join over the full trace.
+	ref := runJoin(t, JoinHash, JoinHash, window.Time(64, 64), window.Time(64, 64))
+	refOut := map[string]int{}
+	for _, s := range steps {
+		ref.Push(s.port, stream.Tup(s.t), collect(refOut))
+	}
+	ref.Flush(collect(refOut))
+	if len(refOut) == 0 {
+		t.Fatal("reference join produced nothing")
+	}
+
+	for _, shape := range []struct{ oldP, newP int }{{2, 3}, {3, 2}, {4, 1}, {1, 4}} {
+		label := fmt.Sprintf("%d->%d", shape.oldP, shape.newP)
+		parent := runJoin(t, JoinHash, JoinHash, window.Time(64, 64), window.Time(64, 64))
+		got := map[string]int{}
+
+		olds := make([]Operator, shape.oldP)
+		for k := range olds {
+			olds[k] = parent.ClonePartition()
+		}
+		runResc(parent, olds, steps[:1000], got)
+
+		// The rescale: snapshot every old replica, restore each new one.
+		sections := make([][]byte, shape.oldP)
+		for k, op := range olds {
+			enc := &ckpt.Encoder{}
+			if err := op.(ckpt.Snapshotter).Snapshot(enc); err != nil {
+				t.Fatalf("%s: snapshot replica %d: %v", label, k, err)
+			}
+			sections[k] = enc.Bytes()
+		}
+		news := make([]Operator, shape.newP)
+		for k := range news {
+			news[k] = parent.ClonePartition()
+			if err := news[k].(StateRescaler).RestorePartition(sections, k, shape.newP); err != nil {
+				t.Fatalf("%s: restore replica %d: %v", label, k, err)
+			}
+		}
+		runResc(parent, news, steps[1000:], got)
+		for _, op := range news {
+			op.Flush(collect(got))
+		}
+
+		if len(got) != len(refOut) {
+			t.Fatalf("%s: %d distinct rows, want %d", label, len(got), len(refOut))
+		}
+		for k, v := range refOut {
+			if got[k] != v {
+				t.Errorf("%s: row %q count %d, want %d", label, k, got[k], v)
+			}
+		}
+		// Fold-once counters land on replica 0: the replica-sum must cover
+		// the whole run exactly once.
+		var emitted int64
+		for _, op := range news {
+			emitted += op.(*WindowJoin).Emitted()
+		}
+		if emitted != ref.Emitted() {
+			t.Errorf("%s: replica-sum Emitted = %d, want %d", label, emitted, ref.Emitted())
+		}
+	}
+}
+
+func TestXJoinRescaleMultisetEquivalence(t *testing.T) {
+	steps := rescaleTrace(1500, 6, 33)
+	a, b := joinSchemas()
+	mk := func() *XJoin {
+		// A tiny budget forces the disk phase, so the rescale moves both
+		// in-memory and spilled tuples.
+		x, err := NewXJoin("rx", a, b, []int{1}, []int{1}, 4, 96, nil, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	collect := func(m map[string]int) func(stream.Element) {
+		return func(e stream.Element) {
+			if !e.IsPunct() {
+				m[e.Tuple.String()]++
+			}
+		}
+	}
+	ref := mk()
+	refOut := map[string]int{}
+	for _, s := range steps {
+		ref.Push(s.port, stream.Tup(s.t), collect(refOut))
+	}
+	ref.Flush(collect(refOut))
+	if len(refOut) == 0 {
+		t.Fatal("reference xjoin produced nothing")
+	}
+
+	parent := mk()
+	got := map[string]int{}
+	olds := make([]Operator, 2)
+	for k := range olds {
+		olds[k] = parent.ClonePartition()
+	}
+	runResc(parent, olds, steps[:700], got)
+	sections := make([][]byte, 2)
+	for k, op := range olds {
+		enc := &ckpt.Encoder{}
+		if err := op.(ckpt.Snapshotter).Snapshot(enc); err != nil {
+			t.Fatalf("snapshot replica %d: %v", k, err)
+		}
+		sections[k] = enc.Bytes()
+	}
+	news := make([]Operator, 3)
+	for k := range news {
+		news[k] = parent.ClonePartition()
+		if err := news[k].(StateRescaler).RestorePartition(sections, k, 3); err != nil {
+			t.Fatalf("restore replica %d: %v", k, err)
+		}
+	}
+	runResc(parent, news, steps[700:], got)
+	for _, op := range news {
+		op.Flush(collect(got))
+	}
+	if len(got) != len(refOut) {
+		t.Fatalf("rescaled xjoin: %d distinct rows, want %d", len(got), len(refOut))
+	}
+	for k, v := range refOut {
+		if got[k] != v {
+			t.Errorf("row %q: count %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestRescaleRejectsMalformed(t *testing.T) {
+	j := runJoin(t, JoinHash, JoinHash, window.Time(10, 10), window.Time(10, 10))
+	if err := j.RestorePartition(nil, 2, 2); err == nil {
+		t.Error("k >= p must fail")
+	}
+	if err := j.RestorePartition(nil, 0, 0); err == nil {
+		t.Error("p == 0 must fail")
+	}
+	// Restoring into a replica that already holds window state would
+	// silently double tuples; it must refuse.
+	emit := func(stream.Element) {}
+	j.Push(0, stream.Tup(ab(1, 1)), emit)
+	donor := runJoin(t, JoinHash, JoinHash, window.Time(10, 10), window.Time(10, 10))
+	donor.Push(0, stream.Tup(ab(2, 2)), emit)
+	enc := &ckpt.Encoder{}
+	if err := donor.Snapshot(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RestorePartition([][]byte{enc.Bytes()}, 0, 1); err == nil {
+		t.Error("restore into a non-empty window must fail")
+	}
+}

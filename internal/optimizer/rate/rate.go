@@ -63,6 +63,27 @@ func ChainCost(input float64, chain []Op) float64 {
 	return cost
 }
 
+// ChainDemand computes the uncapped total service demand of a pipeline
+// in operator-seconds per second: each operator is offered everything
+// its upstream would emit at full service (capacity-clamped throughput,
+// as in ChainOutput), but its own demand counts the full offered rate.
+// Unlike ChainCost — whose admitted/capacity terms saturate at 1 — the
+// result exceeds the number of operators exactly when no static
+// configuration can keep up, which makes it the scaling signal for
+// provisioning decisions: demand d needs ceil(d) servers, and demand
+// beyond the available pool predicts load shedding.
+func ChainDemand(input float64, chain []Op) float64 {
+	r := input
+	demand := 0.0
+	for _, op := range chain {
+		if !math.IsInf(op.Capacity, 1) {
+			demand += r / op.Capacity
+		}
+		r = math.Min(r, op.Capacity) * op.Sel
+	}
+	return demand
+}
+
 // Plan is an operator ordering with its predicted metrics.
 type Plan struct {
 	Order  []int // indexes into the op set

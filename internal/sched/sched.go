@@ -270,19 +270,30 @@ type Chain struct {
 func (*Chain) Name() string { return "Chain" }
 
 func (c *Chain) build(s *Sim) {
-	specs := s.Specs()
-	sizes := s.Sizes()
+	c.slopes = Slopes(s.Specs())
+	c.built = true
+}
+
+// Slopes computes the Chain policy's lower-envelope slopes from a chain
+// description: slopes[i] is the steepest memory drop per unit cost
+// achievable starting at stage i on the progress chart (cumulative cost
+// vs remaining tuple size). Higher slope = higher drain priority; the
+// adaptive runtime uses these to order which backlogged operators get
+// capacity first under pressure.
+func Slopes(specs []OpSpec) []float64 {
 	n := len(specs)
 	// Progress chart points: (cumulative cost, size) for stages 0..n.
 	cost := make([]float64, n+1)
 	size := make([]float64, n+1)
+	size[0] = 1
+	prod := 1.0
 	for i := 0; i < n; i++ {
 		cost[i+1] = cost[i] + specs[i].Cost
-		size[i+1] = sizes[i] * specs[i].Sel
+		prod *= specs[i].Sel
+		size[i+1] = prod
 	}
-	size[0] = 1
 	// Lower envelope: from each stage, the steepest drop achievable.
-	c.slopes = make([]float64, n)
+	slopes := make([]float64, n)
 	for i := 0; i < n; i++ {
 		best := 0.0
 		for j := i + 1; j <= n; j++ {
@@ -291,9 +302,9 @@ func (c *Chain) build(s *Sim) {
 				best = drop
 			}
 		}
-		c.slopes[i] = best
+		slopes[i] = best
 	}
-	c.built = true
+	return slopes
 }
 
 // Pick implements Policy.

@@ -1,0 +1,103 @@
+package sched
+
+// Snapshot/Restore round-trip for the scheduling simulator: a run cut
+// mid-stream and restored into a fresh Sim must continue exactly as the
+// uninterrupted run — same queue contents, same recorded series — for
+// every policy, including the stateful Chain whose progress chart is
+// configuration rebuilt at construction.
+
+import (
+	"math"
+	"testing"
+
+	"streamdb/internal/ckpt"
+)
+
+func TestSimSnapshotRestoreContinues(t *testing.T) {
+	arrivals := []int{3, 0, 2, 1, 0, 4, 0, 0, 1, 2}
+	for _, tc := range []struct {
+		label  string
+		policy func() Policy
+	}{
+		{"fifo", func() Policy { return FIFO{} }},
+		{"greedy", func() Policy { return Greedy{} }},
+		{"chain", func() Policy { return &Chain{} }},
+	} {
+		full, err := NewSim(slide43Chain(), tc.policy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		full.Run(len(arrivals), arrivals)
+
+		head, err := NewSim(slide43Chain(), tc.policy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		head.Run(4, arrivals[:4])
+		enc := &ckpt.Encoder{}
+		if err := head.Snapshot(enc); err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		tail, err := NewSim(slide43Chain(), tc.policy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tail.Restore(ckpt.NewDecoder(enc.Bytes())); err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		tail.Run(len(arrivals)-4, arrivals[4:])
+
+		if len(tail.Backlog) != len(full.Backlog) {
+			t.Fatalf("%s: %d backlog samples, want %d", tc.label, len(tail.Backlog), len(full.Backlog))
+		}
+		for i := range full.Backlog {
+			if math.Abs(tail.Backlog[i]-full.Backlog[i]) > 1e-9 {
+				t.Errorf("%s: backlog[%d] = %v, want %v", tc.label, i, tail.Backlog[i], full.Backlog[i])
+			}
+		}
+		if tail.Processed != full.Processed || math.Abs(tail.Emitted-full.Emitted) > 1e-9 {
+			t.Errorf("%s: processed/emitted (%d, %v), want (%d, %v)",
+				tc.label, tail.Processed, tail.Emitted, full.Processed, full.Emitted)
+		}
+	}
+}
+
+func TestSimRestoreRejectsChainMismatch(t *testing.T) {
+	s, err := NewSim(slide43Chain(), FIFO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3, []int{1, 1, 1})
+	enc := &ckpt.Encoder{}
+	if err := s.Snapshot(enc); err != nil {
+		t.Fatal(err)
+	}
+	longer, err := NewSim([]OpSpec{{Sel: 0.5, Cost: 1}, {Sel: 0.5, Cost: 1}, {Sel: 0, Cost: 1}}, FIFO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := longer.Restore(ckpt.NewDecoder(enc.Bytes())); err == nil {
+		t.Error("restore into a different chain length must fail")
+	}
+}
+
+// TestSlopesMatchChainSegments: the exported Slopes — the controller's
+// drain-priority signal — must agree with the progress chart Chain
+// builds internally: steeper first segments for more selective, cheaper
+// prefixes.
+func TestSlopesMatchChainSegments(t *testing.T) {
+	slopes := Slopes(slide43Chain())
+	if len(slopes) != 2 {
+		t.Fatalf("len(Slopes) = %d, want 2", len(slopes))
+	}
+	// Op 0 drops 0.8 of its input for cost 1; op 1 drops everything for
+	// cost 1. The chart's lower envelope gives op 0 the first segment.
+	if slopes[0] <= 0 || slopes[1] <= 0 {
+		t.Fatalf("slopes must be positive, got %v", slopes)
+	}
+	// A steeply selective cheap first op must out-rank a do-nothing op.
+	flat := Slopes([]OpSpec{{Sel: 1, Cost: 1}, {Sel: 0, Cost: 1}})
+	if slopes[0] <= flat[0] {
+		t.Errorf("selective op slope %v must exceed pass-through slope %v", slopes[0], flat[0])
+	}
+}

@@ -9,7 +9,9 @@ package shed
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"streamdb/internal/expr"
 	"streamdb/internal/ops"
@@ -20,9 +22,11 @@ import (
 // Random drops each tuple independently with probability Rate.
 // Punctuations always pass: they carry progress, not load.
 type Random struct {
-	name    string
-	sch     *tuple.Schema
-	rate    float64
+	name string
+	sch  *tuple.Schema
+	// rate holds math.Float64bits of the drop rate; atomic so a runtime
+	// controller can retune it while Push runs on another goroutine.
+	rate    uint64
 	rng     *rand.Rand
 	seed    int64 // retained so checkpoints can reconstruct rng state
 	draws   int64 // Float64 calls made; replayed on restore
@@ -34,7 +38,9 @@ func NewRandom(name string, sch *tuple.Schema, rate float64, seed int64) (*Rando
 	if rate < 0 || rate > 1 {
 		return nil, fmt.Errorf("shed: drop rate %v out of [0,1]", rate)
 	}
-	return &Random{name: name, sch: sch, rate: rate, seed: seed, rng: rand.New(rand.NewSource(seed))}, nil
+	r := &Random{name: name, sch: sch, seed: seed, rng: rand.New(rand.NewSource(seed))}
+	r.SetRate(rate)
+	return r, nil
 }
 
 // Name implements ops.Operator.
@@ -54,7 +60,7 @@ func (r *Random) Push(_ int, e stream.Element, emit ops.Emit) {
 	}
 	r.in++
 	r.draws++
-	if r.rng.Float64() < r.rate {
+	if r.rng.Float64() < r.Rate() {
 		return
 	}
 	r.out++
@@ -67,19 +73,14 @@ func (r *Random) Flush(ops.Emit) {}
 // MemSize implements ops.Operator.
 func (r *Random) MemSize() int { return 64 }
 
-// SetRate changes the drop rate (controller hook).
+// SetRate changes the drop rate (controller hook); safe to call
+// concurrently with Push.
 func (r *Random) SetRate(rate float64) {
-	if rate < 0 {
-		rate = 0
-	}
-	if rate > 1 {
-		rate = 1
-	}
-	r.rate = rate
+	atomic.StoreUint64(&r.rate, math.Float64bits(clampRate(rate)))
 }
 
 // Rate returns the current drop rate.
-func (r *Random) Rate() float64 { return r.rate }
+func (r *Random) Rate() float64 { return math.Float64frombits(atomic.LoadUint64(&r.rate)) }
 
 // Dropped reports how many tuples were shed.
 func (r *Random) Dropped() int64 { return r.in - r.out }
@@ -89,10 +90,12 @@ func (r *Random) Dropped() int64 { return r.in - r.out }
 // semantic filter — the "semantic load shedding" of slide 44, where the
 // dropped tuples are those least useful to the standing queries.
 type Semantic struct {
-	name    string
-	sch     *tuple.Schema
-	keep    expr.Expr
-	rate    float64
+	name string
+	sch  *tuple.Schema
+	keep expr.Expr
+	// rate holds math.Float64bits of the drop rate; atomic so a runtime
+	// controller can retune it while Push runs on another goroutine.
+	rate    uint64
 	rng     *rand.Rand
 	seed    int64 // retained so checkpoints can reconstruct rng state
 	draws   int64 // Float64 calls made; replayed on restore
@@ -108,7 +111,9 @@ func NewSemantic(name string, sch *tuple.Schema, keep expr.Expr, rate float64, s
 	if rate < 0 || rate > 1 {
 		return nil, fmt.Errorf("shed: drop rate %v out of [0,1]", rate)
 	}
-	return &Semantic{name: name, sch: sch, keep: keep, rate: rate, seed: seed, rng: rand.New(rand.NewSource(seed))}, nil
+	s := &Semantic{name: name, sch: sch, keep: keep, seed: seed, rng: rand.New(rand.NewSource(seed))}
+	s.SetRate(rate)
+	return s, nil
 }
 
 // Name implements ops.Operator.
@@ -134,7 +139,7 @@ func (s *Semantic) Push(_ int, e stream.Element, emit ops.Emit) {
 		return
 	}
 	s.draws++
-	if s.rng.Float64() < s.rate {
+	if s.rng.Float64() < s.Rate() {
 		return
 	}
 	s.out++
@@ -147,15 +152,23 @@ func (s *Semantic) Flush(ops.Emit) {}
 // MemSize implements ops.Operator.
 func (s *Semantic) MemSize() int { return 96 }
 
-// SetRate changes the drop rate for non-kept tuples.
+// SetRate changes the drop rate for non-kept tuples; safe to call
+// concurrently with Push.
 func (s *Semantic) SetRate(rate float64) {
-	if rate < 0 {
-		rate = 0
+	atomic.StoreUint64(&s.rate, math.Float64bits(clampRate(rate)))
+}
+
+// Rate returns the current drop rate.
+func (s *Semantic) Rate() float64 { return math.Float64frombits(atomic.LoadUint64(&s.rate)) }
+
+func clampRate(rate float64) float64 {
+	if rate < 0 || math.IsNaN(rate) {
+		return 0
 	}
 	if rate > 1 {
-		rate = 1
+		return 1
 	}
-	s.rate = rate
+	return rate
 }
 
 // Stats reports (input, output, kept-by-predicate) counts.

@@ -18,7 +18,7 @@ import (
 func (r *Random) Snapshot(enc *ckpt.Encoder) error {
 	enc.Varint(r.seed)
 	enc.Varint(r.draws)
-	enc.Float64(r.rate)
+	enc.Float64(r.Rate())
 	enc.Varint(r.in)
 	enc.Varint(r.out)
 	return nil
@@ -28,7 +28,7 @@ func (r *Random) Snapshot(enc *ckpt.Encoder) error {
 func (r *Random) Restore(dec *ckpt.Decoder) error {
 	seed := dec.Varint()
 	draws := dec.Varint()
-	r.rate = dec.Float64()
+	r.SetRate(dec.Float64())
 	r.in = dec.Varint()
 	r.out = dec.Varint()
 	if err := dec.Err(); err != nil {
@@ -46,7 +46,7 @@ func (r *Random) Restore(dec *ckpt.Decoder) error {
 func (s *Semantic) Snapshot(enc *ckpt.Encoder) error {
 	enc.Varint(s.seed)
 	enc.Varint(s.draws)
-	enc.Float64(s.rate)
+	enc.Float64(s.Rate())
 	enc.Varint(s.in)
 	enc.Varint(s.out)
 	enc.Varint(s.kept)
@@ -57,7 +57,7 @@ func (s *Semantic) Snapshot(enc *ckpt.Encoder) error {
 func (s *Semantic) Restore(dec *ckpt.Decoder) error {
 	seed := dec.Varint()
 	draws := dec.Varint()
-	s.rate = dec.Float64()
+	s.SetRate(dec.Float64())
 	s.in = dec.Varint()
 	s.out = dec.Varint()
 	s.kept = dec.Varint()

@@ -1,0 +1,153 @@
+package shed
+
+// Snapshot/Restore round-trips for the shedders: a restored shedder
+// must drop exactly the same tuples the original would have (the PRNG
+// position is part of the cut), carry the live rate across the cut —
+// including a rate raised mid-run by the adaptive controller — and
+// reject a snapshot from a differently-seeded operator.
+
+import (
+	"sync"
+	"testing"
+
+	"streamdb/internal/ckpt"
+	"streamdb/internal/expr"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+func TestRandomSnapshotRestoreContinuesExactly(t *testing.T) {
+	orig, err := NewRandom("shed", sch, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := func(r *Random, n int, from int64) []bool {
+		out := make([]bool, n)
+		for i := 0; i < n; i++ {
+			kept := false
+			r.Push(0, el(from+int64(i), from+int64(i)), func(stream.Element) { kept = true })
+			out[i] = kept
+		}
+		return out
+	}
+	drop(orig, 500, 0)
+	orig.SetRate(0.8) // controller raised the rate mid-run
+	drop(orig, 100, 500)
+	enc := &ckpt.Encoder{}
+	if err := orig.Snapshot(enc); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewRandom("shed", sch, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(ckpt.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Rate() != 0.8 {
+		t.Errorf("restored rate = %v, want the live 0.8, not the construction 0.4", restored.Rate())
+	}
+	a := drop(orig, 400, 600)
+	b := drop(restored, 400, 600)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tuple %d: original kept=%v, restored kept=%v", i, a[i], b[i])
+		}
+	}
+	if orig.Dropped() != restored.Dropped() {
+		t.Errorf("Dropped: original %d, restored %d", orig.Dropped(), restored.Dropped())
+	}
+}
+
+func TestSemanticSnapshotRestoreContinuesExactly(t *testing.T) {
+	keep, err := expr.NewBin(expr.OpGt, expr.MustColumn(sch, "v"), expr.Constant(tuple.Int(700)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *Semantic {
+		s, err := NewSemantic("sem", sch, keep, 0.5, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	orig := build()
+	feed := func(s *Semantic, n int, from int64) []bool {
+		out := make([]bool, n)
+		for i := 0; i < n; i++ {
+			kept := false
+			s.Push(0, el(from+int64(i), (from+int64(i))%1000), func(stream.Element) { kept = true })
+			out[i] = kept
+		}
+		return out
+	}
+	feed(orig, 600, 0)
+	enc := &ckpt.Encoder{}
+	if err := orig.Snapshot(enc); err != nil {
+		t.Fatal(err)
+	}
+	restored := build()
+	if err := restored.Restore(ckpt.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	a := feed(orig, 500, 600)
+	b := feed(restored, 500, 600)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tuple %d: original kept=%v, restored kept=%v", i, a[i], b[i])
+		}
+	}
+	oi, oo, ok := orig.Stats()
+	ri, ro, rk := restored.Stats()
+	if oi != ri || oo != ro || ok != rk {
+		t.Errorf("stats diverged: original (%d,%d,%d), restored (%d,%d,%d)", oi, oo, ok, ri, ro, rk)
+	}
+}
+
+func TestShedRestoreRejectsSeedMismatch(t *testing.T) {
+	orig, err := NewRandom("shed", sch, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := &ckpt.Encoder{}
+	if err := orig.Snapshot(enc); err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewRandom("shed", sch, 0.4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(ckpt.NewDecoder(enc.Bytes())); err == nil {
+		t.Error("restore with a different PRNG seed must fail")
+	}
+}
+
+// TestShedRateConcurrentSetGet: the adaptive controller writes the rate
+// from its own goroutine while the data path reads it per tuple; both
+// must be race-free and the write immediately visible.
+func TestShedRateConcurrentSetGet(t *testing.T) {
+	r, err := NewRandom("shed", sch, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			r.SetRate(float64(i%100) / 100)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		emit := func(stream.Element) {}
+		for i := 0; i < 2000; i++ {
+			r.Push(0, el(int64(i), int64(i)), emit)
+			_ = r.Rate()
+		}
+	}()
+	wg.Wait()
+	if got := r.Rate(); got < 0 || got > 1 {
+		t.Errorf("final rate = %v, want within [0,1]", got)
+	}
+}
