@@ -14,6 +14,7 @@ import (
 	"streamdb/internal/exec"
 	"streamdb/internal/expr"
 	"streamdb/internal/ops"
+	"streamdb/internal/optimizer/share"
 	"streamdb/internal/stream"
 	"streamdb/internal/synopsis"
 	"streamdb/internal/tuple"
@@ -809,6 +810,132 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 			b.ReportMetric(float64(2*nPerPort)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
 			if n == 0 {
 				b.Fatal("no join output")
+			}
+		})
+	}
+}
+
+// sharedSelectPreds builds the standing-query predicate fleet for the
+// shared-execution ablation: nq queries drawn round-robin from 32
+// distinct templates over the traffic schema — simple comparisons,
+// mirrored spellings, and AND-conjunctions sharing a leading conjunct
+// so the shared node's canonical dedupe and prefix factoring both
+// engage. Canonical conjunct order is lexical by rendering, so the
+// common conjuncts are chosen to sort before their per-query
+// refinements ("(length > 900)" < "(time > ...)"); refinement
+// timestamps are spread across [ts0, ts1], the trace's span.
+func sharedSelectPreds(b *testing.B, sch *tuple.Schema, nq int, ts0, ts1 int64) []expr.Expr {
+	b.Helper()
+	length := expr.MustColumn(sch, "length")
+	tcol := expr.MustColumn(sch, "time")
+	lit := func(n int64) expr.Expr { return expr.Constant(tuple.Int(n)) }
+	bin := func(op expr.BinOp, l, r expr.Expr) expr.Expr {
+		e, err := expr.NewBin(op, l, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	templates := make([]expr.Expr, 32)
+	for k := range templates {
+		th := int64(100 + 40*k)
+		after := bin(expr.OpGt, tcol,
+			expr.Constant(tuple.Time(ts0+(ts1-ts0)*int64(k/4+1)/10)))
+		switch k % 4 {
+		case 0:
+			templates[k] = bin(expr.OpGt, length, lit(th))
+		case 1:
+			templates[k] = bin(expr.OpLt, lit(th), length) // mirrored spelling
+		case 2: // 8 queries sharing leading conjunct length > 900
+			templates[k] = bin(expr.OpAnd, bin(expr.OpGt, length, lit(900)), after)
+		default: // 8 queries sharing leading conjunct length < 300
+			templates[k] = bin(expr.OpAnd, bin(expr.OpLt, length, lit(300)), after)
+		}
+	}
+	preds := make([]expr.Expr, nq)
+	for q := range preds {
+		preds[q] = templates[q%len(templates)]
+	}
+	return preds
+}
+
+// BenchmarkAblationSharedSelect is the multi-query sharing ablation
+// (DESIGN.md §15): nq standing queries over one traffic stream, run
+// unshared (one dedicated Select per query re-scanning every batch) vs
+// shared (one SharedSelect evaluating each distinct predicate once per
+// batch and fanning out selection-vector views). Per-query sinks just
+// count matches, so the measurement isolates predicate evaluation and
+// fan-out — the costs sharing changes. Throughput is source elems/s:
+// at high query counts the shared lane's near-flat per-batch cost is
+// the headline.
+func BenchmarkAblationSharedSelect(b *testing.B) {
+	const nElems = 1 << 15
+	const bs = 256
+	sch, raw := replayElems(b, nElems)
+	elems := raw[:0:0]
+	for _, e := range raw {
+		if !e.IsPunct() {
+			elems = append(elems, e)
+		}
+	}
+	batches := transposeElems(b, sch, elems, bs)
+	ts0, ts1 := elems[0].Ts(), elems[len(elems)-1].Ts()
+	for _, nq := range []int{1, 16, 256, 1024} {
+		preds := sharedSelectPreds(b, sch, nq, ts0, ts1)
+		b.Run(fmt.Sprintf("queries=%d/unshared", nq), func(b *testing.B) {
+			sels := make([]*ops.Select, nq)
+			for q, p := range preds {
+				sel, err := ops.NewSelect(fmt.Sprintf("q%d", q), sch, p, -1, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sels[q] = sel
+			}
+			var n int64
+			emitB := func(ob *stream.Batch) {
+				n += int64(ob.N())
+				ob.Release()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, cb := range batches {
+					for _, sel := range sels {
+						cb.Retain()
+						sel.ProcessBatch(0, cb, emitB, nil)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(elems))*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+			if n == 0 {
+				b.Fatal("no output")
+			}
+		})
+		b.Run(fmt.Sprintf("queries=%d/shared", nq), func(b *testing.B) {
+			ss := share.NewSharedSelect("ss", sch)
+			var n int64
+			for _, p := range preds {
+				_, err := ss.RegisterSinks(p, share.Sinks{
+					Row: func(stream.Element) { n++ },
+					Col: func(ob *stream.Batch) { n += int64(ob.N()) },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, cb := range batches {
+					cb.Retain()
+					ss.ProcessBatch(0, cb, nil, nil)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(elems))*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+			if n == 0 {
+				b.Fatal("no output")
 			}
 		})
 	}

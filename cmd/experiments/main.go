@@ -1,5 +1,5 @@
 // Command experiments regenerates every figure, table and worked
-// example of the tutorial (the E1-E25 index in DESIGN.md) and prints
+// example of the tutorial (the E1-E26 index in DESIGN.md) and prints
 // them in paper shape.
 //
 // Usage:
@@ -60,6 +60,7 @@ func main() {
 		{"E21", func() *experiments.Table { return experiments.E21TransportWire(s) }},
 		{"E22", func() *experiments.Table { return experiments.E22CrashRecovery(s, tmp()) }},
 		{"E25", func() *experiments.Table { return experiments.E25AdaptiveOverload(s) }},
+		{"E26", func() *experiments.Table { return experiments.E26SharedQueries(s) }},
 	}
 
 	want := map[string]bool{}

@@ -40,6 +40,7 @@ import (
 	"streamdb/internal/ckpt"
 	"streamdb/internal/dsms"
 	"streamdb/internal/exec"
+	"streamdb/internal/optimizer/share"
 	"streamdb/internal/query"
 	"streamdb/internal/stream"
 	"streamdb/internal/tuple"
@@ -422,8 +423,114 @@ func runHigh(d *dsms.Decomposition, ln net.Listener, cfg highConfig) {
 		st.Sessions, st.Reconnects, st.Dupes, st.Corrupt)
 }
 
+// multiTemplates are the standing-query shapes -mode multi instantiates
+// round-robin; only these distinct predicates are ever compiled, no
+// matter how many queries register.
+var multiTemplates = []string{
+	"select * from Traffic where length > 1200",
+	"select srcIP, length from Traffic where length > 1200",
+	"select * from Traffic where length < 100",
+	"select srcIP from Traffic where protocol = 17",
+	"select srcIP, destIP from Traffic where protocol = 6 and length > 512",
+	"select destIP from Traffic where length > 512 and protocol = 6",
+	"select * from Traffic",
+}
+
+// runMulti demonstrates multi-query processing (slide 45): nq standing
+// queries over one Traffic stream, served by a single shared fan-out
+// node. Queries register and drop at runtime — a third of the way in,
+// more queries join; at two thirds, some leave — without restarting or
+// re-planning the co-resident queries, whose outputs are unaffected.
+func runMulti(nq, n int, seed int64) {
+	cat := query.NewCatalog()
+	sch := stream.TrafficSchema("Traffic")
+	cat.Register("Traffic", sch)
+	sp := query.NewSharedPlan(cat)
+
+	counts := make([]int64, nq)
+	register := func(q int) int {
+		qq := q
+		id, err := sp.Register(multiTemplates[q%len(multiTemplates)],
+			share.Sinks{Row: func(e stream.Element) {
+				if !e.IsPunct() {
+					counts[qq]++
+				}
+			}})
+		if err != nil {
+			fatalf("register query %d: %v", q, err)
+		}
+		return id
+	}
+	// Two thirds of the fleet is standing before traffic starts.
+	initial := nq - nq/3
+	ids := make([]int, 0, nq)
+	for q := 0; q < initial; q++ {
+		ids = append(ids, register(q))
+	}
+
+	qu := stream.NewQueue(sch)
+	g := exec.NewGraph(func(stream.Element) {})
+	if err := sp.Build(g, map[string]stream.Source{"Traffic": qu}); err != nil {
+		fatalf("%v", err)
+	}
+	src := stream.Limit(stream.NewTrafficStream(seed, 100000, 5000), n)
+	fed := 0
+	pump := func(until int) {
+		for fed < until {
+			e, ok := src.Next()
+			if !ok {
+				break
+			}
+			qu.Feed(e)
+			fed++
+			if fed%1024 == 0 {
+				g.Pump(-1)
+			}
+		}
+		g.Pump(-1)
+	}
+
+	pump(n / 3)
+	// Runtime registration: the rest of the fleet joins the live graph.
+	for q := initial; q < nq; q++ {
+		ids = append(ids, register(q))
+	}
+	logf("multi: %d queries joined at element %d (no restart)", nq-initial, fed)
+	pump(2 * n / 3)
+	// Runtime drop: every fourth query leaves.
+	dropped := 0
+	for q := 0; q < nq; q += 4 {
+		if err := sp.Drop(ids[q]); err != nil {
+			fatalf("drop query %d: %v", q, err)
+		}
+		dropped++
+	}
+	logf("multi: %d queries dropped at element %d (co-resident queries undisturbed)", dropped, fed)
+	pump(n)
+	g.Finish()
+
+	node := sp.Node("Traffic")
+	shared, naive := node.Stats()
+	fmt.Printf("multi-query: %d elements through %d standing queries (%d live at end)\n",
+		fed, nq, sp.Queries())
+	fmt.Printf("  %d distinct predicates, %d kernel nodes after prefix factoring\n",
+		node.DistinctPredicates(), node.KernelNodes())
+	fmt.Printf("  predicate evaluations: %d shared vs %d per-query deployment (%.1fx saving)\n",
+		shared, naive, float64(naive)/float64(shared))
+	show := nq
+	if show > 8 {
+		show = 8
+	}
+	for q := 0; q < show; q++ {
+		fmt.Printf("  q%-3d %-70s %8d rows\n", q, multiTemplates[q%len(multiTemplates)], counts[q])
+	}
+	if show < nq {
+		fmt.Printf("  ... %d more queries\n", nq-show)
+	}
+}
+
 func main() {
-	mode := flag.String("mode", "demo", "high | low | demo")
+	mode := flag.String("mode", "demo", "high | low | demo | multi")
 	listen := flag.String("listen", ":7070", "high: listen address")
 	connect := flag.String("connect", "localhost:7070", "low: high-level node address")
 	nodes := flag.Int("nodes", 2, "high/demo: number of low-level nodes")
@@ -438,8 +545,13 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "high/demo: durable checkpoint directory (empty = disabled); on restart the merge state is recovered and sessions replay from the committed floor")
 	ckptEvery := flag.Int("checkpoint-interval", 5000, "high/demo: partial records between checkpoints")
 	stats := flag.Duration("stats", 0, "high/demo: period between per-node NodeStats JSON dumps on stderr (0 = disabled); each line snapshots In/Out/MaxQueue/MaxMemory/Routed/Batches/RowFallbacks plus the adaptive controller's live BatchTarget, Replicas, ShedRate and Rescales")
+	queries := flag.Int("queries", 64, "multi: number of standing queries sharing one Traffic scan")
 	flag.Parse()
 
+	if *mode == "multi" {
+		runMulti(*queries, *n, *seed)
+		return
+	}
 	d := decomposition()
 	switch *mode {
 	case "high":

@@ -1,13 +1,18 @@
 // Multi-query stream processing (slide 45): many standing queries over
-// the same streams share work. Part 1 shares selection predicates;
-// part 2 shares one physical sliding-window join among queries with
-// different window sizes [HFAE03].
+// the same streams share work. Part 1 runs 100 monitoring queries
+// through ONE shared fan-out node on the engine's columnar lane — each
+// batch is scanned once per distinct predicate and every query receives
+// a selection-vector view of the same retained batch, zero data
+// movement per subscriber. Part 2 shares one physical sliding-window
+// join among queries with different window sizes [HFAE03], routing the
+// join's output batches by a compiled timestamp-distance kernel.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"streamdb/internal/exec"
 	"streamdb/internal/expr"
 	"streamdb/internal/optimizer/share"
 	"streamdb/internal/stream"
@@ -20,7 +25,8 @@ func main() {
 	proto := expr.MustColumn(sch, "protocol")
 
 	// Part 1: 100 monitoring queries, but only 5 distinct predicates —
-	// the shared evaluator computes each once per tuple.
+	// the shared node compiles each into a selection-vector kernel and
+	// evaluates it once per column batch.
 	ss := share.NewSharedSelect("monitors", sch)
 	matched := make([]int, 100)
 	for q := 0; q < 100; q++ {
@@ -38,27 +44,38 @@ func main() {
 			pred, _ = expr.NewBin(expr.OpGt, length, expr.Constant(tuple.Int(600)))
 		}
 		qq := q
-		if _, err := ss.Register(pred, func(stream.Element) { matched[qq]++ }); err != nil {
+		_, err := ss.RegisterSinks(pred, share.Sinks{
+			Row: func(stream.Element) { matched[qq]++ },
+			// Columnar fast lane: a borrowed view over the shared batch,
+			// matches counted straight off the selection vector.
+			Col: func(b *stream.Batch) { matched[qq] += b.N() },
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	src := stream.Limit(stream.NewTrafficStream(5, 50000, 500), 100000)
-	for {
-		e, ok := src.Next()
-		if !ok {
-			break
-		}
-		ss.Push(e)
+	g := exec.NewGraph(func(stream.Element) {})
+	si := g.AddSource(stream.Limit(stream.NewTrafficStream(5, 50000, 500), 100000))
+	fid, err := g.AddSharedFanOut(ss)
+	if err != nil {
+		log.Fatal(err)
 	}
-	shared, unshared := ss.Stats()
-	fmt.Printf("selection sharing: 100 queries, %d distinct predicates\n", ss.DistinctPredicates())
-	fmt.Printf("  evaluations: %d shared vs %d unshared (%.0fx saving)\n",
-		shared, unshared, float64(unshared)/float64(shared))
+	if err := g.ConnectSource(si, fid, 0); err != nil {
+		log.Fatal(err)
+	}
+	g.RunWith(-1, exec.RunOptions{Columnar: true, BatchSize: 256})
+	st := g.Stats(fid)
+	fmt.Printf("selection sharing: 100 queries, %d distinct predicates, %d kernel nodes\n",
+		ss.DistinctPredicates(), ss.KernelNodes())
+	fmt.Printf("  row evaluations: %d shared vs %d unshared (%.0fx saving)\n",
+		st.SharedEvals, st.NaiveEvals, float64(st.NaiveEvals)/float64(st.SharedEvals))
 	fmt.Printf("  example outputs: q0 matched %d tuples, q2 matched %d\n\n", matched[0], matched[2])
 
 	// Part 2: five correlation queries joining the same two streams on
 	// destIP, with windows from 1s to 16s, served by ONE join sized for
-	// the largest window.
+	// the largest window. Input arrives as column batches; the join's
+	// output batches are routed to subscribers by a compiled
+	// |ts_l - ts_r| <= w kernel per distinct window.
 	a := tuple.NewSchema("A",
 		tuple.Field{Name: "time", Kind: tuple.KindTime, Ordering: true},
 		tuple.Field{Name: "destIP", Kind: tuple.KindIP},
@@ -75,6 +92,7 @@ func main() {
 		queries = append(queries, share.JoinQuery{
 			Window: win,
 			Sink:   func(stream.Element) { results[qq]++ },
+			Col:    func(ob *stream.Batch) { results[qq] += ob.N() },
 		})
 	}
 	sj, err := share.NewSharedWindowJoin("sj", a, b, []int{1}, []int{1}, queries)
@@ -83,23 +101,46 @@ func main() {
 	}
 	genA := stream.Limit(stream.NewTrafficStream(6, 2000, 50), 20000)
 	genB := stream.Limit(stream.NewTrafficStream(7, 200, 50), 2000)
-	toAB := func(e stream.Element) stream.Element {
+	poolA := stream.NewColPool(a, 256)
+	poolB := stream.NewColPool(b, 256)
+	curA, curB := poolA.Get(), poolB.Get()
+	flush := func(port int) {
+		if port == 0 && curA.Rows() > 0 {
+			sj.ProcessBatch(0, curA, nil, nil)
+			curA = poolA.Get()
+		}
+		if port == 1 && curB.Rows() > 0 {
+			sj.ProcessBatch(1, curB, nil, nil)
+			curB = poolB.Get()
+		}
+	}
+	toAB := func(e stream.Element) *tuple.Tuple {
 		t := e.Tuple
-		return stream.Tup(tuple.New(t.Ts, t.Vals[0], t.Vals[2]))
+		return tuple.New(t.Ts, t.Vals[0], t.Vals[2])
 	}
 	for {
 		ea, okA := genA.Next()
-		if okA {
-			sj.Push(0, toAB(ea))
+		if okA && !ea.IsPunct() {
+			curA.AppendRow(toAB(ea))
+			if curA.Rows() >= 256 {
+				flush(0)
+			}
 		}
 		eb, okB := genB.Next()
-		if okB {
-			sj.Push(1, toAB(eb))
+		if okB && !eb.IsPunct() {
+			curB.AppendRow(toAB(eb))
+			if curB.Rows() >= 256 {
+				flush(1)
+			}
 		}
 		if !okA && !okB {
 			break
 		}
 	}
+	flush(0)
+	flush(1)
+	curA.Release()
+	curB.Release()
 	probes, routed := sj.Stats()
 	fmt.Println("shared window join: 5 queries, windows 1s..16s, one state store")
 	for q, r := range results {

@@ -75,6 +75,28 @@ type NodeStats struct {
 	// Rescales counts live key-partition re-splits applied to this node
 	// by the adaptive controller on the last concurrent run.
 	Rescales int64
+	// SharedEvals/NaiveEvals mirror the work counters of a shared
+	// multi-query fan-out node (optimizer/share): evaluations the
+	// shared node actually performed vs what an unshared per-query
+	// deployment would have spent on the same input. The ratio is the
+	// node's live sharing degree. Zero for ordinary operators.
+	SharedEvals int64
+	NaiveEvals  int64
+}
+
+// sharedEvalStats is implemented by shared multi-query fan-out
+// operators (e.g. share.SharedSelect); Stats/AllStats fold the
+// counters into NodeStats so introspection surfaces (streamd -stats)
+// see sharing degrees without importing the sharing layer.
+type sharedEvalStats interface {
+	EvalStats() (shared, naive int64)
+}
+
+func foldShared(op ops.Operator, st NodeStats) NodeStats {
+	if se, ok := op.(sharedEvalStats); ok {
+		st.SharedEvals, st.NaiveEvals = se.EvalStats()
+	}
+	return st
 }
 
 // NamedStats pairs a node with its counters for introspection dumps
@@ -91,7 +113,7 @@ type NamedStats struct {
 func (g *Graph) AllStats() []NamedStats {
 	out := make([]NamedStats, len(g.nodes))
 	for i, n := range g.nodes {
-		out[i] = NamedStats{Node: NodeID(i), Op: n.op.Name(), NodeStats: n.stats}
+		out[i] = NamedStats{Node: NodeID(i), Op: n.op.Name(), NodeStats: foldShared(n.op, n.stats)}
 	}
 	return out
 }
@@ -267,7 +289,20 @@ func (g *Graph) checkPort(to NodeID, port int) error {
 }
 
 // Stats returns a node's counters.
-func (g *Graph) Stats(id NodeID) NodeStats { return g.nodes[id].stats }
+func (g *Graph) Stats(id NodeID) NodeStats {
+	n := g.nodes[id]
+	return foldShared(n.op, n.stats)
+}
+
+// AddSharedFanOut registers a shared multi-query fan-out node (e.g.
+// share.SharedSelect) and terminates it at the graph output: the node
+// delivers results to its own per-query sinks — as selection-vector
+// views on the columnar lane — and emits nothing downstream, so the
+// output edge exists only to give the engine a complete topology.
+func (g *Graph) AddSharedFanOut(op ops.Operator) (NodeID, error) {
+	id := g.AddOp(op)
+	return id, g.ConnectOut(id)
+}
 
 // peek returns the source's next element without consuming it. Sources
 // implementing stream.Resumable are not marked exhausted when they run

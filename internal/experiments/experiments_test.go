@@ -480,3 +480,35 @@ func TestE25Shape(t *testing.T) {
 		t.Error("below-capacity adaptive run not byte-identical to the serial engine")
 	}
 }
+
+func TestE26Shape(t *testing.T) {
+	tb := E26SharedQueries(testScale)
+	// Rows: queries 1, 16, 64, 256. Columns: 0 queries, 5 evalSaving,
+	// 9 identical.
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4:\n%s", len(tb.Rows), tb)
+	}
+	for r := range tb.Rows {
+		if got := cell(t, tb, r, 9); got != "true" {
+			t.Errorf("row %d (queries=%s): shared outputs not byte-identical to per-query deployment:\n%s",
+				r, cell(t, tb, r, 0), tb)
+		}
+	}
+	// The acceptance floor: >= 5x work reduction at 256 queries.
+	if s := num(t, tb, 3, 5); s < 5 {
+		t.Errorf("eval saving at 256 queries = %vx, want >= 5x:\n%s", s, tb)
+	}
+	// Savings must grow with query count (near-flat shared per-batch cost).
+	if s16, s256 := num(t, tb, 1, 5), num(t, tb, 3, 5); s256 <= s16 {
+		t.Errorf("eval saving did not grow with query count: 16 -> %vx, 256 -> %vx", s16, s256)
+	}
+	churn := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "register/drop") && strings.HasSuffix(n, "true") {
+			churn = true
+		}
+	}
+	if !churn {
+		t.Error("mid-run register/drop disturbed co-resident outputs")
+	}
+}

@@ -208,7 +208,7 @@ func E14MultiQuerySharing(scale Scale) *Table {
 			if !ok {
 				break
 			}
-			ss.Push(e)
+			ss.Push(0, e, nil)
 		}
 		sharedEvals, unsharedEvals := ss.Stats()
 		t.AddRow(nq, "select (4 distinct preds)", sharedEvals, unsharedEvals,
@@ -230,7 +230,7 @@ func E14MultiQuerySharing(scale Scale) *Table {
 		}
 		input := genJoinInput(15, n/5, 50)
 		for _, in := range input {
-			sj.Push(in.port, stream.Tup(in.t))
+			sj.Push(in.port, stream.Tup(in.t), nil)
 		}
 		probes, _ := sj.Stats()
 		unshared := sj.UnsharedProbeEstimate()

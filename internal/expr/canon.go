@@ -1,0 +1,98 @@
+package expr
+
+import "sort"
+
+// Canonical normalization of predicates, used wherever semantically
+// equal expressions must share one physical evaluation: the multi-query
+// sharing layer keys registered predicates on the canonical rendering,
+// so `a AND b` / `b AND a` and `x > 5` / `5 < x` land on the same
+// compiled kernel instead of defeating the dedupe.
+//
+// The rewrites preserve SQL three-valued semantics: comparisons are
+// mirrored (flipCmp), and AND/OR operand reordering cannot change the
+// result because both are commutative and associative under NULL
+// propagation and the operands are pure.
+
+// Canonical returns an equivalent expression in canonical form:
+//
+//   - comparisons with the literal on the left are mirrored so the
+//     non-literal operand comes first (`5 < x` becomes `x > 5`);
+//   - comparisons between two non-literals are mirrored, when needed,
+//     so the lexically smaller rendering comes first (`b = a` becomes
+//     `a = b`);
+//   - AND and OR trees are flattened, their operands canonicalized,
+//     deduplicated, and re-associated left-deep in lexical order.
+//
+// Canonical never mutates its argument; untouched subtrees are shared.
+func Canonical(e Expr) Expr {
+	switch x := e.(type) {
+	case *Bin:
+		switch {
+		case x.Op == OpAnd || x.Op == OpOr:
+			parts := flatten(x.Op, e, nil)
+			for i, p := range parts {
+				parts[i] = Canonical(p)
+			}
+			sort.SliceStable(parts, func(i, j int) bool {
+				return parts[i].String() < parts[j].String()
+			})
+			// Dedupe identical operands: x AND x = x, x OR x = x.
+			out := parts[:1]
+			for _, p := range parts[1:] {
+				if p.String() != out[len(out)-1].String() {
+					out = append(out, p)
+				}
+			}
+			acc := out[0]
+			for _, p := range out[1:] {
+				acc = &Bin{Op: x.Op, L: acc, R: p}
+			}
+			return acc
+		case x.Op.Comparison():
+			l, r := Canonical(x.L), Canonical(x.R)
+			_, lLit := l.(*Lit)
+			_, rLit := r.(*Lit)
+			flip := false
+			if lLit && !rLit {
+				flip = true
+			} else if lLit == rLit && l.String() > r.String() {
+				flip = true
+			}
+			if flip {
+				return &Bin{Op: flipCmp(x.Op), L: r, R: l}
+			}
+			return &Bin{Op: x.Op, L: l, R: r}
+		default:
+			return &Bin{Op: x.Op, L: Canonical(x.L), R: Canonical(x.R)}
+		}
+	case *Not:
+		return &Not{E: Canonical(x.E)}
+	case *Neg:
+		return &Neg{E: Canonical(x.E)}
+	case *IsNull:
+		return &IsNull{E: Canonical(x.E), Negate: x.Negate}
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Canonical(a)
+		}
+		return &Call{Fn: x.Fn, Args: args}
+	}
+	return e
+}
+
+// Conjuncts flattens the top-level AND tree of a predicate into its
+// conjunct list (a non-AND expression is its own single conjunct).
+// Applied to a Canonical expression the list comes out sorted, which is
+// what gives AND predicates with a common leading conjunct a common
+// prefix in the sharing layer's predicate trie.
+func Conjuncts(e Expr) []Expr {
+	return flatten(OpAnd, e, nil)
+}
+
+func flatten(op BinOp, e Expr, dst []Expr) []Expr {
+	if b, ok := e.(*Bin); ok && b.Op == op {
+		return flatten(op, b.R, flatten(op, b.L, dst))
+	}
+	return append(dst, e)
+}

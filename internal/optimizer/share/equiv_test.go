@@ -1,0 +1,409 @@
+package share
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"streamdb/internal/expr"
+	"streamdb/internal/ops"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// Shared-vs-unshared byte-equivalence: every query subscribed to a
+// shared node must observe exactly the element sequence a dedicated
+// per-query ops.Select would have produced — across predicate shapes
+// (mirrored/commuted spellings, AND prefixes, OR, modulo fallback,
+// constant TRUE), batch sizes, both lanes, punctuations, and late
+// tuples.
+
+func render(e stream.Element) string {
+	if e.IsPunct() {
+		return fmt.Sprintf("P@%d", e.Ts())
+	}
+	return fmt.Sprintf("%d|%v", e.Tuple.Ts, e.Tuple.Vals)
+}
+
+func renderBatch(b *stream.Batch, dst []string) []string {
+	n := b.N()
+	row := tuple.Tuple{Vals: make([]tuple.Value, len(b.Cols))}
+	for i := 0; i < n; i++ {
+		r := i
+		if b.Sel != nil {
+			r = int(b.Sel[i])
+		}
+		b.GatherRow(r, &row)
+		dst = append(dst, render(stream.Tup(&row)))
+	}
+	return dst
+}
+
+// equivInput builds the test stream: mostly ascending timestamps, a
+// late tuple burst, and punctuations mid-stream.
+func equivInput() []stream.Element {
+	var elems []stream.Element
+	for i := int64(0); i < 40; i++ {
+		ts := i
+		if i >= 12 && i < 15 { // late arrivals
+			ts = i - 10
+		}
+		elems = append(elems, el(ts, i))
+		if i == 10 || i == 25 {
+			elems = append(elems, stream.Punct(stream.ProgressPunct(ts, 0, tuple.Time(ts))))
+		}
+	}
+	return elems
+}
+
+func equivPreds(t *testing.T) []expr.Expr {
+	t.Helper()
+	v := expr.MustColumn(sch, "v")
+	ts := expr.MustColumn(sch, "time")
+	lit := func(n int64) expr.Expr { return expr.Constant(tuple.Int(n)) }
+	bin := func(op expr.BinOp, l, r expr.Expr) expr.Expr {
+		e, err := expr.NewBin(op, l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	return []expr.Expr{
+		bin(expr.OpGt, v, lit(5)), // v > 5
+		bin(expr.OpLt, lit(5), v), // 5 < v (mirrored)
+		bin(expr.OpAnd, bin(expr.OpGt, v, lit(2)), bin(expr.OpLt, v, lit(30))), // AND
+		bin(expr.OpAnd, bin(expr.OpLt, v, lit(30)), bin(expr.OpGt, v, lit(2))), // commuted AND
+		bin(expr.OpAnd, bin(expr.OpGt, v, lit(2)),
+			bin(expr.OpGt, ts, expr.Constant(tuple.Time(4)))), // shared prefix
+		bin(expr.OpEq, bin(expr.OpMod, v, lit(3)), lit(0)),                    // row-kernel fallback
+		expr.Constant(tuple.Bool(true)),                                       // TRUE
+		bin(expr.OpOr, bin(expr.OpLt, v, lit(3)), bin(expr.OpGt, v, lit(35))), // OR
+	}
+}
+
+// unsharedRow runs one dedicated ops.Select per query on the row lane:
+// the reference output.
+func unsharedRow(t *testing.T, preds []expr.Expr, input []stream.Element) [][]string {
+	t.Helper()
+	out := make([][]string, len(preds))
+	for q, p := range preds {
+		sel, err := ops.NewSelect(fmt.Sprintf("q%d", q), sch, p, -1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range input {
+			qq := q
+			sel.Push(0, e, func(o stream.Element) { out[qq] = append(out[qq], render(o)) })
+		}
+	}
+	return out
+}
+
+// unsharedCol runs one dedicated ops.Select per query on the columnar
+// lane, batches cut at punctuation boundaries like the engine does.
+func unsharedCol(t *testing.T, preds []expr.Expr, input []stream.Element, bs int) [][]string {
+	t.Helper()
+	out := make([][]string, len(preds))
+	sels := make([]*ops.Select, len(preds))
+	for q, p := range preds {
+		sel, err := ops.NewSelect(fmt.Sprintf("q%d", q), sch, p, -1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sels[q] = sel
+	}
+	feedBatch := func(b *stream.Batch) {
+		for q, sel := range sels {
+			qq := q
+			b.Retain()
+			sel.ProcessBatch(0, b, func(ob *stream.Batch) {
+				out[qq] = renderBatch(ob, out[qq])
+				ob.Release()
+			}, nil)
+		}
+	}
+	forEachBatch(input, bs, feedBatch, func(e stream.Element) {
+		for q, sel := range sels {
+			qq := q
+			sel.Push(0, e, func(o stream.Element) { out[qq] = append(out[qq], render(o)) })
+		}
+	})
+	return out
+}
+
+// forEachBatch transposes the data runs of input into batches of bs
+// rows, flushing at punctuations (which go through onPunct), the same
+// cut points the columnar engine produces.
+func forEachBatch(input []stream.Element, bs int, onBatch func(*stream.Batch), onPunct func(stream.Element)) {
+	pool := stream.NewColPool(sch, bs)
+	cur := pool.Get()
+	flush := func() {
+		if cur.Rows() > 0 {
+			onBatch(cur)
+			cur = pool.Get()
+		}
+	}
+	for _, e := range input {
+		if e.IsPunct() {
+			flush()
+			onPunct(e)
+			continue
+		}
+		cur.AppendRow(e.Tuple)
+		if cur.Rows() == bs {
+			flush()
+		}
+	}
+	flush()
+	cur.Release()
+}
+
+func TestSharedSelectEquivalenceMatrix(t *testing.T) {
+	preds := equivPreds(t)
+	input := equivInput()
+	golden := unsharedRow(t, preds, input)
+
+	// Row lane through the shared node.
+	{
+		ss := NewSharedSelect("ss", sch)
+		got := make([][]string, len(preds))
+		for q, p := range preds {
+			qq := q
+			if _, err := ss.Register(p, func(e stream.Element) {
+				got[qq] = append(got[qq], render(e))
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, e := range input {
+			ss.Push(0, e, nil)
+		}
+		compareOutputs(t, "shared/row", golden, got)
+	}
+
+	for _, bs := range []int{1, 7, 64} {
+		bs := bs
+		t.Run(fmt.Sprintf("batch%d", bs), func(t *testing.T) {
+			// Dedicated per-query Selects on the columnar lane agree
+			// with the row reference.
+			compareOutputs(t, "unshared/col", golden, unsharedCol(t, preds, input, bs))
+
+			// Shared node, columnar fan-out via Col sinks.
+			ss := NewSharedSelect("ss", sch)
+			got := make([][]string, len(preds))
+			for q, p := range preds {
+				qq := q
+				_, err := ss.RegisterSinks(p, Sinks{
+					Row: func(e stream.Element) { got[qq] = append(got[qq], render(e)) },
+					Col: func(b *stream.Batch) { got[qq] = renderBatch(b, got[qq]) },
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			forEachBatch(input, bs,
+				func(b *stream.Batch) { ss.ProcessBatch(0, b, nil, nil) },
+				func(e stream.Element) { ss.Push(0, e, nil) })
+			compareOutputs(t, "shared/col", golden, got)
+
+			// Shared node, columnar lane but row-only sinks (engine
+			// materialization path).
+			ss2 := NewSharedSelect("ss2", sch)
+			got2 := make([][]string, len(preds))
+			for q, p := range preds {
+				qq := q
+				if _, err := ss2.Register(p, func(e stream.Element) {
+					got2[qq] = append(got2[qq], render(e))
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			forEachBatch(input, bs,
+				func(b *stream.Batch) { ss2.ProcessBatch(0, b, nil, nil) },
+				func(e stream.Element) { ss2.Push(0, e, nil) })
+			compareOutputs(t, "shared/col-rowsinks", golden, got2)
+		})
+	}
+}
+
+func compareOutputs(t *testing.T, label string, want, got [][]string) {
+	t.Helper()
+	for q := range want {
+		if len(want[q]) != len(got[q]) {
+			t.Errorf("%s: query %d emitted %d elements, want %d", label, q, len(got[q]), len(want[q]))
+			continue
+		}
+		for i := range want[q] {
+			if want[q][i] != got[q][i] {
+				t.Errorf("%s: query %d element %d = %q, want %q", label, q, i, got[q][i], want[q][i])
+				break
+			}
+		}
+	}
+}
+
+// SharedWindowJoin: the columnar lane (batch join + distance-kernel
+// routing) must deliver each query the same results as the row lane.
+func TestSharedWindowJoinBatchEquivalence(t *testing.T) {
+	a, b := joinSchemas()
+	windows := []int64{3, 10, 40}
+	mkJoin := func(sinks []func(stream.Element), cols []func(*stream.Batch)) *SharedWindowJoin {
+		queries := make([]JoinQuery, len(windows))
+		for i, w := range windows {
+			queries[i] = JoinQuery{Window: w, Sink: sinks[i]}
+			if cols != nil {
+				queries[i].Col = cols[i]
+			}
+		}
+		sj, err := NewSharedWindowJoin("sj", a, b, []int{1}, []int{1}, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sj
+	}
+	mk := func(ts, k int64) *tuple.Tuple { return tuple.New(ts, tuple.Time(ts), tuple.Int(k)) }
+	type feed struct {
+		port int
+		rows []*tuple.Tuple
+	}
+	var feeds []feed
+	for i := int64(0); i < 12; i++ {
+		feeds = append(feeds,
+			feed{0, []*tuple.Tuple{mk(i*4, i%3), mk(i*4+1, (i+1)%3)}},
+			feed{1, []*tuple.Tuple{mk(i*4+2, i%3), mk(i*4+3, (i+2)%3)}})
+	}
+
+	// Row lane reference.
+	want := make([][]string, len(windows))
+	{
+		sinks := make([]func(stream.Element), len(windows))
+		for i := range windows {
+			ii := i
+			sinks[ii] = func(e stream.Element) { want[ii] = append(want[ii], render(e)) }
+		}
+		sj := mkJoin(sinks, nil)
+		for _, f := range feeds {
+			for _, r := range f.rows {
+				sj.Push(f.port, stream.Tup(r), nil)
+			}
+		}
+	}
+
+	// Columnar lane, Col sinks.
+	got := make([][]string, len(windows))
+	{
+		sinks := make([]func(stream.Element), len(windows))
+		cols := make([]func(*stream.Batch), len(windows))
+		for i := range windows {
+			ii := i
+			sinks[ii] = func(e stream.Element) { got[ii] = append(got[ii], render(e)) }
+			cols[ii] = func(ob *stream.Batch) { got[ii] = renderBatch(ob, got[ii]) }
+		}
+		sj := mkJoin(sinks, cols)
+		poolA := stream.NewColPool(a, 4)
+		poolB := stream.NewColPool(b, 4)
+		for _, f := range feeds {
+			pool := poolA
+			if f.port == 1 {
+				pool = poolB
+			}
+			cb := pool.Get()
+			for _, r := range f.rows {
+				cb.AppendRow(r)
+			}
+			sj.ProcessBatch(f.port, cb, nil, nil)
+		}
+	}
+	compareOutputs(t, "join/col", want, got)
+}
+
+// Concurrent register/drop under live traffic: run with -race. A query
+// registered before traffic starts must see every one of its matches
+// regardless of churn on other registrations.
+func TestSharedSelectConcurrentRegisterDrop(t *testing.T) {
+	ss := NewSharedSelect("ss", sch)
+	const rows = 4000
+	var baseline int64
+	if _, err := ss.Register(gt(t, -1), func(stream.Element) { baseline++ }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Churn: register and drop queries while traffic flows.
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			qid, err := ss.Register(gt(t, 500), func(stream.Element) {})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ss.Drop(qid)
+		}
+	}()
+	pool := stream.NewColPool(sch, 64)
+	cur := pool.Get()
+	for i := int64(0); i < rows; i++ {
+		if i%3 == 0 {
+			ss.Push(0, el(i, i), nil) // row lane
+			continue
+		}
+		cur.AppendRow(tuple.New(i, tuple.Time(i), tuple.Int(i)))
+		if cur.Rows() == 64 {
+			ss.ProcessBatch(0, cur, nil, nil)
+			cur = pool.Get()
+		}
+	}
+	ss.ProcessBatch(0, cur, nil, nil)
+	close(done)
+	wg.Wait()
+	if baseline != rows {
+		t.Errorf("baseline query saw %d of %d rows under churn", baseline, rows)
+	}
+}
+
+func TestSharedWindowJoinConcurrentRegisterDrop(t *testing.T) {
+	a, b := joinSchemas()
+	var baseline int64
+	sj, err := NewSharedWindowJoin("sj", a, b, []int{1}, []int{1},
+		[]JoinQuery{{Window: 50, Sink: func(stream.Element) { baseline++ }}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			qid, err := sj.Register(JoinQuery{Window: 5, Sink: func(stream.Element) {}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sj.Drop(qid)
+		}
+	}()
+	mk := func(ts, k int64) stream.Element {
+		return stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(k)))
+	}
+	for i := int64(0); i < 2000; i++ {
+		sj.Push(int(i%2), mk(i, i%5), nil)
+	}
+	close(done)
+	wg.Wait()
+	if baseline == 0 {
+		t.Error("baseline join query produced no results")
+	}
+}

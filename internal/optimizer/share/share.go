@@ -1,11 +1,29 @@
 // Package share implements multi-query processing on streams
-// (slide 45): sharing work between the select/project expressions of
-// concurrent queries, and sharing sliding-window join state between
-// queries that join the same streams with different windows [HFAE03].
+// (slide 45) as a batch-native shared execution layer: one scan of a
+// stream serves every standing query that reads it. Registered
+// predicates are canonicalized (expr.Canonical) and deduplicated into a
+// conjunct trie; each trie node compiles to one selection-vector kernel
+// (expr.CompileKernel) evaluated once per column batch, with AND
+// predicates that share a leading conjunct refining their parent's
+// selection vector instead of rescanning. Query fan-out is per-query
+// selection vectors over the same refcounted batch — zero data movement
+// per subscriber. SharedWindowJoin applies the same idea to sliding-
+// window joins: one physical join sized to the largest registered
+// window, its output batches routed by timestamp-distance kernels
+// [HFAE03].
+//
+// SharedSelect and SharedWindowJoin implement ops.Operator and
+// ops.BatchOperator, so they drop into exec graphs on both the row and
+// columnar lanes. Registration and removal are safe under live traffic:
+// every entry point takes the node's mutex, so register/drop
+// interleaves between elements/batches and never disturbs co-resident
+// queries.
 package share
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"streamdb/internal/expr"
 	"streamdb/internal/ops"
@@ -14,109 +32,401 @@ import (
 	"streamdb/internal/window"
 )
 
-// SharedSelect evaluates a set of registered query predicates over one
-// stream, evaluating each *distinct* predicate once per tuple and
-// fanning the tuple out to every subscribed query. Queries registering
-// a predicate with an identical rendering share its evaluation — the
-// common-subexpression sharing of traditional multi-query optimization
-// applied to streams.
+// Sinks is one query's output surface on a shared node. Row is
+// required: it receives the query's row-lane output and every
+// punctuation. Col, when set, is the columnar fast lane: it receives
+// the query's batch output as a selection-vector view over the shared
+// batch. The view is valid only for the duration of the call — the
+// shared node releases it afterwards — so a sink that keeps it must
+// Retain (and copy before the next batch arrives, since the selection
+// storage is reused).
+type Sinks struct {
+	Row ops.Emit
+	Col func(*stream.Batch)
+}
+
+// prefixNode is one conjunct in the shared predicate trie. A query
+// whose canonical predicate is the conjunct list c1..ck subscribes at
+// the node reached by walking c1..ck from the root; every prefix shared
+// with another query is evaluated once for both.
+type prefixNode struct {
+	conj     expr.Expr
+	key      string
+	kern     expr.ColumnKernel // compiled lazily, per node
+	parent   *prefixNode
+	children []*prefixNode
+	qids     []int // queries whose full predicate ends here, ascending
+
+	// Per-batch scratch, reset after fan-out.
+	sel       []int32
+	view      *stream.Batch
+	rows      []stream.Element
+	rowsValid bool
+}
+
+func (n *prefixNode) child(c expr.Expr) *prefixNode {
+	key := c.String()
+	for _, ch := range n.children {
+		if ch.key == key {
+			return ch
+		}
+	}
+	ch := &prefixNode{conj: c, key: key, parent: n}
+	n.children = append(n.children, ch)
+	return ch
+}
+
+type subscriber struct {
+	id    int
+	sinks Sinks
+	node  *prefixNode
+	nconj int64 // conjuncts in the full predicate: the naive-cost weight
+}
+
+// SharedSelect evaluates the predicates of every registered query over
+// one stream with shared work: each distinct canonical conjunct is
+// evaluated once per tuple (row lane) or once per batch (columnar
+// lane), and results fan out to subscribers as refcounted
+// selection-vector views. Per-query output is byte-identical to a
+// per-query ops.Select deployment.
 type SharedSelect struct {
 	name string
 	sch  *tuple.Schema
-	// preds holds the distinct predicates; queries maps each to the
-	// subscribed query IDs.
-	preds   []expr.Expr
-	byKey   map[string]int
-	subs    [][]int
-	sinks   map[int]ops.Emit
-	evals   int64
-	naive   int64 // evaluations an unshared deployment would perform
-	queries int
+
+	mu       sync.Mutex
+	root     prefixNode
+	subs     []*subscriber // ascending by id
+	byID     map[int]*subscriber
+	nextID   int
+	distinct int   // trie nodes holding >= 1 subscription
+	nodes    int   // total trie nodes (kernels compiled)
+	perTuple int64 // sum over live queries of their conjunct count
+	evals    int64
+	naive    int64 // evaluations an unshared deployment would perform
+
+	matchBuf []int
 }
 
 // NewSharedSelect builds an empty shared selection over the schema.
 func NewSharedSelect(name string, sch *tuple.Schema) *SharedSelect {
-	return &SharedSelect{
-		name: name, sch: sch,
-		byKey: make(map[string]int),
-		sinks: make(map[int]ops.Emit),
-	}
+	return &SharedSelect{name: name, sch: sch, byID: make(map[int]*subscriber)}
 }
 
-// Register adds a query with its predicate and output sink, returning
-// the query ID.
+// Register adds a query with its predicate and row sink, returning the
+// query ID. IDs are assigned in ascending registration order and never
+// reused.
 func (s *SharedSelect) Register(pred expr.Expr, sink ops.Emit) (int, error) {
+	return s.RegisterSinks(pred, Sinks{Row: sink})
+}
+
+// RegisterSinks adds a query with a full sink surface. The predicate is
+// canonicalized before dedupe, so commuted conjunctions and mirrored
+// comparisons share kernels with their equivalents. Safe to call while
+// traffic flows: the query takes effect at the next element/batch
+// boundary and co-resident queries are undisturbed.
+func (s *SharedSelect) RegisterSinks(pred expr.Expr, sk Sinks) (int, error) {
 	if pred.Kind() != tuple.KindBool {
 		return 0, fmt.Errorf("share: predicate must be boolean")
 	}
-	qid := s.queries
-	s.queries++
-	s.sinks[qid] = sink
-	key := pred.String()
-	i, ok := s.byKey[key]
-	if !ok {
-		i = len(s.preds)
-		s.preds = append(s.preds, pred)
-		s.subs = append(s.subs, nil)
-		s.byKey[key] = i
+	if sk.Row == nil {
+		return 0, fmt.Errorf("share: a row sink is required (Col is the optional fast lane)")
 	}
-	s.subs[i] = append(s.subs[i], qid)
+	conjs := expr.Conjuncts(expr.Canonical(pred))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := &s.root
+	for _, c := range conjs {
+		before := len(n.children)
+		n = n.child(c)
+		if len(n.parent.children) > before {
+			s.nodes++
+		}
+	}
+	if len(n.qids) == 0 {
+		s.distinct++
+	}
+	qid := s.nextID
+	s.nextID++
+	sub := &subscriber{id: qid, sinks: sk, node: n, nconj: int64(len(conjs))}
+	n.qids = append(n.qids, qid)
+	s.subs = append(s.subs, sub)
+	s.byID[qid] = sub
+	s.perTuple += sub.nconj
 	return qid, nil
 }
 
-// Push evaluates the distinct predicates once and routes the tuple.
-func (s *SharedSelect) Push(e stream.Element) {
+// Drop removes a query. Trie nodes that no longer serve any
+// subscription are pruned (and their kernels with them). Reports
+// whether the ID was live. Safe under live traffic.
+func (s *SharedSelect) Drop(qid int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub, ok := s.byID[qid]
+	if !ok {
+		return false
+	}
+	delete(s.byID, qid)
+	i := sort.Search(len(s.subs), func(i int) bool { return s.subs[i].id >= qid })
+	s.subs = append(s.subs[:i], s.subs[i+1:]...)
+	n := sub.node
+	for j, id := range n.qids {
+		if id == qid {
+			n.qids = append(n.qids[:j], n.qids[j+1:]...)
+			break
+		}
+	}
+	if len(n.qids) == 0 {
+		s.distinct--
+	}
+	for n != &s.root && len(n.qids) == 0 && len(n.children) == 0 {
+		p := n.parent
+		for j, ch := range p.children {
+			if ch == n {
+				p.children = append(p.children[:j], p.children[j+1:]...)
+				break
+			}
+		}
+		s.nodes--
+		n = p
+	}
+	s.perTuple -= sub.nconj
+	return true
+}
+
+// Name implements ops.Operator.
+func (s *SharedSelect) Name() string { return s.name }
+
+// OutSchema implements ops.Operator. The shared node's per-query output
+// carries the input schema; it emits nothing on its graph output edge.
+func (s *SharedSelect) OutSchema() *tuple.Schema { return s.sch }
+
+// NumInputs implements ops.Operator.
+func (s *SharedSelect) NumInputs() int { return 1 }
+
+// Flush implements ops.Operator; selection is stateless.
+func (s *SharedSelect) Flush(ops.Emit) {}
+
+// MemSize implements ops.Operator: trie scratch only.
+func (s *SharedSelect) MemSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return (s.nodes + 1) * 96
+}
+
+// Push implements ops.Operator: the row lane. Punctuations fan out to
+// every query's row sink in ascending query-ID order; data tuples walk
+// the trie (each conjunct evaluated once, children skipped when a
+// prefix fails) and are delivered to matching queries in ascending
+// query-ID order.
+func (s *SharedSelect) Push(_ int, e stream.Element, _ ops.Emit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if e.IsPunct() {
-		for _, sink := range s.sinks {
-			sink(e)
+		for _, sub := range s.subs {
+			sub.sinks.Row(e)
 		}
 		return
 	}
-	s.naive += int64(s.queries)
-	for i, p := range s.preds {
+	s.naive += s.perTuple
+	matched := s.collect(&s.root, e.Tuple, s.matchBuf[:0])
+	sort.Ints(matched)
+	for _, qid := range matched {
+		s.byID[qid].sinks.Row(e)
+	}
+	s.matchBuf = matched[:0]
+}
+
+// collect walks the trie for one tuple: a failing conjunct prunes its
+// whole subtree, a passing terminal contributes its subscribers.
+func (s *SharedSelect) collect(n *prefixNode, t *tuple.Tuple, matched []int) []int {
+	for _, c := range n.children {
 		s.evals++
-		if expr.EvalBool(p, e.Tuple) {
-			for _, qid := range s.subs[i] {
-				s.sinks[qid](e)
-			}
+		if !expr.EvalBool(c.conj, t) {
+			continue
 		}
+		if len(c.qids) > 0 {
+			matched = append(matched, c.qids...)
+		}
+		matched = s.collect(c, t, matched)
+	}
+	return matched
+}
+
+// ProcessBatch implements ops.BatchOperator: the columnar lane. Every
+// trie node's kernel runs once over the batch — children take the
+// parent's selection vector as input, so shared AND prefixes refine
+// instead of rescanning — and each query receives a view of the same
+// retained batch under its node's selection vector, in ascending
+// query-ID order. Queries without a Col sink get the view's rows
+// materialized once per node and replayed.
+func (s *SharedSelect) ProcessBatch(_ int, b *stream.Batch, _ ops.EmitBatch, _ ops.Emit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.naive += int64(b.N()) * s.perTuple
+	s.evalChildren(&s.root, b, b.Sel)
+	for _, sub := range s.subs {
+		n := sub.node
+		if len(n.sel) == 0 {
+			continue
+		}
+		if n.view == nil {
+			n.view = b.WithSel(n.sel)
+		}
+		if sub.sinks.Col != nil {
+			sub.sinks.Col(n.view)
+			continue
+		}
+		if !n.rowsValid {
+			n.rows = n.view.AppendRows(n.rows[:0])
+			n.rowsValid = true
+		}
+		for _, e := range n.rows {
+			sub.sinks.Row(e)
+		}
+	}
+	resetScratch(&s.root)
+	b.Release()
+}
+
+// emptySel is the non-nil empty selection: kernel inputs distinguish
+// nil (all rows) from empty (no rows), so an empty parent selection
+// must never be passed down as nil.
+var emptySel = []int32{}
+
+func (s *SharedSelect) evalChildren(n *prefixNode, b *stream.Batch, sel []int32) {
+	rows := int64(len(sel))
+	if sel == nil {
+		rows = int64(b.Rows())
+	}
+	for _, c := range n.children {
+		s.evals += rows
+		if c.kern == nil {
+			c.kern = expr.CompileKernel(c.conj, s.sch.Arity())
+		}
+		c.sel = c.kern(b.Cols, b.Ts, sel, c.sel[:0])
+		if len(c.children) > 0 {
+			// Children refine this node's selection vector.
+			ps := c.sel
+			if ps == nil {
+				ps = emptySel
+			}
+			s.evalChildren(c, b, ps)
+		}
+	}
+}
+
+func resetScratch(n *prefixNode) {
+	if n.view != nil {
+		n.view.Release()
+		n.view = nil
+	}
+	n.rowsValid = false
+	for _, c := range n.children {
+		resetScratch(c)
 	}
 }
 
 // Stats reports (shared evaluations performed, evaluations a per-query
-// deployment would have performed).
-func (s *SharedSelect) Stats() (shared, unshared int64) { return s.evals, s.naive }
+// deployment would have performed). Both count conjunct evaluations ×
+// tuples: the shared figure sums each trie node's actual input rows,
+// the naive figure charges every query its full conjunct count per
+// tuple.
+func (s *SharedSelect) Stats() (shared, unshared int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evals, s.naive
+}
 
-// DistinctPredicates reports how many predicate instances are evaluated
-// per tuple after sharing.
-func (s *SharedSelect) DistinctPredicates() int { return len(s.preds) }
+// EvalStats mirrors Stats for the execution engine's NodeStats
+// (SharedEvals / NaiveEvals).
+func (s *SharedSelect) EvalStats() (shared, naive int64) { return s.Stats() }
+
+// DistinctPredicates reports how many distinct full predicates are
+// evaluated after canonical dedupe.
+func (s *SharedSelect) DistinctPredicates() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.distinct
+}
+
+// KernelNodes reports the trie size: the number of compiled conjunct
+// kernels. With common-prefix factoring this is at most — and for
+// overlapping AND sets strictly less than — the total conjunct count of
+// the distinct predicates.
+func (s *SharedSelect) KernelNodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodes
+}
+
+// Queries reports the number of live registrations.
+func (s *SharedSelect) Queries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
 
 // JoinQuery is one query's window requirement on a shared join.
 type JoinQuery struct {
 	// Window is the query's join window in timestamp units: a result
 	// pair (a, b) belongs to the query iff |a.Ts - b.Ts| <= Window.
 	Window int64
-	Sink   ops.Emit
+	// Sink receives the query's row-lane results and punctuations.
+	Sink ops.Emit
+	// Col, when set, receives columnar results as selection-vector
+	// views over the shared output batch (same contract as Sinks.Col).
+	Col func(*stream.Batch)
+}
+
+type joinSub struct {
+	id    int
+	q     JoinQuery
+	group *winGroup
+}
+
+// winGroup shares distance routing between queries with equal windows:
+// one compiled `dist <= w` kernel, one selection vector, one view.
+type winGroup struct {
+	win  int64
+	kern expr.ColumnKernel
+	refs int
+
+	sel       []int32
+	view      *stream.Batch
+	rows      []stream.Element
+	rowsValid bool
 }
 
 // SharedWindowJoin executes one physical sliding-window equijoin sized
 // for the largest registered window and routes each result to exactly
 // the queries whose window covers the pair's timestamp distance
 // [HFAE03]. One state store and one probe per tuple serve all queries.
+// On the columnar lane the PR 8 batch join produces output batches and
+// routing happens per batch: pair distances are computed once into a
+// scratch column, and per distinct window a compiled timestamp-distance
+// kernel (`dist <= w`) selects that window's result span, fanned out as
+// views over the shared output batch.
 type SharedWindowJoin struct {
-	name    string
-	join    *ops.WindowJoin
-	queries []JoinQuery
-	maxWin  int64
-	lIdx    int // index of left timestamp in the join output
-	rIdx    int
-	probes  int64
-	routed  int64
+	name   string
+	join   *ops.WindowJoin
+	maxWin int64
+	lIdx   int // index of left timestamp in the join output
+	rIdx   int
+
+	mu     sync.Mutex
+	subs   []*joinSub // ascending by id
+	byID   map[int]*joinSub
+	nextID int
+	groups map[int64]*winGroup
+	routed int64
+
+	dist     []tuple.Value
+	distCols [][]tuple.Value
 }
 
 // NewSharedWindowJoin builds a shared join on the given key columns.
-// queries must be non-empty; the physical window is the maximum query
-// window.
+// queries must be non-empty; the physical window is sized to the
+// maximum query window (later Register calls must fit under it).
 func NewSharedWindowJoin(name string, left, right *tuple.Schema, leftKey, rightKey []int, queries []JoinQuery) (*SharedWindowJoin, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("share: no queries registered")
@@ -142,44 +452,226 @@ func NewSharedWindowJoin(name string, left, right *tuple.Schema, leftKey, rightK
 	if lOrd < 0 || rOrd < 0 {
 		return nil, fmt.Errorf("share: both inputs need ordering attributes")
 	}
-	return &SharedWindowJoin{
-		name: name, join: j, queries: queries, maxWin: maxWin,
+	s := &SharedWindowJoin{
+		name: name, join: j, maxWin: maxWin,
 		lIdx: lOrd, rIdx: left.Arity() + rOrd,
-	}, nil
+		byID:   make(map[int]*joinSub),
+		groups: make(map[int64]*winGroup),
+	}
+	s.distCols = [][]tuple.Value{nil}
+	for _, q := range queries {
+		if _, err := s.register(q); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
-// Push feeds one element into the shared join (port 0 = left).
-func (s *SharedWindowJoin) Push(port int, e stream.Element) {
-	s.join.Push(port, e, func(out stream.Element) {
-		lts, _ := out.Tuple.Vals[s.lIdx].AsTime()
-		rts, _ := out.Tuple.Vals[s.rIdx].AsTime()
-		dist := lts - rts
-		if dist < 0 {
-			dist = -dist
+// Register adds a query at runtime. Its window must fit the physical
+// join (<= the max window the join was sized for). Safe under live
+// traffic; co-resident queries are undisturbed.
+func (s *SharedWindowJoin) Register(q JoinQuery) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.register(q)
+}
+
+func (s *SharedWindowJoin) register(q JoinQuery) (int, error) {
+	if q.Window <= 0 {
+		return 0, fmt.Errorf("share: query window must be positive")
+	}
+	if q.Window > s.maxWin {
+		return 0, fmt.Errorf("share: window %d exceeds the physical join window %d", q.Window, s.maxWin)
+	}
+	if q.Sink == nil {
+		return 0, fmt.Errorf("share: a row sink is required")
+	}
+	g := s.groups[q.Window]
+	if g == nil {
+		g = &winGroup{win: q.Window}
+		s.groups[q.Window] = g
+	}
+	g.refs++
+	qid := s.nextID
+	s.nextID++
+	sub := &joinSub{id: qid, q: q, group: g}
+	s.subs = append(s.subs, sub)
+	s.byID[qid] = sub
+	return qid, nil
+}
+
+// Drop removes a query; its window group (and routing kernel) is freed
+// when the last subscriber leaves. Reports whether the ID was live.
+func (s *SharedWindowJoin) Drop(qid int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub, ok := s.byID[qid]
+	if !ok {
+		return false
+	}
+	delete(s.byID, qid)
+	i := sort.Search(len(s.subs), func(i int) bool { return s.subs[i].id >= qid })
+	s.subs = append(s.subs[:i], s.subs[i+1:]...)
+	sub.group.refs--
+	if sub.group.refs == 0 {
+		delete(s.groups, sub.group.win)
+	}
+	return true
+}
+
+// Name implements ops.Operator.
+func (s *SharedWindowJoin) Name() string { return s.name }
+
+// OutSchema implements ops.Operator.
+func (s *SharedWindowJoin) OutSchema() *tuple.Schema { return s.join.OutSchema() }
+
+// NumInputs implements ops.Operator.
+func (s *SharedWindowJoin) NumInputs() int { return 2 }
+
+// MemSize implements ops.Operator.
+func (s *SharedWindowJoin) MemSize() int { return s.join.MemSize() }
+
+// Push implements ops.Operator: one element into the shared join
+// (port 0 = left), results routed row-at-a-time by timestamp distance.
+func (s *SharedWindowJoin) Push(port int, e stream.Element, _ ops.Emit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.join.Push(port, e, s.routeRow)
+}
+
+// Flush implements ops.Operator.
+func (s *SharedWindowJoin) Flush(ops.Emit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.join.Flush(s.routeRow)
+}
+
+// ProcessBatch implements ops.BatchOperator: the batch flows through
+// the columnar join; its output batches are distance-routed per window
+// group. Results the join's plan demotes to the row path arrive through
+// routeRow, preserving exact row/batch interleaving per query.
+func (s *SharedWindowJoin) ProcessBatch(port int, b *stream.Batch, _ ops.EmitBatch, _ ops.Emit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.join.ProcessBatch(port, b, s.routeBatch, s.routeRow)
+}
+
+func (s *SharedWindowJoin) routeRow(out stream.Element) {
+	if out.IsPunct() {
+		for _, sub := range s.subs {
+			sub.q.Sink(out)
 		}
-		for _, q := range s.queries {
-			if dist <= q.Window {
-				s.routed++
-				q.Sink(out)
-			}
+		return
+	}
+	lts, _ := out.Tuple.Vals[s.lIdx].AsTime()
+	rts, _ := out.Tuple.Vals[s.rIdx].AsTime()
+	dist := lts - rts
+	if dist < 0 {
+		dist = -dist
+	}
+	for _, sub := range s.subs {
+		if dist <= sub.q.Window {
+			s.routed++
+			sub.q.Sink(out)
 		}
-	})
+	}
+}
+
+func (s *SharedWindowJoin) routeBatch(ob *stream.Batch) {
+	rows := ob.Rows()
+	if cap(s.dist) < rows {
+		s.dist = make([]tuple.Value, rows)
+	}
+	s.dist = s.dist[:rows]
+	lcol, rcol := ob.Cols[s.lIdx], ob.Cols[s.rIdx]
+	for r := 0; r < rows; r++ {
+		lts, _ := lcol[r].AsTime()
+		rts, _ := rcol[r].AsTime()
+		d := lts - rts
+		if d < 0 {
+			d = -d
+		}
+		s.dist[r] = tuple.Int(d)
+	}
+	s.distCols[0] = s.dist
+	for _, g := range s.groups {
+		if g.kern == nil {
+			pred := &expr.Bin{Op: expr.OpLe,
+				L: &expr.Col{Index: 0, Name: "dist", Typ: tuple.KindInt},
+				R: expr.Constant(tuple.Int(g.win))}
+			g.kern = expr.CompileKernel(pred, 1)
+		}
+		g.sel = g.kern(s.distCols, ob.Ts, ob.Sel, g.sel[:0])
+	}
+	for _, sub := range s.subs {
+		g := sub.group
+		if len(g.sel) == 0 {
+			continue
+		}
+		s.routed += int64(len(g.sel))
+		if g.view == nil {
+			g.view = ob.WithSel(g.sel)
+		}
+		if sub.q.Col != nil {
+			sub.q.Col(g.view)
+			continue
+		}
+		if !g.rowsValid {
+			g.rows = g.view.AppendRows(g.rows[:0])
+			g.rowsValid = true
+		}
+		for _, e := range g.rows {
+			sub.q.Sink(e)
+		}
+	}
+	for _, g := range s.groups {
+		if g.view != nil {
+			g.view.Release()
+			g.view = nil
+		}
+		g.rowsValid = false
+	}
+	ob.Release()
 }
 
 // Stats reports (probes by the one shared join, results routed to
 // queries). An unshared deployment performs len(queries) times the
 // probes.
 func (s *SharedWindowJoin) Stats() (probes, routed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.join.Probes(), s.routed
+}
+
+// EvalStats mirrors Stats for the execution engine's NodeStats: shared
+// work is the one join's probes, naive work the per-query estimate.
+func (s *SharedWindowJoin) EvalStats() (shared, naive int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	probes := s.join.Probes()
+	total := 0.0
+	for _, sub := range s.subs {
+		total += float64(probes) * float64(sub.q.Window) / float64(s.maxWin)
+	}
+	return probes, int64(total)
+}
+
+// Queries reports the number of live registrations.
+func (s *SharedWindowJoin) Queries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
 }
 
 // UnsharedProbeEstimate returns the probes a per-query deployment would
 // have spent, assuming each query's window holds a proportional share
 // of the tuples the maximal window holds.
 func (s *SharedWindowJoin) UnsharedProbeEstimate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	total := 0.0
-	for _, q := range s.queries {
-		total += float64(s.join.Probes()) * float64(q.Window) / float64(s.maxWin)
+	for _, sub := range s.subs {
+		total += float64(s.join.Probes()) * float64(sub.q.Window) / float64(s.maxWin)
 	}
 	return total
 }

@@ -1,6 +1,7 @@
 package share
 
 import (
+	"sort"
 	"testing"
 
 	"streamdb/internal/expr"
@@ -48,7 +49,7 @@ func TestSharedSelectDeduplicatesPredicates(t *testing.T) {
 		t.Fatalf("distinct predicates = %d", s.DistinctPredicates())
 	}
 	for i := int64(0); i < 30; i++ {
-		s.Push(el(i, i))
+		s.Push(0, el(i, i), nil)
 	}
 	shared, unshared := s.Stats()
 	if shared != 30*2 {
@@ -73,9 +74,166 @@ func TestSharedSelectPunctuationFansOut(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	s.Push(stream.Punct(stream.ProgressPunct(1, 0, tuple.Time(1))))
+	s.Push(0, stream.Punct(stream.ProgressPunct(1, 0, tuple.Time(1))), nil)
 	if got != 1 {
 		t.Error("punctuation not forwarded")
+	}
+}
+
+// Regression: punctuation fan-out used to iterate a map, so delivery
+// order across queries was nondeterministic run to run. It must be
+// ascending query-ID order.
+func TestSharedSelectPunctuationOrderDeterministic(t *testing.T) {
+	s := NewSharedSelect("ss", sch)
+	var order []int
+	var want []int
+	for i := 0; i < 32; i++ {
+		qid := i
+		id, err := s.Register(gt(t, int64(i%4)), func(e stream.Element) {
+			if e.IsPunct() {
+				order = append(order, qid)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != qid {
+			t.Fatalf("qid = %d, want %d", id, qid)
+		}
+		want = append(want, qid)
+	}
+	for rep := 0; rep < 5; rep++ {
+		order = order[:0]
+		s.Push(0, stream.Punct(stream.ProgressPunct(1, 0, tuple.Time(1))), nil)
+		if len(order) != len(want) {
+			t.Fatalf("rep %d: punct reached %d of %d queries", rep, len(order), len(want))
+		}
+		if !sort.IntsAreSorted(order) {
+			t.Fatalf("rep %d: punct delivery order %v not ascending by query ID", rep, order)
+		}
+	}
+}
+
+// Satellite: equivalent predicates spelled differently must share one
+// kernel — commuted AND conjunctions and mirrored comparisons.
+func TestSharedSelectCanonicalKeysShareKernels(t *testing.T) {
+	v := expr.MustColumn(sch, "v")
+	ts := expr.MustColumn(sch, "time")
+	lit := func(n int64) expr.Expr { return expr.Constant(tuple.Int(n)) }
+	bin := func(op expr.BinOp, l, r expr.Expr) expr.Expr {
+		e, err := expr.NewBin(op, l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a := bin(expr.OpGt, v, lit(5))                        // v > 5
+	b := bin(expr.OpGt, ts, expr.Constant(tuple.Time(3))) // time > 3
+
+	s := NewSharedSelect("ss", sch)
+	counts := make([]int, 4)
+	reg := func(i int, pred expr.Expr) {
+		t.Helper()
+		if _, err := s.Register(pred, func(stream.Element) { counts[i]++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg(0, bin(expr.OpAnd, a, b))     // a AND b
+	reg(1, bin(expr.OpAnd, b, a))     // b AND a
+	reg(2, bin(expr.OpGt, v, lit(5))) // v > 5
+	reg(3, bin(expr.OpLt, lit(5), v)) // 5 < v (mirrored spelling)
+	if got := s.DistinctPredicates(); got != 2 {
+		t.Errorf("distinct predicates = %d, want 2 (canonical dedupe)", got)
+	}
+	for i := int64(0); i < 20; i++ {
+		s.Push(0, el(i, i), nil)
+	}
+	if counts[0] != counts[1] {
+		t.Errorf("commuted AND outputs differ: %d vs %d", counts[0], counts[1])
+	}
+	if counts[2] != counts[3] {
+		t.Errorf("mirrored comparison outputs differ: %d vs %d", counts[2], counts[3])
+	}
+	if counts[2] != 14 { // v > 5 passes 6..19
+		t.Errorf("v > 5 matched %d tuples, want 14", counts[2])
+	}
+}
+
+// Common-prefix factoring: AND predicates sharing a leading conjunct
+// share its kernel node, so the trie is smaller than the total
+// conjunct count.
+func TestSharedSelectCommonPrefixFactoring(t *testing.T) {
+	v := expr.MustColumn(sch, "v")
+	lit := func(n int64) expr.Expr { return expr.Constant(tuple.Int(n)) }
+	bin := func(op expr.BinOp, l, r expr.Expr) expr.Expr {
+		e, err := expr.NewBin(op, l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	// The shared conjunct must lead after canonical ordering (lexical by
+	// rendering): "(v > 2)" sorts before every "(v >= 1x)" refinement.
+	common := bin(expr.OpGt, v, lit(2))
+	s := NewSharedSelect("ss", sch)
+	for i := int64(0); i < 4; i++ {
+		pred := bin(expr.OpAnd, common, bin(expr.OpGe, v, lit(10+i)))
+		if _, err := s.Register(pred, func(stream.Element) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 4 distinct predicates × 2 conjuncts = 8 conjuncts naively; the
+	// shared prefix collapses to 1 + 4 = 5 kernel nodes.
+	if got := s.KernelNodes(); got != 5 {
+		t.Errorf("kernel nodes = %d, want 5 (prefix factoring)", got)
+	}
+	if got := s.DistinctPredicates(); got != 4 {
+		t.Errorf("distinct predicates = %d, want 4", got)
+	}
+	// The shared prefix is evaluated on every tuple; the refinements
+	// only on its survivors.
+	for i := int64(0); i < 20; i++ {
+		s.Push(0, el(i, i), nil)
+	}
+	shared, _ := s.Stats()
+	// prefix: 20 evals; v>2 passes 17 tuples; 4 refinements × 17.
+	if shared != 20+4*17 {
+		t.Errorf("shared evals = %d, want %d", shared, 20+4*17)
+	}
+}
+
+func TestSharedSelectDrop(t *testing.T) {
+	s := NewSharedSelect("ss", sch)
+	var got0, got1 int
+	q0, err := s.Register(gt(t, 5), func(stream.Element) { got0++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register(gt(t, 10), func(stream.Element) { got1++ }); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		s.Push(0, el(i, i), nil)
+	}
+	if !s.Drop(q0) {
+		t.Fatal("drop of live query failed")
+	}
+	if s.Drop(q0) {
+		t.Error("double drop succeeded")
+	}
+	mid0, mid1 := got0, got1
+	for i := int64(20); i < 40; i++ {
+		s.Push(0, el(i, i), nil)
+	}
+	if got0 != mid0 {
+		t.Errorf("dropped query still received %d tuples", got0-mid0)
+	}
+	if got1 != mid1+20 {
+		t.Errorf("co-resident query got %d new tuples, want 20", got1-mid1)
+	}
+	if s.Queries() != 1 || s.DistinctPredicates() != 1 || s.KernelNodes() != 1 {
+		t.Errorf("after drop: queries=%d distinct=%d nodes=%d",
+			s.Queries(), s.DistinctPredicates(), s.KernelNodes())
 	}
 }
 
@@ -83,6 +241,9 @@ func TestSharedSelectRejectsNonBoolean(t *testing.T) {
 	s := NewSharedSelect("ss", sch)
 	if _, err := s.Register(expr.MustColumn(sch, "v"), func(stream.Element) {}); err == nil {
 		t.Error("non-boolean predicate accepted")
+	}
+	if _, err := s.RegisterSinks(gt(t, 0), Sinks{Col: func(*stream.Batch) {}}); err == nil {
+		t.Error("registration without a row sink accepted")
 	}
 }
 
@@ -112,9 +273,9 @@ func TestSharedWindowJoinRoutesByDistance(t *testing.T) {
 	mk := func(ts, k int64) stream.Element {
 		return stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(k)))
 	}
-	sj.Push(0, mk(0, 7))
-	sj.Push(1, mk(3, 7))  // distance 3: both queries
-	sj.Push(1, mk(20, 7)) // distance 20: only the wide query
+	sj.Push(0, mk(0, 7), nil)
+	sj.Push(1, mk(3, 7), nil)  // distance 3: both queries
+	sj.Push(1, mk(20, 7), nil) // distance 20: only the wide query
 	if len(narrow) != 1 {
 		t.Errorf("narrow query got %d results, want 1", len(narrow))
 	}
@@ -127,6 +288,38 @@ func TestSharedWindowJoinRoutesByDistance(t *testing.T) {
 	}
 	if sj.UnsharedProbeEstimate() <= float64(probes) {
 		t.Error("sharing shows no probe saving")
+	}
+}
+
+func TestSharedWindowJoinRegisterDrop(t *testing.T) {
+	a, b := joinSchemas()
+	var first, late int
+	sj, err := NewSharedWindowJoin("sj", a, b, []int{1}, []int{1},
+		[]JoinQuery{{Window: 50, Sink: func(stream.Element) { first++ }}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sj.Register(JoinQuery{Window: 100, Sink: func(stream.Element) {}}); err == nil {
+		t.Error("window above the physical join accepted")
+	}
+	qid, err := sj.Register(JoinQuery{Window: 10, Sink: func(stream.Element) { late++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(ts, k int64) stream.Element {
+		return stream.Tup(tuple.New(ts, tuple.Time(ts), tuple.Int(k)))
+	}
+	sj.Push(0, mk(0, 7), nil)
+	sj.Push(1, mk(3, 7), nil) // both queries
+	if first != 1 || late != 1 {
+		t.Fatalf("first=%d late=%d, want 1/1", first, late)
+	}
+	if !sj.Drop(qid) {
+		t.Fatal("drop failed")
+	}
+	sj.Push(1, mk(4, 7), nil) // only the survivor
+	if first != 2 || late != 1 {
+		t.Errorf("after drop: first=%d late=%d, want 2/1", first, late)
 	}
 }
 

@@ -1,0 +1,248 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"streamdb/internal/exec"
+	"streamdb/internal/expr"
+	"streamdb/internal/ops"
+	"streamdb/internal/optimizer/share"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+// SharedPlan merges standing queries that read the same source stream
+// through one shared fan-out node per stream (slide 45): each stream is
+// scanned once, registered WHERE predicates are deduplicated and
+// evaluated through the sharing layer's predicate trie, and per-query
+// SELECT lists run as private projections over the shared node's
+// selection-vector output. Queries register and drop at runtime without
+// disturbing co-resident queries — no rebuild, no restart.
+//
+// Only queries the sharing layer can serve are accepted: a single
+// stream in FROM, no aggregates, GROUP BY, HAVING, or DISTINCT. Richer
+// queries keep going through Compile and their own plan.
+type SharedPlan struct {
+	cat *Catalog
+
+	mu      sync.Mutex
+	streams map[string]*sharedStream
+	byID    map[int]sharedHandle
+	nextID  int
+	built   bool
+}
+
+type sharedStream struct {
+	schema *tuple.Schema
+	node   *share.SharedSelect
+	wired  bool
+}
+
+type sharedHandle struct {
+	stream string
+	qid    int
+}
+
+// NewSharedPlan creates an empty multi-query plan over the catalog.
+func NewSharedPlan(cat *Catalog) *SharedPlan {
+	return &SharedPlan{
+		cat:     cat,
+		streams: make(map[string]*sharedStream),
+		byID:    make(map[int]sharedHandle),
+	}
+}
+
+// Shareable reports whether a parsed query fits the sharing layer, with
+// the blocking feature named in err when it does not.
+func Shareable(q *Query) error {
+	switch {
+	case len(q.From) != 1:
+		return fmt.Errorf("query: sharing requires exactly one stream in FROM, got %d", len(q.From))
+	case len(q.GroupBy) > 0 || queryHasAggregates(q):
+		return fmt.Errorf("query: aggregation is not shareable; use Compile")
+	case q.Having != nil:
+		return fmt.Errorf("query: HAVING is not shareable; use Compile")
+	case q.Distinct:
+		return fmt.Errorf("query: DISTINCT is not shareable; use Compile")
+	}
+	return nil
+}
+
+// Register parses a GSQL query and attaches it to the shared node for
+// its stream, returning a handle for Drop. The WHERE predicate joins
+// the predicate trie (an absent WHERE registers as constant TRUE); a
+// non-star SELECT list runs as a per-query projection between the
+// shared node and the caller's sinks. sinks follows share.Sinks: Row is
+// required and also carries punctuations; Col, when set, receives
+// borrowed batch views on the columnar lane.
+//
+// Registration is legal before or after Build — after Build the query
+// attaches to the already-wired node and starts observing traffic
+// immediately — except onto a stream Build never wired, which has no
+// data path and is an error.
+func (sp *SharedPlan) Register(text string, sinks share.Sinks) (int, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return 0, err
+	}
+	if err := Shareable(q); err != nil {
+		return 0, err
+	}
+	fi := q.From[0]
+	sch, ok := sp.cat.Lookup(fi.Stream)
+	if !ok {
+		return 0, fmt.Errorf("query: unknown stream %q", fi.Stream)
+	}
+	b := &binder{streams: []*boundStream{{item: fi, schema: sch}}}
+	pred := expr.Expr(expr.Constant(tuple.Bool(true)))
+	if q.Where != nil {
+		e, err := b.bind(q.Where)
+		if err != nil {
+			return 0, err
+		}
+		if e.Kind() != tuple.KindBool {
+			return 0, fmt.Errorf("query: WHERE must be boolean")
+		}
+		pred = e
+	}
+	proj, err := sharedProjection(q, b, sch)
+	if err != nil {
+		return 0, err
+	}
+
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	st := sp.streams[fi.Stream]
+	if st == nil {
+		if sp.built {
+			return 0, fmt.Errorf("query: stream %q was not wired at Build time; it cannot join a running graph", fi.Stream)
+		}
+		st = &sharedStream{
+			schema: sch,
+			node:   share.NewSharedSelect("shared_"+fi.Stream, sch),
+		}
+		sp.streams[fi.Stream] = st
+	}
+	qid, err := st.node.RegisterSinks(pred, wrapProjection(proj, sinks))
+	if err != nil {
+		return 0, err
+	}
+	sp.nextID++
+	id := sp.nextID
+	sp.byID[id] = sharedHandle{stream: fi.Stream, qid: qid}
+	return id, nil
+}
+
+// sharedProjection compiles the SELECT list into a per-query Project,
+// or nil for SELECT *.
+func sharedProjection(q *Query, b *binder, sch *tuple.Schema) (*ops.Project, error) {
+	if len(q.Select) == 1 && q.Select[0].Star {
+		return nil, nil
+	}
+	var exprs []expr.Expr
+	var fields []tuple.Field
+	for i, it := range q.Select {
+		if it.Star {
+			return nil, fmt.Errorf("query: * must be the only select item")
+		}
+		e, err := b.bind(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+		fields = append(fields, tuple.Field{Name: itemName(it, i), Kind: e.Kind()})
+	}
+	return ops.NewProject("project", tuple.NewSchema("result", fields...), exprs)
+}
+
+// wrapProjection threads the shared node's per-query output through the
+// query's private projection. The shared node serializes fan-out under
+// its own mutex, so the single-goroutine Project is safe here.
+func wrapProjection(proj *ops.Project, sinks share.Sinks) share.Sinks {
+	if proj == nil {
+		return sinks
+	}
+	out := share.Sinks{
+		Row: func(e stream.Element) { proj.Push(0, e, sinks.Row) },
+	}
+	if sinks.Col != nil {
+		out.Col = func(b *stream.Batch) {
+			// The shared node lends b for the duration of the call;
+			// Project consumes a reference, so take one. Its dense
+			// output batch is ours to lend onward and release.
+			b.Retain()
+			proj.ProcessBatch(0, b, func(ob *stream.Batch) {
+				sinks.Col(ob)
+				ob.Release()
+			}, sinks.Row)
+		}
+	}
+	return out
+}
+
+// Drop detaches a registered query. Co-resident queries are
+// undisturbed; the predicate trie prunes branches no query needs.
+func (sp *SharedPlan) Drop(id int) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	h, ok := sp.byID[id]
+	if !ok {
+		return fmt.Errorf("query: unknown shared query id %d", id)
+	}
+	delete(sp.byID, id)
+	if !sp.streams[h.stream].node.Drop(h.qid) {
+		return fmt.Errorf("query: shared query id %d already dropped from node", id)
+	}
+	return nil
+}
+
+// Build wires one source + shared fan-out node per registered stream
+// into the graph, in stream-name order. After Build, Register continues
+// to work against the wired streams.
+func (sp *SharedPlan) Build(g *exec.Graph, sources map[string]stream.Source) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	names := make([]string, 0, len(sp.streams))
+	for name := range sp.streams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := sp.streams[name]
+		src, ok := sources[name]
+		if !ok {
+			return fmt.Errorf("query: no source for stream %q", name)
+		}
+		si := g.AddSource(src)
+		id, err := g.AddSharedFanOut(st.node)
+		if err != nil {
+			return err
+		}
+		if err := g.ConnectSource(si, id, 0); err != nil {
+			return err
+		}
+		st.wired = true
+	}
+	sp.built = true
+	return nil
+}
+
+// Node exposes the shared fan-out node for a stream (nil if no query
+// over that stream is registered) — for stats and tests.
+func (sp *SharedPlan) Node(stream string) *share.SharedSelect {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if st := sp.streams[stream]; st != nil {
+		return st.node
+	}
+	return nil
+}
+
+// Queries returns the number of live registered queries.
+func (sp *SharedPlan) Queries() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.byID)
+}

@@ -1,0 +1,221 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"streamdb/internal/exec"
+	"streamdb/internal/optimizer/share"
+	"streamdb/internal/stream"
+	"streamdb/internal/tuple"
+)
+
+func trafficElems(n int) []stream.Element {
+	elems := make([]stream.Element, 0, n)
+	for i := 0; i < n; i++ {
+		elems = append(elems, stream.Tup(trafficTuple(int64(i),
+			uint32(i%7), uint32(i%3), uint64(6+(i%2)*11), uint64(i*100))))
+	}
+	return elems
+}
+
+func sharedRowSink(dst *[]string) share.Sinks {
+	return share.Sinks{Row: func(e stream.Element) {
+		if e.IsPunct() {
+			return
+		}
+		*dst = append(*dst, fmt.Sprintf("%v", e.Tuple.Vals))
+	}}
+}
+
+// Queries over the same stream merge into one shared fan-out node, and
+// each query's output matches a standalone Run of the same text.
+func TestSharedPlanMergesAndMatchesStandalone(t *testing.T) {
+	cat := testCatalog()
+	texts := []string{
+		"select * from Traffic where length > 500",
+		"select srcIP, length from Traffic where length > 500",
+		"select srcIP from Traffic where protocol = 17",
+		"select * from Traffic",
+	}
+	sp := NewSharedPlan(cat)
+	got := make([][]string, len(texts))
+	for i, text := range texts {
+		if _, err := sp.Register(text, sharedRowSink(&got[i])); err != nil {
+			t.Fatalf("register %q: %v", text, err)
+		}
+	}
+	node := sp.Node("Traffic")
+	if node == nil {
+		t.Fatal("no shared node for Traffic")
+	}
+	// Two TRUE-predicate queries and two distinct WHEREs... the two
+	// length>500 spellings share one kernel.
+	if d := node.DistinctPredicates(); d != 3 {
+		t.Errorf("distinct predicates = %d, want 3", d)
+	}
+
+	elems := trafficElems(30)
+	g := exec.NewGraph(func(stream.Element) {})
+	err := sp.Build(g, map[string]stream.Source{
+		"Traffic": stream.FromElements(cat.schemas["Traffic"], elems...),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(-1)
+
+	for i, text := range texts {
+		rows, _, err := Run(text, cat,
+			map[string]stream.Source{"Traffic": stream.FromElements(cat.schemas["Traffic"], elems...)}, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 0 {
+			t.Fatalf("standalone %q produced nothing; bad test data", text)
+		}
+		if len(rows) != len(got[i]) {
+			t.Errorf("query %d: shared emitted %d rows, standalone %d", i, len(got[i]), len(rows))
+			continue
+		}
+		for j, r := range rows {
+			if want := fmt.Sprintf("%v", r.Vals); want != got[i][j] {
+				t.Errorf("query %d row %d: shared %q, standalone %q", i, j, got[i][j], want)
+				break
+			}
+		}
+	}
+}
+
+// Register after Build attaches to the live node; Drop detaches without
+// disturbing co-resident queries.
+func TestSharedPlanRuntimeRegisterDrop(t *testing.T) {
+	cat := testCatalog()
+	sp := NewSharedPlan(cat)
+	var resident []string
+	if _, err := sp.Register("select * from Traffic where length > 500", sharedRowSink(&resident)); err != nil {
+		t.Fatal(err)
+	}
+	q := stream.NewQueue(cat.schemas["Traffic"])
+	g := exec.NewGraph(func(stream.Element) {})
+	if err := sp.Build(g, map[string]stream.Source{"Traffic": q}); err != nil {
+		t.Fatal(err)
+	}
+	elems := trafficElems(30)
+	feed := func(es []stream.Element) {
+		for _, e := range es {
+			q.Feed(e)
+		}
+		g.Pump(-1)
+	}
+	feed(elems[:10])
+
+	var late []string
+	lateID, err := sp.Register("select * from Traffic where length > 500", sharedRowSink(&late))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(elems[10:20])
+	if len(late) != 10 {
+		t.Errorf("late query saw %d rows of its 10-row window", len(late))
+	}
+	if err := sp.Drop(lateID); err != nil {
+		t.Fatal(err)
+	}
+	feed(elems[20:])
+	if len(late) != 10 {
+		t.Errorf("dropped query kept receiving: %d rows", len(late))
+	}
+	if len(resident) != 24 { // length > 500 passes ts 6..29
+		t.Errorf("co-resident query saw %d rows, want 24", len(resident))
+	}
+	if sp.Queries() != 1 {
+		t.Errorf("live queries = %d, want 1", sp.Queries())
+	}
+
+	// A stream never wired at Build time cannot join the running graph.
+	var none []string
+	if _, err := sp.Register("select * from S", sharedRowSink(&none)); err == nil {
+		t.Error("register on unwired stream after Build should fail")
+	}
+}
+
+func TestSharedPlanRejectsUnshareable(t *testing.T) {
+	cat := testCatalog()
+	sp := NewSharedPlan(cat)
+	for _, text := range []string{
+		"select count(*) from Traffic",
+		"select srcIP from Traffic group by srcIP",
+		"select distinct srcIP from Traffic [range 60]",
+		"select * from Traffic, S where Traffic.srcIP = S.srcIP",
+		"select * from Nope",
+	} {
+		var sink []string
+		if _, err := sp.Register(text, sharedRowSink(&sink)); err == nil {
+			t.Errorf("%q should not be shareable", text)
+		}
+	}
+	if err := sp.Drop(99); err == nil {
+		t.Error("dropping unknown id should fail")
+	}
+}
+
+// The columnar engine lane delivers borrowed batch views per query with
+// projections applied, byte-identical to the row lane.
+func TestSharedPlanColumnarLane(t *testing.T) {
+	cat := testCatalog()
+	elems := trafficElems(64)
+	texts := []string{
+		"select * from Traffic where length > 500",
+		"select srcIP, length from Traffic where protocol = 6",
+	}
+	run := func(columnar bool) [][]string {
+		sp := NewSharedPlan(cat)
+		out := make([][]string, len(texts))
+		for i, text := range texts {
+			ii := i
+			sinks := share.Sinks{Row: func(e stream.Element) {
+				if !e.IsPunct() {
+					out[ii] = append(out[ii], fmt.Sprintf("%v", e.Tuple.Vals))
+				}
+			}}
+			if columnar {
+				sinks.Col = func(b *stream.Batch) {
+					n := b.N()
+					row := tuple.Tuple{Vals: make([]tuple.Value, len(b.Cols))}
+					for r := 0; r < n; r++ {
+						pr := r
+						if b.Sel != nil {
+							pr = int(b.Sel[r])
+						}
+						b.GatherRow(pr, &row)
+						out[ii] = append(out[ii], fmt.Sprintf("%v", row.Vals))
+					}
+				}
+			}
+			if _, err := sp.Register(text, sinks); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g := exec.NewGraph(func(stream.Element) {})
+		err := sp.Build(g, map[string]stream.Source{
+			"Traffic": stream.FromElements(cat.schemas["Traffic"], elems...),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.RunWith(-1, exec.RunOptions{Columnar: columnar, BatchSize: 16})
+		return out
+	}
+	rowOut := run(false)
+	colOut := run(true)
+	for i := range texts {
+		if len(rowOut[i]) == 0 {
+			t.Fatalf("query %d produced nothing; bad test data", i)
+		}
+		if fmt.Sprint(rowOut[i]) != fmt.Sprint(colOut[i]) {
+			t.Errorf("query %d: columnar lane diverges from row lane\nrow: %v\ncol: %v",
+				i, rowOut[i], colOut[i])
+		}
+	}
+}
